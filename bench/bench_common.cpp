@@ -1,0 +1,67 @@
+#include "bench_common.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace mvq::bench {
+
+bool
+fastMode()
+{
+    const char *env = std::getenv("MVQ_BENCH_FAST");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+nn::ClassificationConfig
+stdDataConfig()
+{
+    nn::ClassificationConfig cfg;
+    cfg.classes = 10;
+    cfg.size = 12;
+    cfg.train_count = fastMode() ? 320 : 640;
+    cfg.test_count = 160;
+    cfg.noise = 0.55f; // hard enough that compression damage shows
+    cfg.seed = 7;
+    return cfg;
+}
+
+std::unique_ptr<nn::Sequential>
+trainDenseMini(const std::string &family,
+               const nn::ClassificationDataset &data, std::int64_t width,
+               int epochs, double *test_acc)
+{
+    models::MiniConfig mc;
+    mc.classes = data.config().classes;
+    mc.width = width;
+    auto net = models::miniModelByName(family, mc);
+    nn::TrainConfig tc;
+    tc.epochs = fastMode() ? std::max(1, epochs / 2) : epochs;
+    const nn::TrainStats stats = nn::trainClassifier(*net, data, tc);
+    if (test_acc != nullptr)
+        *test_acc = stats.test_accuracy;
+    return net;
+}
+
+void
+printExperimentHeader(const std::string &experiment,
+                      const std::string &substitution)
+{
+    std::cout << "\n==================================================\n"
+              << experiment << "\n"
+              << "substitute: " << substitution << "\n"
+              << "==================================================\n";
+}
+
+std::string
+f2(double v)
+{
+    return TextTable::num(v, 2);
+}
+
+std::string
+f1(double v)
+{
+    return TextTable::num(v, 1);
+}
+
+} // namespace mvq::bench

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Reproduces paper Fig. 15: total data-access energy reduction from
+ * employing MVQ compression (EWS-CMS vs EWS baseline) per model per
+ * array size.
+ */
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "energy/energy_model.hpp"
+
+int
+main()
+{
+    using namespace mvq;
+    bench::printExperimentHeader(
+        "Fig. 15: data-access cost reduction from MVQ",
+        "ratio of access energies, EWS baseline over EWS-CMS");
+
+    const energy::EnergyCosts costs;
+    perf::WorkloadStats stats;
+
+    // Paper values (16x16, 32x32, 64x64 bars).
+    const struct { const char *model; double paper[3]; } rows[] = {
+        {"resnet18", {2.9, 3.6, 4.1}}, {"resnet50", {2.7, 3.2, 3.4}},
+        {"vgg16", {1.7, 2.4, 1.9}},    {"mobilenet_v1", {1.9, 2.0, 1.9}},
+        {"alexnet", {1.9, 2.3, 3.0}}};
+
+    TextTable t({"Model", "16x16 paper", "16x16 ours", "32x32 paper",
+                 "32x32 ours", "64x64 paper", "64x64 ours"});
+    for (const auto &row : rows) {
+        const auto spec = models::modelSpecByName(row.model);
+        std::vector<std::string> cells{row.model};
+        for (int i = 0; i < 3; ++i) {
+            const std::int64_t size = 16 << i;
+            const auto base = perf::analyzeNetwork(
+                sim::makeHwSetting(sim::HwSetting::EWS_Base, size), spec,
+                stats);
+            const auto cms = perf::analyzeNetwork(
+                sim::makeHwSetting(sim::HwSetting::EWS_CMS, size), spec,
+                stats);
+            const double reduction =
+                energy::dataAccessEnergy(base, costs)
+                / energy::dataAccessEnergy(cms, costs);
+            cells.push_back(bench::f1(row.paper[i]));
+            cells.push_back(bench::f1(reduction));
+        }
+        t.addRow(cells);
+    }
+    t.print();
+    std::cout << "paper shape: ResNets gain most (up to 4.1x), VGG16 "
+                 "least (early fmaps spill to DRAM either way).\n";
+    return 0;
+}

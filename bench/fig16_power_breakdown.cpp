@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Reproduces paper Fig. 16: power breakdown (Accel / L1 / L2 / Other)
+ * for the six hardware settings, ResNet-18 and ResNet-50 at three array
+ * sizes.
+ */
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "energy/energy_model.hpp"
+
+int
+main()
+{
+    using namespace mvq;
+    using sim::HwSetting;
+    bench::printExperimentHeader(
+        "Fig. 16: power breakdown (mW) across hardware settings",
+        "per-component energy / runtime from the analytic models");
+
+    const energy::EnergyCosts costs;
+    perf::WorkloadStats stats;
+    const HwSetting settings[] = {HwSetting::WS_Base, HwSetting::WS_CMS,
+                                  HwSetting::EWS_Base, HwSetting::EWS_C,
+                                  HwSetting::EWS_CM, HwSetting::EWS_CMS};
+
+    for (const char *model : {"resnet18", "resnet50"}) {
+        const auto spec = models::modelSpecByName(model);
+        for (std::int64_t size : {64, 32, 16}) {
+            std::cout << "\n--- " << model << " " << size << "x" << size
+                      << " ---\n";
+            TextTable t({"Setting", "Accel mW", "L1 mW", "L2 mW",
+                         "Other mW", "Total mW"});
+            for (HwSetting s : settings) {
+                const auto cfg = sim::makeHwSetting(s, size);
+                const auto np = perf::analyzeNetwork(cfg, spec, stats);
+                const auto p = energy::powerBreakdown(np, cfg, costs);
+                t.addRow({sim::hwSettingName(s), bench::f1(p.accel_mw),
+                          bench::f1(p.l1_mw), bench::f1(p.l2_mw),
+                          bench::f1(p.other_mw),
+                          bench::f1(p.total_mw())});
+            }
+            t.print();
+        }
+    }
+    std::cout << "\npaper shape: WS has outsized L1 power; the CMS "
+                 "settings cut Accel power most, more so as the array "
+                 "grows.\n";
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Reproduces paper Fig. 17: speedup of WS-CMS / EWS / EWS-CMS over the
+ * WS baseline on five models at 64x64.
+ */
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "energy/energy_model.hpp"
+
+int
+main()
+{
+    using namespace mvq;
+    using sim::HwSetting;
+    bench::printExperimentHeader(
+        "Fig. 17: speedup over WS baseline (64x64)",
+        "cycle model, conv layers (the systolic engine's work)");
+
+    perf::WorkloadStats stats;
+    // Paper bars: (WS-CMS, EWS, EWS-CMS).
+    const struct { const char *model; double paper[3]; } rows[] = {
+        {"resnet18", {1.4, 1.2, 2.2}}, {"resnet50", {1.2, 1.3, 1.9}},
+        {"vgg16", {1.2, 1.3, 1.9}},    {"mobilenet_v1", {1.1, 1.3, 1.5}},
+        {"alexnet", {1.1, 1.4, 1.7}}};
+
+    TextTable t({"Model", "WS-CMS paper", "WS-CMS ours", "EWS paper",
+                 "EWS ours", "EWS-CMS paper", "EWS-CMS ours"});
+    for (const auto &row : rows) {
+        const auto spec = models::modelSpecByName(row.model);
+        const auto ws = perf::analyzeNetwork(
+            sim::makeHwSetting(HwSetting::WS_Base, 64), spec, stats,
+            /*include_fc=*/false);
+        std::vector<std::string> cells{row.model};
+        const HwSetting others[] = {HwSetting::WS_CMS,
+                                    HwSetting::EWS_Base,
+                                    HwSetting::EWS_CMS};
+        for (int i = 0; i < 3; ++i) {
+            const auto np = perf::analyzeNetwork(
+                sim::makeHwSetting(others[i], 64), spec, stats,
+                /*include_fc=*/false);
+            cells.push_back(bench::f1(row.paper[i]));
+            cells.push_back(bench::f2(ws.seconds / np.seconds));
+        }
+        t.addRow(cells);
+    }
+    t.print();
+    std::cout << "paper shape: EWS-CMS is the fastest setting on every "
+                 "model; gains are largest where weight loading "
+                 "bottlenecks (deep/FC-heavy nets).\n";
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Reproduces paper Fig. 19: energy efficiency (TOPS/W, excluding main
+ * memory) of the six hardware settings on ResNet-18/50 at three array
+ * sizes.
+ */
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "energy/energy_model.hpp"
+
+int
+main()
+{
+    using namespace mvq;
+    using sim::HwSetting;
+    bench::printExperimentHeader(
+        "Fig. 19: energy efficiency (TOPS/W, on-chip energy only)",
+        "analytic energy model; MAC energy calibrated at 40nm");
+
+    const energy::EnergyCosts costs;
+    perf::WorkloadStats stats;
+
+    // Paper bars per model: rows = setting, cols = 16/32/64.
+    const struct { HwSetting s; const char *label;
+                   double rn18[3]; double rn50[3]; } rows[] = {
+        {HwSetting::WS_Base, "WS", {0.7, 1.5, 2.1}, {0.9, 1.4, 1.9}},
+        {HwSetting::WS_CMS, "WS-CMS", {0.9, 2.1, 4.5}, {1.1, 2.1, 3.2}},
+        {HwSetting::EWS_Base, "EWS", {1.5, 2.2, 2.9}, {1.8, 2.3, 2.6}},
+        {HwSetting::EWS_C, "EWS-C", {1.8, 2.6, 3.8}, {1.8, 2.7, 3.4}},
+        {HwSetting::EWS_CM, "EWS-CM", {1.9, 3.0, 4.3}, {1.9, 3.1, 4.0}},
+        {HwSetting::EWS_CMS, "EWS-CMS", {2.3, 4.1, 6.9},
+         {2.4, 4.1, 5.7}}};
+
+    for (const char *model : {"resnet18", "resnet50"}) {
+        const auto spec = models::modelSpecByName(model);
+        std::cout << "\n--- " << model << " ---\n";
+        TextTable t({"Setting", "16 paper", "16 ours", "32 paper",
+                     "32 ours", "64 paper", "64 ours"});
+        for (const auto &row : rows) {
+            std::vector<std::string> cells{row.label};
+            for (int i = 0; i < 3; ++i) {
+                const std::int64_t size = 16 << i;
+                const auto cfg = sim::makeHwSetting(row.s, size);
+                const auto np = perf::analyzeNetwork(cfg, spec, stats);
+                const double eff = energy::topsPerWatt(np, cfg, costs);
+                const double paper = std::string(model) == "resnet18"
+                    ? row.rn18[i] : row.rn50[i];
+                cells.push_back(bench::f1(paper));
+                cells.push_back(bench::f2(eff));
+            }
+            t.addRow(cells);
+        }
+        t.print();
+    }
+
+    const auto base64 = sim::makeHwSetting(HwSetting::EWS_Base, 64);
+    const auto cms64 = sim::makeHwSetting(HwSetting::EWS_CMS, 64);
+    const auto spec = models::resnet18Spec();
+    const double gain = energy::topsPerWatt(
+        perf::analyzeNetwork(cms64, spec, stats), cms64, costs)
+        / energy::topsPerWatt(
+            perf::analyzeNetwork(base64, spec, stats), base64, costs);
+    std::cout << "\nEWS-CMS / EWS at 64x64 on ResNet-18 (paper ~2.3x): "
+              << bench::f2(gain) << "x\n";
+    return 0;
+}

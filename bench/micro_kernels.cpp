@@ -1,0 +1,105 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the hot kernels: masked k-means
+ * iterations, the LZC cascade, mask codec encode/decode, GEMM, and the
+ * functional systolic array. Not tied to a paper table; used to track
+ * the performance of the library itself.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/mask_codec.hpp"
+#include "core/masked_kmeans.hpp"
+#include "sim/lzc.hpp"
+#include "sim/systolic_array.hpp"
+#include "tensor/ops.hpp"
+
+namespace {
+
+using namespace mvq;
+
+void
+BM_MaskedKmeansIteration(benchmark::State &state)
+{
+    const std::int64_t ng = state.range(0);
+    Rng rng(1);
+    Tensor wr(Shape({ng, 16}));
+    wr.fillNormal(rng, 0.0f, 1.0f);
+    core::Mask mask = core::nmMask(wr, core::NmPattern{4, 16});
+    core::applyMask(wr, mask);
+    core::KmeansConfig cfg;
+    cfg.k = 64;
+    cfg.max_iters = 2;
+    for (auto _ : state) {
+        auto res = core::maskedKmeans(wr, mask, cfg);
+        benchmark::DoNotOptimize(res.sse);
+    }
+    state.SetItemsProcessed(state.iterations() * ng * 64);
+}
+BENCHMARK(BM_MaskedKmeansIteration)->Arg(1024)->Arg(4096);
+
+void
+BM_LzcEncode(benchmark::State &state)
+{
+    std::vector<std::uint8_t> bits(16, 0);
+    bits[2] = bits[7] = bits[9] = bits[15] = 1;
+    for (auto _ : state) {
+        auto out = sim::lzcEncode(bits, 4);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_LzcEncode);
+
+void
+BM_MaskCodecRoundTrip(benchmark::State &state)
+{
+    const core::MaskCodec codec(core::NmPattern{4, 16});
+    std::vector<std::uint8_t> group(16, 0);
+    group[1] = group[5] = group[9] = group[13] = 1;
+    for (auto _ : state) {
+        const std::uint32_t code = codec.encodeGroup(group.data());
+        auto bits = codec.decodeGroup(code);
+        benchmark::DoNotOptimize(bits.data());
+    }
+}
+BENCHMARK(BM_MaskCodecRoundTrip);
+
+void
+BM_Gemm(benchmark::State &state)
+{
+    const std::int64_t n = state.range(0);
+    Rng rng(2);
+    Tensor a(Shape({n, n}));
+    Tensor b(Shape({n, n}));
+    Tensor c(Shape({n, n}));
+    a.fillNormal(rng, 0.0f, 1.0f);
+    b.fillNormal(rng, 0.0f, 1.0f);
+    for (auto _ : state) {
+        gemm(a, false, b, false, c);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128);
+
+void
+BM_SystolicArrayConv(benchmark::State &state)
+{
+    Rng rng(3);
+    Tensor ifmap(Shape({8, 8, 8}));
+    ifmap.fillNormal(rng, 0.0f, 1.0f);
+    Tensor w(Shape({16, 8, 3, 3}));
+    w.fillNormal(rng, 0.0f, 0.5f);
+    auto cfg = sim::makeHwSetting(sim::HwSetting::EWS_Base, 16);
+    sim::SystolicArray array(cfg);
+    auto dec = sim::wrapDenseWeights(w, 1);
+    for (auto _ : state) {
+        auto run = array.runConv(ifmap, dec, 1, 1);
+        benchmark::DoNotOptimize(run.counters.total_cycles);
+    }
+}
+BENCHMARK(BM_SystolicArrayConv);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Reproduces paper Table 2: resource comparison of an H x d tile between
+ * the dense EWS tile and the EWS-Sparse tile (H x Q multipliers, MRF,
+ * LZC cascade, DEMUX/MUX), at the paper's parameters H = 16, d = 16,
+ * Q = 4, bw = 8, 16-deep WRF.
+ */
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "energy/area_model.hpp"
+
+int
+main()
+{
+    using namespace mvq;
+    bench::printExperimentHeader(
+        "Table 2: resources of an H x d tile, EWS vs EWS-Sparse",
+        "analytic resource counts (exact reproduction of the table)");
+
+    const std::int64_t h = 16, d = 16, q = 4, wrf = 16, bw = 8,
+                       bpsum = 24;
+    const auto dense = energy::denseTileResources(h, d, wrf, bw, bpsum);
+    const auto sparse = energy::sparseTileResources(h, d, q, wrf, bw,
+                                                    bpsum);
+
+    TextTable t({"Resource", "EWS (paper)", "EWS measured",
+                 "EWS-Sparse (paper)", "EWS-Sparse measured"});
+    t.addRow({"Multiplier", "H*d = 256",
+              std::to_string(dense.multipliers), "H*Q = 64",
+              std::to_string(sparse.multipliers)});
+    t.addRow({"Adder", "H*d = 256", std::to_string(dense.adders),
+              "H*d = 256", std::to_string(sparse.adders)});
+    t.addRow({"RF bits", "H*d*16*bw = 32768",
+              std::to_string(dense.rf_bits),
+              "H*Q*16*bw + H*Q*16*log2(d) = 12288",
+              std::to_string(sparse.rf_bits)});
+    t.addRow({"LZC", "NA", std::to_string(dense.lzc_units), "H*Q = 64",
+              std::to_string(sparse.lzc_units)});
+    t.addRow({"DEMUX bits", "NA", std::to_string(dense.demux_bits),
+              "H*Q*b_psum = 1536", std::to_string(sparse.demux_bits)});
+    t.addRow({"MUX bits", "NA", std::to_string(dense.mux_bits),
+              "H*Q*bw = 512", std::to_string(sparse.mux_bits)});
+    t.addRow({"Parallelism", "2*H*d = 512",
+              std::to_string(dense.parallelism), "2*H*d = 512",
+              std::to_string(sparse.parallelism)});
+    t.print();
+
+    std::cout << "tile area: dense " << bench::f2(tileArea(dense) * 1e3)
+              << " um^2*1e3, sparse "
+              << bench::f2(tileArea(sparse) * 1e3)
+              << " um^2*1e3 (sparse/dense = "
+              << bench::f2(tileArea(sparse) / tileArea(dense)) << ")\n";
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Reproduces paper Table 5: pre-fine-tuning SSE and post-fine-tuning
+ * accuracy of MVQ vs PQF at matched compression on ResNet-18/50.
+ */
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "nn/network.hpp"
+#include "vq/pqf.hpp"
+
+int
+main()
+{
+    using namespace mvq;
+    bench::printExperimentHeader(
+        "Table 5: SSE and accuracy vs PQF at ~matched CR",
+        "mini ResNet-18/50; SSE measured before fine-tuning");
+
+    const nn::ClassificationDataset data(bench::stdDataConfig());
+    TextTable t({"Model", "Method", "SSE", "Acc", "CR", "Paper"});
+
+    for (const char *family : {"resnet18", "resnet50"}) {
+        double dense = 0.0;
+        auto net = bench::trainDenseMini(family, data, 16, 3, &dense);
+        auto snapshot = nn::snapshotParameters(*net);
+        const bool rn18 = std::string(family) == "resnet18";
+
+        // --- MVQ ------------------------------------------------------
+        core::MvqLayerConfig lc;
+        lc.k = 16;
+        lc.d = 16;
+        lc.pattern = core::NmPattern{4, 16};
+        auto targets = core::compressibleConvs(*net, lc, true);
+        core::SrSteConfig sc;
+        sc.pattern = lc.pattern;
+        sc.d = lc.d;
+        sc.train.epochs = bench::fastMode() ? 1 : 2;
+        core::srSteTrain(*net, targets, data, sc);
+
+        std::vector<Tensor> reference;
+        for (auto *conv : targets)
+            reference.push_back(conv->weight().value);
+        core::ClusterOptions opts;
+        core::CompressedModel cm = core::clusterLayers(targets, lc,
+                                                       opts);
+        const double mvq_sse =
+            core::computeSse(cm, reference).masked_sse;
+        cm.applyTo(*net);
+        core::FinetuneConfig fc;
+        fc.epochs = bench::fastMode() ? 1 : 2;
+        const double mvq_acc =
+            core::finetuneCompressedClassifier(cm, *net, data, fc);
+        t.addRow({family, "MVQ(Ours)", bench::f2(mvq_sse),
+                  bench::f1(mvq_acc),
+                  bench::f1(cm.compressionRatio()) + "x",
+                  rn18 ? "SSE 251, acc 68.8" : "SSE 336, acc 75.2"});
+
+        // --- PQF ------------------------------------------------------
+        nn::restoreParameters(*net, snapshot);
+        core::MvqLayerConfig lcp;
+        lcp.k = 32;
+        lcp.d = 8;
+        auto ptargets = core::compressibleConvs(*net, lcp, true);
+        vq::PqfOptions popts;
+        popts.search_steps = bench::fastMode() ? 300 : 1000;
+        vq::PqfModel pqf = vq::pqfCompress(ptargets, lcp, popts);
+        double pqf_sse = 0.0;
+        for (std::size_t i = 0; i < ptargets.size(); ++i) {
+            pqf_sse += sse(pqf.reconstructLayer(i),
+                           ptargets[i]->weight().value);
+        }
+        pqf.applyTo(*net);
+        const double pqf_acc = vq::pqfFinetune(pqf, *net, data, fc);
+        t.addRow({family, "PQF", bench::f2(pqf_sse),
+                  bench::f1(pqf_acc),
+                  bench::f1(pqf.compressionRatio()) + "x",
+                  rn18 ? "SSE 605, acc 68.2" : "SSE 1150, acc 74.2"});
+    }
+    t.print();
+    std::cout << "expected shape: MVQ reaches a significantly lower SSE "
+                 "on the weights that matter and higher accuracy.\n";
+    return 0;
+}

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Reproduces paper Table 6: compression on detection (Mask-RCNN/COCO
+ * substitute: multi-head mini detector with AP@0.5 proxies) and
+ * segmentation (DeepLab-v3/VOC substitute: DeepLab-mini, mIoU).
+ * Detection/segmentation use ASP one-shot pruning (the paper found
+ * SR-STE unstable on these tasks).
+ */
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "models/detector.hpp"
+#include "nn/network.hpp"
+#include "vq/uniform_quant.hpp"
+
+int
+main()
+{
+    using namespace mvq;
+    bench::printExperimentHeader(
+        "Table 6: detection + segmentation under compression",
+        "synthetic detection proxy (AP@0.5) and segmentation (mIoU)");
+
+    // ----- Detection proxy (Mask-RCNN substitute) ---------------------
+    {
+        nn::DetectionConfig dc;
+        dc.train_count = bench::fastMode() ? 256 : 512;
+        dc.test_count = 128;
+        nn::DetectionDataset data(dc);
+
+        models::MiniConfig mc;
+        mc.classes = dc.classes;
+        mc.width = 16;
+        models::MiniDetector det(mc, dc.size);
+        models::DetectorTrainConfig tc;
+        tc.epochs = bench::fastMode() ? 5 : 10;
+        models::trainDetector(det, data, tc);
+        const models::DetMetrics baseline =
+            models::evalDetector(det, data, data.testSet());
+
+        // MVQ on the backbone: ASP prune + masked k-means + fine-tune.
+        core::MvqLayerConfig lc;
+        lc.k = 32;
+        lc.d = 16;
+        lc.pattern = core::NmPattern{4, 16};
+        auto targets =
+            core::compressibleConvs(det.backbone(), lc, true);
+        core::oneShotPrune(targets, lc.pattern, lc.d, lc.grouping);
+        core::ClusterOptions opts;
+        core::CompressedModel cm =
+            core::clusterLayers(targets, lc, opts);
+        core::FinetuneConfig fc;
+        fc.epochs = bench::fastMode() ? 2 : 4;
+        const models::DetMetrics compressed =
+            models::finetuneCompressedDetector(cm, det, data, fc, tc);
+
+        TextTable t({"Method", "CR", "Sparsity", "AP_bb", "AP_mk",
+                     "Paper (APbb/APmk)"});
+        t.addRow({"Baseline", "-", "0%", bench::f1(baseline.ap_bb),
+                  bench::f1(baseline.ap_mk), "37.9 / 34.6"});
+        t.addRow({"MVQ(Ours)",
+                  bench::f1(cm.compressionRatio()) + "x", "75%",
+                  bench::f1(compressed.ap_bb),
+                  bench::f1(compressed.ap_mk),
+                  "36.8 / 33.8 @26x (BGD 33.9/30.8, PQF 36.3/33.5)"});
+        std::cout << "\n--- Detection proxy (Mask-RCNN substitute) ---\n";
+        t.print();
+    }
+
+    // ----- Segmentation (DeepLab substitute) --------------------------
+    {
+        nn::SegmentationConfig scfg;
+        scfg.train_count = bench::fastMode() ? 256 : 512;
+        scfg.test_count = 128;
+        nn::SegmentationDataset data(scfg);
+
+        models::MiniConfig mc;
+        mc.classes = scfg.classes;
+        mc.width = 16;
+        auto net = models::miniDeepLab(mc);
+        nn::TrainConfig tc;
+        tc.epochs = bench::fastMode() ? 2 : 4;
+        tc.lr = 0.1f;
+        const double baseline_miou =
+            nn::trainSegmenter(*net, data, tc).test_accuracy;
+        auto snapshot = nn::snapshotParameters(*net);
+
+        // MVQ: ASP prune + masked cluster + fine-tune.
+        core::MvqLayerConfig lc;
+        lc.k = 48;
+        lc.d = 8;
+        lc.pattern = core::NmPattern{1, 2};
+        auto targets = core::compressibleConvs(*net, lc, true);
+        core::oneShotPrune(targets, lc.pattern, lc.d, lc.grouping);
+        core::ClusterOptions opts;
+        core::CompressedModel cm =
+            core::clusterLayers(targets, lc, opts);
+        cm.applyTo(*net);
+        core::FinetuneConfig fc;
+        fc.epochs = bench::fastMode() ? 1 : 2;
+        const double mvq_miou =
+            core::finetuneCompressedSegmenter(cm, *net, data, fc);
+
+        // PvQ 2-bit crashes.
+        nn::restoreParameters(*net, snapshot);
+        // Post-training 2-bit quantization (the regime where the
+        // paper's PvQ row collapses; QAT rescues it on our easy task).
+        vq::PvqOptions popts;
+        popts.bits = 2;
+        popts.finetune_epochs = 0;
+        const vq::PvqResult pvq = vq::pvqCompressSegmenter(
+            *net, core::compressibleConvs(*net, lc, true), data, popts);
+
+        TextTable t({"Method", "CR", "Sparsity", "mIoU", "Paper"});
+        t.addRow({"Baseline", "-", "0%", bench::f1(baseline_miou),
+                  "72.9"});
+        t.addRow({"MVQ(Ours)",
+                  bench::f1(cm.compressionRatio()) + "x", "50%",
+                  bench::f1(mvq_miou), "66.5 @19x"});
+        t.addRow({"PvQ-2bit (PTQ)", bench::f1(pvq.compression_ratio) + "x",
+                  "0%", bench::f1(pvq.accuracy), "17.6 @16x (crash)"});
+        std::cout << "\n--- Segmentation (DeepLab-v3 substitute) ---\n";
+        t.print();
+    }
+
+    std::cout << "expected shape: MVQ stays near the baseline at high "
+                 "CR; 2-bit uniform quantization collapses.\n";
+    return 0;
+}

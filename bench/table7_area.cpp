@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Reproduces paper Table 7: accelerator area on three array scales for
+ * WS, EWS, EWS-C/CM, EWS-CMS, plus L1/L2/other components (40 nm, unit
+ * areas calibrated to the paper's DC synthesis; see src/energy).
+ */
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "energy/area_model.hpp"
+
+int
+main()
+{
+    using namespace mvq;
+    using sim::HwSetting;
+    bench::printExperimentHeader(
+        "Table 7: area (mm^2) on 16/32/64 arrays",
+        "analytic area model calibrated against the paper's synthesis");
+
+    const struct { HwSetting s; const char *label;
+                   double paper[3]; } rows[] = {
+        {HwSetting::WS_Base, "WS", {0.188, 0.734, 2.812}},
+        {HwSetting::EWS_Base, "EWS", {0.36, 1.14, 4.236}},
+        {HwSetting::EWS_CM, "EWS-C/CM", {0.650, 1.505, 4.776}},
+        {HwSetting::EWS_CMS, "EWS-CMS", {0.469, 0.828, 2.129}},
+    };
+    const std::int64_t sizes[3] = {16, 32, 64};
+
+    TextTable t({"Accelerator", "Size-16 paper", "Size-16 ours",
+                 "Size-32 paper", "Size-32 ours", "Size-64 paper",
+                 "Size-64 ours"});
+    for (const auto &row : rows) {
+        std::vector<std::string> cells{row.label};
+        for (int i = 0; i < 3; ++i) {
+            const auto area =
+                energy::accelArea(sim::makeHwSetting(row.s, sizes[i]));
+            cells.push_back(bench::f2(row.paper[i]));
+            cells.push_back(bench::f2(area.accel_mm2()));
+        }
+        t.addRow(cells);
+    }
+    t.addSeparator();
+    {
+        std::vector<std::string> l1{"L1"};
+        std::vector<std::string> l2{"L2"};
+        std::vector<std::string> other{"Others"};
+        const double l1_paper[3] = {0.484, 0.968, 0.968};
+        const double other_paper[3] = {0.787, 1.303, 1.659};
+        for (int i = 0; i < 3; ++i) {
+            const auto area = energy::accelArea(
+                sim::makeHwSetting(HwSetting::EWS_Base, sizes[i]));
+            l1.push_back(bench::f2(l1_paper[i]));
+            l1.push_back(bench::f2(area.l1_mm2));
+            l2.push_back(bench::f2(6.924));
+            l2.push_back(bench::f2(area.l2_mm2));
+            other.push_back(bench::f2(other_paper[i]));
+            other.push_back(bench::f2(area.other_mm2));
+        }
+        t.addRow(l1);
+        t.addRow(l2);
+        t.addRow(other);
+    }
+    t.print();
+
+    const double base = energy::accelArea(
+        sim::makeHwSetting(HwSetting::EWS_Base, 64)).array_mm2;
+    const double cms = energy::accelArea(
+        sim::makeHwSetting(HwSetting::EWS_CMS, 64)).array_mm2;
+    std::cout << "64x64 array reduction vs EWS (paper: ~55%): "
+              << bench::f1(100.0 * (1.0 - cms / base)) << "%\n";
+    return 0;
+}

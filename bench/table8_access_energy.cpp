@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Reproduces paper Table 8: normalized data-access energy per storage
+ * level (MAC = 1). These constants parameterize the energy model; the
+ * bench echoes them alongside the per-inference energy split they induce
+ * on ResNet-18 to show the DRAM-dominance the paper's Fig. 14 builds on.
+ */
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "energy/energy_model.hpp"
+
+int
+main()
+{
+    using namespace mvq;
+    bench::printExperimentHeader(
+        "Table 8: normalized access energy (unit = one MAC)",
+        "model constants (DRAM from Eyeriss/Sim et al., rest from PT)");
+
+    const energy::EnergyCosts costs;
+    TextTable t({"Level", "Paper", "Model"});
+    t.addRow({"DRAM (per byte)", "200", bench::f2(costs.dram_per_byte)});
+    t.addRow({"L2 (per byte)", "15", bench::f2(costs.l2_per_byte)});
+    t.addRow({"L1 (per byte)", "6", bench::f2(costs.l1_per_byte)});
+    t.addRow({"PRF (per access)", "0.22",
+              bench::f2(costs.prf_per_access)});
+    t.addRow({"ARF (per access)", "0.11",
+              bench::f2(costs.arf_per_access)});
+    t.addRow({"WRF (per access)", "0.02",
+              bench::f2(costs.wrf_per_access)});
+    t.addRow({"CRF (per access)", "0.02",
+              bench::f2(costs.crf_per_access)});
+    t.print();
+
+    // Induced energy split on ResNet-18 (EWS baseline, 64x64).
+    perf::WorkloadStats stats;
+    const auto cfg = sim::makeHwSetting(sim::HwSetting::EWS_Base, 64);
+    const auto np =
+        perf::analyzeNetwork(cfg, models::resnet18Spec(), stats);
+    const auto e = energy::energyFromCounters(np.totals, costs);
+    const double total = e.total();
+    std::cout << "\nResNet-18 energy split (EWS 64x64): DRAM "
+              << bench::f1(100 * e.dram / total) << "%, L2 "
+              << bench::f1(100 * e.l2 / total) << "%, L1 "
+              << bench::f1(100 * e.l1 / total) << "%, RF "
+              << bench::f1(100 * e.rf / total) << "%, MAC "
+              << bench::f1(100 * e.mac / total)
+              << "% (paper Fig. 14: DRAM dominates)\n";
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Quickstart: compress one convolution kernel with MVQ — N:M prune,
+ * masked k-means, int8 codebook — then inspect the storage layout,
+ * compression ratio (Eq. 7) and reconstruction error. Mirrors the
+ * README's first code block.
+ */
+
+#include <iostream>
+
+#include "core/pipeline.hpp"
+#include "tensor/ops.hpp"
+
+int
+main()
+{
+    using namespace mvq;
+
+    // A random [K, C, R, S] kernel standing in for a trained layer.
+    Rng rng(1);
+    Tensor kernel(Shape({64, 32, 3, 3}));
+    kernel.fillNormal(rng, 0.0f, 0.05f);
+
+    // MVQ settings: k codewords of length d, 4:16 pruning, int8 book.
+    core::MvqLayerConfig cfg;
+    cfg.k = 256;
+    cfg.d = 16;
+    cfg.pattern = core::NmPattern{4, 16};
+    cfg.codebook_bits = 8;
+
+    // Step 1: group into subvectors and prune.
+    Tensor grouped = core::groupWeights(kernel, cfg.d, cfg.grouping);
+    core::Mask mask = core::nmMask(grouped, cfg.pattern);
+    core::applyMask(grouped, mask);
+    std::cout << "grouped " << grouped.shape().str() << ", sparsity "
+              << core::maskSparsity(mask) * 100 << "%\n";
+
+    // Step 2: masked k-means.
+    core::KmeansConfig km;
+    km.k = cfg.k;
+    core::KmeansResult clusters = core::maskedKmeans(grouped, mask, km);
+    std::cout << "masked k-means: " << clusters.iterations
+              << " iterations, SSE " << clusters.sse << "\n";
+
+    // Step 3: int8 codebook.
+    core::Codebook book;
+    book.codewords = clusters.codebook;
+    core::quantizeCodebook(book, cfg.codebook_bits);
+
+    // Pack into the storage container and account every bit.
+    core::CompressedLayer layer = core::makeCompressedLayer(
+        "conv", kernel.shape(), cfg, mask, clusters, 0);
+    core::CompressedModel model;
+    model.layers.push_back(layer);
+    model.codebooks.push_back(book);
+
+    const core::StorageCost cost = model.storage();
+    std::cout << "assignments " << cost.assignment_bits << " b, masks "
+              << cost.mask_bits << " b, codebook "
+              << cost.codebook_bits << " b\n"
+              << "bits/weight " << cost.bitsPerWeight()
+              << ", compression ratio " << model.compressionRatio()
+              << "x (Eq. 7)\n";
+
+    // Reconstruct and measure the error against the pruned kernel.
+    Tensor pruned = core::ungroupWeights(grouped, kernel.shape(), cfg.d,
+                                         cfg.grouping);
+    Tensor recon = model.reconstructLayer(0);
+    std::cout << "reconstruction SSE vs pruned kernel: "
+              << sse(pruned, recon) << "\n";
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Accelerator-simulation example: evaluate the six hardware settings of
+ * the paper on full-size ResNet-18 layer tables with the analytic
+ * performance and energy models — cycles, stalls, traffic, power split
+ * and TOPS/W — the same path the hardware benches use.
+ */
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "energy/area_model.hpp"
+#include "energy/energy_model.hpp"
+#include "perf/network_perf.hpp"
+
+int
+main()
+{
+    using namespace mvq;
+    using sim::HwSetting;
+
+    const models::ModelSpec spec = models::resnet18Spec();
+    std::cout << "workload: " << spec.name << ", "
+              << spec.totalMacs() / 1000000 << "M MACs, "
+              << spec.totalWeights() / 1000000 << "M weights\n";
+
+    perf::WorkloadStats stats;        // ~50% activation zeros (ReLU)
+    const energy::EnergyCosts costs;  // paper Table 8
+
+    TextTable t({"Setting", "Cycles (M)", "Stall %", "DRAM MB",
+                 "Power mW", "TOPS/W", "Array mm2"});
+    for (HwSetting s : {HwSetting::WS_Base, HwSetting::WS_CMS,
+                        HwSetting::EWS_Base, HwSetting::EWS_C,
+                        HwSetting::EWS_CM, HwSetting::EWS_CMS}) {
+        const auto cfg = sim::makeHwSetting(s, 64);
+        const auto np = perf::analyzeNetwork(cfg, spec, stats);
+        const auto power = energy::powerBreakdown(np, cfg, costs);
+        const auto area = energy::accelArea(cfg);
+        t.addRow({sim::hwSettingName(s),
+                  TextTable::num(static_cast<double>(
+                                     np.totals.total_cycles) / 1e6, 1),
+                  TextTable::num(100.0 * static_cast<double>(
+                                     np.totals.stall_cycles)
+                                     / static_cast<double>(
+                                         np.totals.total_cycles), 1),
+                  TextTable::num(static_cast<double>(
+                                     np.totals.dram_read_bytes
+                                     + np.totals.dram_write_bytes)
+                                     / 1048576.0, 2),
+                  TextTable::num(power.total_mw(), 1),
+                  TextTable::num(energy::topsPerWatt(np, cfg, costs), 2),
+                  TextTable::num(area.accel_mm2(), 2)});
+    }
+    t.print();
+
+    std::cout << "\nreading the table: the VQ settings shrink the DRAM "
+                 "weight stream ~6.4x, which removes the weight-load "
+                 "stalls; the sparse tile (CMS) then cuts multiplier "
+                 "count and energy — the paper's 2.3x efficiency "
+                 "headline at 55% less array area.\n";
+    return 0;
+}

@@ -1,0 +1,44 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace mvq {
+
+namespace {
+
+std::atomic<bool> quiet{false};
+
+} // namespace
+
+void
+setLogQuiet(bool q)
+{
+    quiet.store(q);
+}
+
+bool
+logQuiet()
+{
+    return quiet.load();
+}
+
+namespace detail {
+
+void
+informImpl(const std::string &msg)
+{
+    if (!quiet.load())
+        std::cout << "info: " << msg << "\n";
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    if (!quiet.load())
+        std::cerr << "warn: " << msg << "\n";
+}
+
+} // namespace detail
+
+} // namespace mvq

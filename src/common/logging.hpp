@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Status and error reporting in the gem5 style, adapted for a testable
+ * library: fatal() reports user/config errors, panic() reports internal
+ * invariant violations. Both throw so tests can assert on them.
+ */
+
+#ifndef MVQ_COMMON_LOGGING_HPP
+#define MVQ_COMMON_LOGGING_HPP
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mvq {
+
+/** Error thrown by fatal(): the caller supplied an invalid configuration. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Error thrown by panic(): an internal invariant was violated (a bug). */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+namespace detail {
+
+/** Fold a pack of streamable values into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+void informImpl(const std::string &msg);
+void warnImpl(const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Report a condition that prevents continuing and is the caller's fault
+ * (bad configuration, invalid argument). Never returns.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    throw FatalError(detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Report a condition that should never happen regardless of input (an
+ * internal bug). Never returns.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    throw PanicError(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Informative status message for the user; never stops execution. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Warn about behaviour that may be suspect but lets execution continue. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Globally silence inform()/warn() output (used by tests). */
+void setLogQuiet(bool quiet);
+
+/** @return true when inform()/warn() output is suppressed. */
+bool logQuiet();
+
+/** fatal() unless the condition holds. */
+template <typename... Args>
+void
+fatalIf(bool condition, Args &&...args)
+{
+    if (condition)
+        fatal(std::forward<Args>(args)...);
+}
+
+/** panic() unless the condition holds. */
+template <typename... Args>
+void
+panicIf(bool condition, Args &&...args)
+{
+    if (condition)
+        panic(std::forward<Args>(args)...);
+}
+
+} // namespace mvq
+
+#endif // MVQ_COMMON_LOGGING_HPP

@@ -1,0 +1,86 @@
+#include "common/math_util.hpp"
+
+#include <bit>
+#include <numeric>
+
+#include "common/logging.hpp"
+
+namespace mvq {
+
+int
+log2Ceil(std::uint64_t v)
+{
+    fatalIf(v == 0, "log2Ceil(0) is undefined");
+    int e = 0;
+    std::uint64_t p = 1;
+    while (p < v) {
+        p <<= 1;
+        ++e;
+    }
+    return e;
+}
+
+std::uint64_t
+binomial(int n, int k)
+{
+    if (k < 0 || k > n)
+        return 0;
+    if (k > n - k)
+        k = n - k;
+    std::uint64_t r = 1;
+    for (int i = 1; i <= k; ++i) {
+        r = r * static_cast<std::uint64_t>(n - k + i)
+            / static_cast<std::uint64_t>(i);
+    }
+    return r;
+}
+
+std::uint64_t
+combinationRank(int n, const std::vector<int> &members)
+{
+    // Colexicographic rank: sum over members of C(position, index+1).
+    std::uint64_t rank = 0;
+    for (std::size_t i = 0; i < members.size(); ++i) {
+        const int pos = members[i];
+        fatalIf(pos < 0 || pos >= n, "combination member out of range");
+        fatalIf(i > 0 && members[i] <= members[i - 1],
+                "combination members must be strictly ascending");
+        rank += binomial(pos, static_cast<int>(i) + 1);
+    }
+    return rank;
+}
+
+std::vector<int>
+combinationUnrank(int n, int k, std::uint64_t rank)
+{
+    fatalIf(rank >= binomial(n, k), "combination rank out of range");
+    std::vector<int> members(static_cast<std::size_t>(k));
+    // Greedy from the largest member down.
+    for (int i = k; i >= 1; --i) {
+        int pos = i - 1;
+        // Find largest pos with C(pos, i) <= rank.
+        while (pos + 1 < n && binomial(pos + 1, i) <= rank)
+            ++pos;
+        members[static_cast<std::size_t>(i - 1)] = pos;
+        rank -= binomial(pos, i);
+        n = pos; // subsequent members must be strictly below
+    }
+    return members;
+}
+
+int
+popcount64(std::uint64_t v)
+{
+    return std::popcount(v);
+}
+
+double
+mean(const std::vector<double> &v)
+{
+    if (v.empty())
+        return 0.0;
+    return std::accumulate(v.begin(), v.end(), 0.0)
+        / static_cast<double>(v.size());
+}
+
+} // namespace mvq

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Small integer/combinatorial helpers shared across the code base.
+ */
+
+#ifndef MVQ_COMMON_MATH_UTIL_HPP
+#define MVQ_COMMON_MATH_UTIL_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace mvq {
+
+/** @return ceil(a / b) for positive integers. */
+constexpr std::int64_t
+ceilDiv(std::int64_t a, std::int64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** @return smallest e such that 2^e >= v (v >= 1). log2Ceil(1) == 0. */
+int log2Ceil(std::uint64_t v);
+
+/** @return true when v is a power of two (v >= 1). */
+constexpr bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** @return C(n, k), the binomial coefficient; 0 when k > n. */
+std::uint64_t binomial(int n, int k);
+
+/**
+ * Rank a k-combination of {0..n-1} in colexicographic order.
+ *
+ * @param n      Universe size.
+ * @param members Sorted ascending positions of the k set members.
+ * @return rank in [0, C(n,k)).
+ */
+std::uint64_t combinationRank(int n, const std::vector<int> &members);
+
+/**
+ * Inverse of combinationRank: recover the sorted member positions.
+ *
+ * @param n    Universe size.
+ * @param k    Combination size.
+ * @param rank Rank in [0, C(n,k)).
+ */
+std::vector<int> combinationUnrank(int n, int k, std::uint64_t rank);
+
+/** Population count of a 64-bit word. */
+int popcount64(std::uint64_t v);
+
+/** @return mean of a vector (0 for empty). */
+double mean(const std::vector<double> &v);
+
+} // namespace mvq
+
+#endif // MVQ_COMMON_MATH_UTIL_HPP

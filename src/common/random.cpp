@@ -1,0 +1,4 @@
+#include "common/random.hpp"
+
+// Header-only today; the translation unit anchors the library and reserves
+// a home for future out-of-line draws (e.g. zipfian generators).

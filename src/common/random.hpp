@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Deterministic random number utilities. Every stochastic component in the
+ * repository takes an explicit seed so that tests and benches reproduce
+ * bit-identical results across runs.
+ */
+
+#ifndef MVQ_COMMON_RANDOM_HPP
+#define MVQ_COMMON_RANDOM_HPP
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace mvq {
+
+/** Thin wrapper over std::mt19937_64 with convenience draws. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) : engine(seed) {}
+
+    /** Uniform float in [lo, hi). */
+    float
+    uniform(float lo, float hi)
+    {
+        std::uniform_real_distribution<float> d(lo, hi);
+        return d(engine);
+    }
+
+    /** Standard normal scaled by stddev. */
+    float
+    normal(float mean, float stddev)
+    {
+        std::normal_distribution<float> d(mean, stddev);
+        return d(engine);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    intIn(std::int64_t lo, std::int64_t hi)
+    {
+        std::uniform_int_distribution<std::int64_t> d(lo, hi);
+        return d(engine);
+    }
+
+    /** Uniform index in [0, n). */
+    std::size_t
+    index(std::size_t n)
+    {
+        return static_cast<std::size_t>(intIn(0,
+            static_cast<std::int64_t>(n) - 1));
+    }
+
+    /** Fisher-Yates shuffle. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            std::size_t j = index(i);
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+    /** Derive an independent child seed (for per-layer substreams). */
+    std::uint64_t
+    fork()
+    {
+        return engine();
+    }
+
+    std::mt19937_64 &raw() { return engine; }
+
+  private:
+    std::mt19937_64 engine;
+};
+
+} // namespace mvq
+
+#endif // MVQ_COMMON_RANDOM_HPP

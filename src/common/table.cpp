@@ -1,0 +1,114 @@
+#include "common/table.hpp"
+
+#include <cstdint>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace mvq {
+
+const std::string TextTable::separatorTag = "\x01--sep--";
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    fatalIf(header_.empty(), "table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    fatalIf(row.size() != header_.size(),
+            "row width ", row.size(), " != header width ", header_.size());
+    rows.push_back(std::move(row));
+}
+
+void
+TextTable::addSeparator()
+{
+    rows.push_back({separatorTag});
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows) {
+        if (row.size() == 1 && row[0] == separatorTag)
+            continue;
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    std::ostringstream os;
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        os << "|";
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << " " << std::left << std::setw(static_cast<int>(widths[c]))
+               << row[c] << " |";
+        os << "\n";
+    };
+    auto emit_sep = [&]() {
+        os << "+";
+        for (std::size_t c = 0; c < widths.size(); ++c)
+            os << std::string(widths[c] + 2, '-') << "+";
+        os << "\n";
+    };
+
+    emit_sep();
+    emit_row(header_);
+    emit_sep();
+    for (const auto &row : rows) {
+        if (row.size() == 1 && row[0] == separatorTag)
+            emit_sep();
+        else
+            emit_row(row);
+    }
+    emit_sep();
+    return os.str();
+}
+
+void
+TextTable::print() const
+{
+    std::cout << render();
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string
+TextTable::count(std::int64_t v)
+{
+    std::string digits = std::to_string(v < 0 ? -v : v);
+    std::string out;
+    int run = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (run == 3) {
+            out.push_back(',');
+            run = 0;
+        }
+        out.push_back(*it);
+        ++run;
+    }
+    if (v < 0)
+        out.push_back('-');
+    return {out.rbegin(), out.rend()};
+}
+
+void
+printBanner(const std::string &title)
+{
+    std::cout << "\n=== " << title << " ===\n";
+}
+
+} // namespace mvq

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Console table printer used by the bench harnesses to render the
+ * paper-vs-measured rows of each reproduced table and figure.
+ */
+
+#ifndef MVQ_COMMON_TABLE_HPP
+#define MVQ_COMMON_TABLE_HPP
+
+#include <string>
+#include <vector>
+
+namespace mvq {
+
+/** Fixed-column text table with a header row, rendered with padding. */
+class TextTable
+{
+  public:
+    /** @param header Column titles; defines the column count. */
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append one row; must match the column count. */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a horizontal separator row. */
+    void addSeparator();
+
+    /** Render with aligned columns. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+    /** Format a double with the given precision. */
+    static std::string num(double v, int precision = 2);
+
+    /** Format an integer with thousands separators. */
+    static std::string count(std::int64_t v);
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows;
+    static const std::string separatorTag;
+};
+
+/** Print a section banner for a bench experiment. */
+void printBanner(const std::string &title);
+
+} // namespace mvq
+
+#endif // MVQ_COMMON_TABLE_HPP

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Codebook container plus symmetric fixed-point quantization (paper
+ * Section 4.5, Eq. 5). One scale is shared per codebook; the scale is
+ * fitted by minimizing quantization MSE over a search grid, standing in
+ * for the LSQ-learned step size of the paper.
+ */
+
+#ifndef MVQ_CORE_CODEBOOK_HPP
+#define MVQ_CORE_CODEBOOK_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace mvq::core {
+
+/** A set of k codewords of length d, optionally quantized. */
+struct Codebook
+{
+    Tensor codewords;  //!< [k, d], always the dequantized (usable) values
+    float scale = 0.0f; //!< quantization step; 0 when unquantized
+    int qbits = 0;      //!< quantization bit-width; 0 when unquantized
+
+    std::int64_t k() const { return codewords.dim(0); }
+    std::int64_t d() const { return codewords.dim(1); }
+
+    /** Storage cost b_c in bits: k * d * (qbits or 32). */
+    std::int64_t
+    storageBits() const
+    {
+        return codewords.numel() * (qbits > 0 ? qbits : 32);
+    }
+};
+
+/**
+ * Symmetric uniform quantization of v with scale s and qb bits:
+ * round(v / s) clamped to [-2^(qb-1), 2^(qb-1)-1], times s.
+ */
+float quantizeValue(float v, float scale, int qbits);
+
+/**
+ * Fit the shared scale minimizing the MSE of quantizing all codewords,
+ * then snap every codeword to its quantized value in place.
+ *
+ * The scale search evaluates a geometric grid around absmax / qmax, which
+ * converges to the same optimum LSQ reaches for symmetric uniform grids.
+ *
+ * @return The fitted scale.
+ */
+float quantizeCodebook(Codebook &cb, int qbits);
+
+/** Re-snap codewords to the existing (scale, qbits) grid after an update. */
+void requantizeCodebook(Codebook &cb);
+
+} // namespace mvq::core
+
+#endif // MVQ_CORE_CODEBOOK_HPP

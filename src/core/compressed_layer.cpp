@@ -1,0 +1,163 @@
+#include "core/compressed_layer.hpp"
+
+#include "common/logging.hpp"
+#include "common/math_util.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/network.hpp"
+
+namespace mvq::core {
+
+StorageCost &
+StorageCost::operator+=(const StorageCost &other)
+{
+    weight_count += other.weight_count;
+    assignment_bits += other.assignment_bits;
+    mask_bits += other.mask_bits;
+    codebook_bits += other.codebook_bits;
+    return *this;
+}
+
+Mask
+CompressedLayer::decodeMask() const
+{
+    const MaskCodec codec(cfg.pattern);
+    const std::int64_t groups_per_sub = cfg.d / cfg.pattern.m;
+    panicIf(static_cast<std::int64_t>(mask_codes.size())
+                != ng() * groups_per_sub,
+            name, ": mask code count mismatch");
+    Mask mask;
+    mask.reserve(static_cast<std::size_t>(ng() * cfg.d));
+    for (std::size_t i = 0; i < mask_codes.size(); ++i) {
+        const auto group = codec.decodeGroup(mask_codes[i]);
+        mask.insert(mask.end(), group.begin(), group.end());
+    }
+    return mask;
+}
+
+Tensor
+CompressedLayer::reconstruct(const Codebook &cb) const
+{
+    const Mask mask = decodeMask();
+    Tensor wr = reconstructGrouped(cb.codewords, assignments, mask);
+    return ungroupWeights(wr, weight_shape, cfg.d, cfg.grouping);
+}
+
+Tensor
+CompressedLayer::reconstructDense(const Codebook &cb) const
+{
+    Tensor wr = reconstructGroupedDense(cb.codewords, assignments);
+    return ungroupWeights(wr, weight_shape, cfg.d, cfg.grouping);
+}
+
+StorageCost
+CompressedLayer::assignmentStorage() const
+{
+    const MaskCodec codec(cfg.pattern);
+    StorageCost cost;
+    cost.weight_count = ng() * cfg.d;
+    cost.assignment_bits = ng() * log2Ceil(
+        static_cast<std::uint64_t>(cfg.k));
+    cost.mask_bits = static_cast<std::int64_t>(mask_codes.size())
+        * codec.bitsPerGroup();
+    return cost;
+}
+
+StorageCost
+CompressedModel::storage() const
+{
+    StorageCost total;
+    for (const auto &layer : layers) {
+        StorageCost c = layer.assignmentStorage();
+        if (dense_reconstruct)
+            c.mask_bits = 0; // masks not stored for dense reconstruction
+        total += c;
+    }
+    for (const auto &cb : codebooks)
+        total.codebook_bits += cb.storageBits();
+    return total;
+}
+
+Tensor
+CompressedModel::reconstructLayer(std::size_t i) const
+{
+    fatalIf(i >= layers.size(), "layer index out of range");
+    const auto &layer = layers[i];
+    fatalIf(layer.codebook_id < 0
+                || layer.codebook_id
+                    >= static_cast<int>(codebooks.size()),
+            layer.name, ": bad codebook id");
+    const Codebook &cb =
+        codebooks[static_cast<std::size_t>(layer.codebook_id)];
+    return dense_reconstruct ? layer.reconstructDense(cb)
+                             : layer.reconstruct(cb);
+}
+
+void
+CompressedModel::applyTo(nn::Layer &model) const
+{
+    auto convs = nn::convLayers(model);
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        nn::Conv2d *target = nullptr;
+        for (nn::Conv2d *conv : convs) {
+            if (conv->name() == layers[i].name) {
+                target = conv;
+                break;
+            }
+        }
+        fatalIf(target == nullptr, "no conv layer named ", layers[i].name);
+        target->setWeight(reconstructLayer(i));
+    }
+}
+
+std::int64_t
+CompressedModel::compressedFlops() const
+{
+    std::int64_t total = 0;
+    for (const auto &layer : layers) {
+        total += dense_reconstruct ? layer.dense_flops
+                                   : layer.sparseFlops();
+    }
+    return total;
+}
+
+std::int64_t
+CompressedModel::denseFlops() const
+{
+    std::int64_t total = 0;
+    for (const auto &layer : layers)
+        total += layer.dense_flops;
+    return total;
+}
+
+CompressedLayer
+makeCompressedLayer(const std::string &name, const Shape &w4_shape,
+                    const MvqLayerConfig &cfg, const Mask &mask,
+                    const KmeansResult &result, int codebook_id)
+{
+    const std::int64_t ng = groupCount(w4_shape, cfg.d, cfg.grouping);
+    fatalIf(static_cast<std::int64_t>(result.assignments.size()) != ng,
+            name, ": assignment count ", result.assignments.size(),
+            " != N_G ", ng);
+    fatalIf(static_cast<std::int64_t>(mask.size()) != ng * cfg.d,
+            name, ": mask size mismatch");
+
+    CompressedLayer layer;
+    layer.name = name;
+    layer.weight_shape = w4_shape;
+    layer.cfg = cfg;
+    layer.codebook_id = codebook_id;
+    layer.assignments = result.assignments;
+
+    const MaskCodec codec(cfg.pattern);
+    layer.mask_codes.reserve(static_cast<std::size_t>(
+        ng * (cfg.d / cfg.pattern.m)));
+    for (std::int64_t j = 0; j < ng; ++j) {
+        const auto codes =
+            codec.encodeSubvector(mask.data() + j * cfg.d, cfg.d);
+        layer.mask_codes.insert(layer.mask_codes.end(), codes.begin(),
+                                codes.end());
+    }
+    return layer;
+}
+
+} // namespace mvq::core

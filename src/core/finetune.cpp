@@ -1,0 +1,183 @@
+#include "core/finetune.hpp"
+
+#include <numeric>
+
+#include "common/logging.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/loss.hpp"
+#include "nn/network.hpp"
+
+namespace mvq::core {
+
+Tensor
+aggregateCodewordGrad(const Tensor &grad_wr, const Mask &mask,
+                      const std::vector<std::int32_t> &assignments,
+                      std::int64_t k, bool masked)
+{
+    const std::int64_t ng = grad_wr.dim(0);
+    const std::int64_t d = grad_wr.dim(1);
+    fatalIf(static_cast<std::int64_t>(assignments.size()) != ng,
+            "assignment count mismatch in gradient aggregation");
+    fatalIf(static_cast<std::int64_t>(mask.size()) != ng * d,
+            "mask size mismatch in gradient aggregation");
+
+    Tensor sums(Shape({k, d}));
+    Tensor counts(Shape({k, d}));
+    for (std::int64_t j = 0; j < ng; ++j) {
+        const std::int32_t a = assignments[static_cast<std::size_t>(j)];
+        for (std::int64_t t = 0; t < d; ++t) {
+            const bool keep = !masked
+                || mask[static_cast<std::size_t>(j * d + t)] != 0;
+            if (keep) {
+                sums.at(a, t) += grad_wr.at(j, t);
+                counts.at(a, t) += 1.0f;
+            }
+        }
+    }
+    Tensor grad(Shape({k, d}));
+    for (std::int64_t i = 0; i < k * d; ++i)
+        grad[i] = counts[i] > 0.0f ? sums[i] / counts[i] : 0.0f;
+    return grad;
+}
+
+CodebookTrainer::CodebookTrainer(CompressedModel &cm, nn::Layer &model,
+                                 const FinetuneConfig &cfg)
+    : cm(cm), model(model), cfg(cfg),
+      cbOpt(cfg.codebook_lr),
+      otherOpt(cfg.other_lr, cfg.momentum, 0.0f)
+{
+    // Latent full-precision copies of each codebook, optimized by Adam;
+    // the model always sees the re-quantized projection.
+    for (auto &cb : cm.codebooks)
+        latent.emplace_back("codebook", cb.codewords);
+
+    // Resolve conv pointers once.
+    auto convs = nn::convLayers(model);
+    for (const auto &layer : cm.layers) {
+        nn::Conv2d *target = nullptr;
+        for (nn::Conv2d *conv : convs) {
+            if (conv->name() == layer.name) {
+                target = conv;
+                break;
+            }
+        }
+        fatalIf(target == nullptr, "no conv named ", layer.name);
+        targets.push_back(target);
+        masks.push_back(layer.decodeMask());
+    }
+
+    // Everything that is not a compressed kernel trains normally.
+    for (nn::Parameter *p : model.allParameters()) {
+        bool compressed = false;
+        for (nn::Conv2d *conv : targets) {
+            if (p == &conv->weight()) {
+                compressed = true;
+                break;
+            }
+        }
+        if (!compressed)
+            otherParams.push_back(p);
+    }
+
+    applyReconstruction();
+}
+
+void
+CodebookTrainer::applyReconstruction()
+{
+    for (std::size_t i = 0; i < cm.codebooks.size(); ++i) {
+        cm.codebooks[i].codewords = latent[i].value;
+        requantizeCodebook(cm.codebooks[i]);
+    }
+    for (std::size_t i = 0; i < cm.layers.size(); ++i)
+        targets[i]->setWeight(cm.reconstructLayer(i));
+}
+
+void
+CodebookTrainer::step()
+{
+    for (auto &p : latent)
+        p.grad.fill(0.0f);
+    for (std::size_t i = 0; i < cm.layers.size(); ++i) {
+        const auto &layer = cm.layers[i];
+        Tensor grad_wr = groupWeights(targets[i]->weight().grad,
+                                      layer.cfg.d, layer.cfg.grouping);
+        Tensor g = aggregateCodewordGrad(
+            grad_wr, masks[i], layer.assignments,
+            cm.codebooks[static_cast<std::size_t>(layer.codebook_id)].k(),
+            cfg.masked_gradients && !cm.dense_reconstruct);
+        addInPlace(
+            latent[static_cast<std::size_t>(layer.codebook_id)].grad, g);
+    }
+
+    std::vector<nn::Parameter *> cb_params;
+    for (auto &p : latent)
+        cb_params.push_back(&p);
+    cbOpt.step(cb_params);
+    otherOpt.step(otherParams);
+    applyReconstruction();
+}
+
+namespace {
+
+template <typename DataSet, typename LossFn>
+void
+runEpochs(CodebookTrainer &tuner, nn::Layer &model, const DataSet &data,
+          LossFn &&loss_fn, const FinetuneConfig &cfg)
+{
+    Rng rng(cfg.seed);
+    const auto &train_set = data.trainSet();
+    for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+        std::vector<int> order(train_set.size());
+        std::iota(order.begin(), order.end(), 0);
+        rng.shuffle(order);
+        for (std::size_t start = 0; start < order.size();
+             start += static_cast<std::size_t>(cfg.batch_size)) {
+            const std::size_t end = std::min(order.size(),
+                start + static_cast<std::size_t>(cfg.batch_size));
+            std::vector<int> batch(order.begin()
+                + static_cast<std::ptrdiff_t>(start),
+                order.begin() + static_cast<std::ptrdiff_t>(end));
+
+            model.zeroGrad();
+            Tensor images = data.batchImages(train_set, batch);
+            std::vector<int> labels = data.batchLabels(train_set, batch);
+            Tensor out = model.forward(images, /*train=*/true);
+            nn::LossResult lr = loss_fn(out, labels);
+            model.backward(lr.grad);
+            tuner.step();
+        }
+    }
+}
+
+} // namespace
+
+double
+finetuneCompressedClassifier(CompressedModel &cm, nn::Layer &model,
+                             const nn::ClassificationDataset &data,
+                             const FinetuneConfig &cfg)
+{
+    CodebookTrainer tuner(cm, model, cfg);
+    runEpochs(tuner, model, data,
+              [](const Tensor &logits, const std::vector<int> &labels) {
+                  return nn::softmaxCrossEntropy(logits, labels);
+              },
+              cfg);
+    return nn::evalClassifier(model, data, data.testSet());
+}
+
+double
+finetuneCompressedSegmenter(CompressedModel &cm, nn::Layer &model,
+                            const nn::SegmentationDataset &data,
+                            const FinetuneConfig &cfg)
+{
+    CodebookTrainer tuner(cm, model, cfg);
+    runEpochs(tuner, model, data,
+              [](const Tensor &logits, const std::vector<int> &labels) {
+                  return nn::pixelwiseCrossEntropy(logits, labels);
+              },
+              cfg);
+    return nn::evalSegmenterMiou(model, data, data.testSet());
+}
+
+} // namespace mvq::core

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Codebook fine-tuning (paper Section 4.6, Fig. 5). During the forward
+ * pass the model runs with weights reconstructed from codebook +
+ * assignments + masks; during the backward pass the per-weight gradients
+ * are aggregated per codeword with the mask (Eq. 6) and the codewords are
+ * updated with a first-order optimizer, then re-snapped to the int8 grid.
+ *
+ * The same machinery with masked_gradients = false implements the plain
+ * codeword fine-tuning used by the unmasked VQ baselines.
+ */
+
+#ifndef MVQ_CORE_FINETUNE_HPP
+#define MVQ_CORE_FINETUNE_HPP
+
+#include "core/compressed_layer.hpp"
+#include "nn/dataset.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/trainer.hpp"
+
+namespace mvq::nn {
+class Conv2d;
+} // namespace mvq::nn
+
+namespace mvq::core {
+
+/** Options for codebook fine-tuning. */
+struct FinetuneConfig
+{
+    int epochs = 2;
+    int batch_size = 32;
+    float codebook_lr = 2e-3f; //!< Adam on codewords
+    float other_lr = 0.01f;    //!< SGD on BN / classifier parameters
+    float momentum = 0.9f;
+    bool masked_gradients = true;
+    std::uint64_t seed = 23;
+};
+
+/**
+ * Reusable fine-tuning engine. Owns latent full-precision copies of the
+ * codebooks (optimized with Adam through the quantization grid, LSQ-style)
+ * and an SGD optimizer for every parameter that is not a compressed
+ * kernel. Custom training loops (e.g. the detection model) drive it with
+ * their own forward/backward and call step() per batch.
+ */
+class CodebookTrainer
+{
+  public:
+    /**
+     * @param cm    Compressed model; codebooks are updated in place.
+     * @param model Network containing the compressed conv layers.
+     */
+    CodebookTrainer(CompressedModel &cm, nn::Layer &model,
+                    const FinetuneConfig &cfg);
+
+    /** Project latent codebooks through quantization and reload weights. */
+    void applyReconstruction();
+
+    /**
+     * Consume the gradients of the most recent backward pass: aggregate
+     * per-codeword gradients (Eq. 6), step Adam on codebooks and SGD on
+     * the remaining parameters, then re-apply reconstruction.
+     */
+    void step();
+
+  private:
+    CompressedModel &cm;
+    nn::Layer &model;
+    FinetuneConfig cfg;
+    nn::Adam cbOpt;
+    nn::Sgd otherOpt;
+    std::vector<nn::Parameter> latent;
+    std::vector<nn::Conv2d *> targets;
+    std::vector<Mask> masks;
+    std::vector<nn::Parameter *> otherParams;
+};
+
+/**
+ * Fine-tune codebooks (and remaining parameters) of a compressed
+ * classifier. On return the model holds the final reconstructed weights
+ * and the codebooks in `cm` are updated (quantized when configured).
+ *
+ * @return Test accuracy after fine-tuning.
+ */
+double finetuneCompressedClassifier(CompressedModel &cm, nn::Layer &model,
+                                    const nn::ClassificationDataset &data,
+                                    const FinetuneConfig &cfg);
+
+/** Segmentation variant (pixelwise cross-entropy); returns test mIoU. */
+double finetuneCompressedSegmenter(CompressedModel &cm, nn::Layer &model,
+                                   const nn::SegmentationDataset &data,
+                                   const FinetuneConfig &cfg);
+
+/**
+ * Aggregate per-weight gradients into per-codeword gradients (Eq. 6).
+ * Exposed for testing.
+ *
+ * @param grad_wr [N_G, d] gradient of the loss w.r.t. reconstructed
+ *                grouped weights.
+ * @param mask    N_G*d bitmask (all ones for unmasked aggregation).
+ * @param assignments N_G codeword ids.
+ * @param k       Codeword count.
+ * @param masked  Use masked aggregation.
+ * @return [k, d] codeword gradient.
+ */
+Tensor aggregateCodewordGrad(const Tensor &grad_wr, const Mask &mask,
+                             const std::vector<std::int32_t> &assignments,
+                             std::int64_t k, bool masked);
+
+} // namespace mvq::core
+
+#endif // MVQ_CORE_FINETUNE_HPP

@@ -1,0 +1,126 @@
+#include "core/grouping.hpp"
+
+#include "common/logging.hpp"
+
+namespace mvq::core {
+
+std::string
+groupingName(Grouping g)
+{
+    switch (g) {
+      case Grouping::KernelWise:
+        return "kernel-wise";
+      case Grouping::OutputChannelWise:
+        return "output-channel-wise";
+      case Grouping::InputChannelWise:
+        return "input-channel-wise";
+    }
+    return "unknown";
+}
+
+namespace {
+
+/**
+ * Linear index of element (k, c, r, s) in the grouped matrix, returned as
+ * (row, col). All three strategies enumerate rows so that consecutive rows
+ * correspond to the hardware's weight-loading order.
+ */
+struct Coords
+{
+    std::int64_t row;
+    std::int64_t col;
+};
+
+Coords
+mapCoords(std::int64_t k, std::int64_t c, std::int64_t r, std::int64_t s,
+          const Shape &w4, std::int64_t d, Grouping g)
+{
+    const std::int64_t cc = w4.dim(1);
+    const std::int64_t rr = w4.dim(2);
+    const std::int64_t ss = w4.dim(3);
+    switch (g) {
+      case Grouping::KernelWise:
+        return {k * cc + c, r * ss + s};
+      case Grouping::OutputChannelWise:
+        return {((k / d) * cc + c) * (rr * ss) + r * ss + s, k % d};
+      case Grouping::InputChannelWise:
+        return {(k * (cc / d) + c / d) * (rr * ss) + r * ss + s, c % d};
+    }
+    panic("unreachable grouping");
+}
+
+void
+checkDivisibility(const Shape &w4, std::int64_t d, Grouping g)
+{
+    fatalIf(w4.rank() != 4, "grouping expects a 4-D kernel, got ",
+            w4.str());
+    const std::int64_t k = w4.dim(0);
+    const std::int64_t c = w4.dim(1);
+    const std::int64_t rs = w4.dim(2) * w4.dim(3);
+    switch (g) {
+      case Grouping::KernelWise:
+        fatalIf(rs != d, "kernel-wise grouping needs d == R*S (",
+                rs, "), got d = ", d);
+        break;
+      case Grouping::OutputChannelWise:
+        fatalIf(k % d != 0, "output-channel grouping needs d | K, got K = ",
+                k, ", d = ", d);
+        break;
+      case Grouping::InputChannelWise:
+        fatalIf(c % d != 0, "input-channel grouping needs d | C, got C = ",
+                c, ", d = ", d);
+        break;
+    }
+}
+
+} // namespace
+
+std::int64_t
+groupCount(const Shape &w4, std::int64_t d, Grouping g)
+{
+    checkDivisibility(w4, d, g);
+    return w4.numel() / d;
+}
+
+Tensor
+groupWeights(const Tensor &w4, std::int64_t d, Grouping g)
+{
+    checkDivisibility(w4.shape(), d, g);
+    const std::int64_t ng = w4.numel() / d;
+    Tensor wr(Shape({ng, d}));
+    for (std::int64_t k = 0; k < w4.dim(0); ++k) {
+        for (std::int64_t c = 0; c < w4.dim(1); ++c) {
+            for (std::int64_t r = 0; r < w4.dim(2); ++r) {
+                for (std::int64_t s = 0; s < w4.dim(3); ++s) {
+                    const Coords rc = mapCoords(k, c, r, s, w4.shape(), d, g);
+                    wr.at(rc.row, rc.col) = w4.at(k, c, r, s);
+                }
+            }
+        }
+    }
+    return wr;
+}
+
+Tensor
+ungroupWeights(const Tensor &wr, const Shape &w4_shape, std::int64_t d,
+               Grouping g)
+{
+    checkDivisibility(w4_shape, d, g);
+    fatalIf(wr.rank() != 2 || wr.dim(1) != d
+                || wr.dim(0) != w4_shape.numel() / d,
+            "ungroup shape mismatch: ", wr.shape().str());
+    Tensor w4(w4_shape);
+    for (std::int64_t k = 0; k < w4.dim(0); ++k) {
+        for (std::int64_t c = 0; c < w4.dim(1); ++c) {
+            for (std::int64_t r = 0; r < w4.dim(2); ++r) {
+                for (std::int64_t s = 0; s < w4.dim(3); ++s) {
+                    const Coords rc = mapCoords(k, c, r, s, w4_shape, d, g);
+                    w4.at(k, c, r, s) = wr.at(rc.row, rc.col);
+                }
+            }
+        }
+    }
+    return w4;
+}
+
+} // namespace mvq::core

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Weight grouping strategies (paper Fig. 3). A 4-D conv kernel
+ * [K, C, R, S] is reshaped into a 2-D matrix of subvectors of length d
+ * along one of three directions:
+ *
+ *  - kernel-wise:          d = R*S, one subvector per (k, c) kernel plane;
+ *  - output-channel-wise:  a subvector spans d consecutive output channels
+ *    at a fixed (c, r, s) position (the paper's choice — it matches the
+ *    accelerator, where one codeword feeds d output channels of a tile);
+ *  - input-channel-wise:   a subvector spans d consecutive input channels.
+ */
+
+#ifndef MVQ_CORE_GROUPING_HPP
+#define MVQ_CORE_GROUPING_HPP
+
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace mvq::core {
+
+/** Subvector grouping direction (paper Fig. 3). */
+enum class Grouping
+{
+    KernelWise,
+    OutputChannelWise,
+    InputChannelWise,
+};
+
+/** Human-readable name of a grouping strategy. */
+std::string groupingName(Grouping g);
+
+/**
+ * Number of subvectors produced by grouping a [K, C, R, S] kernel with
+ * subvector length d. Fatal when the shape is not divisible.
+ */
+std::int64_t groupCount(const Shape &w4, std::int64_t d, Grouping g);
+
+/**
+ * Reshape a 4-D kernel into the grouped [NG, d] matrix.
+ *
+ * @param w4 Kernel of shape [K, C, R, S].
+ * @param d  Subvector length; must divide the grouped dimension
+ *           (R*S == d for kernel-wise).
+ */
+Tensor groupWeights(const Tensor &w4, std::int64_t d, Grouping g);
+
+/** Inverse of groupWeights: scatter [NG, d] back into [K, C, R, S]. */
+Tensor ungroupWeights(const Tensor &wr, const Shape &w4_shape,
+                      std::int64_t d, Grouping g);
+
+} // namespace mvq::core
+
+#endif // MVQ_CORE_GROUPING_HPP

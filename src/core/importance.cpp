@@ -1,0 +1,30 @@
+#include "core/importance.hpp"
+
+#include "common/logging.hpp"
+
+namespace mvq::core {
+
+Mask
+importanceMask(const Tensor &wr, int top_n, int group)
+{
+    // Identical selection rule to N:M pruning: keep = important.
+    return nmMask(wr, NmPattern{top_n, group});
+}
+
+Tensor
+mixReplace(const Tensor &original, const Tensor &quantized,
+           const Mask &marked, bool replace_marked)
+{
+    fatalIf(original.shape() != quantized.shape(),
+            "mixReplace shape mismatch");
+    fatalIf(static_cast<std::int64_t>(marked.size()) != original.numel(),
+            "mixReplace mask size mismatch");
+    Tensor out(original.shape());
+    for (std::int64_t i = 0; i < original.numel(); ++i) {
+        const bool is_marked = marked[static_cast<std::size_t>(i)] != 0;
+        out[i] = (is_marked == replace_marked) ? quantized[i] : original[i];
+    }
+    return out;
+}
+
+} // namespace mvq::core

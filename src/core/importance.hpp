@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Importance-split utilities for the paper's Table 1 motivation study:
+ * mark the top-n magnitude weights of every group of m consecutive
+ * elements as "important", then replace either the important (case 1) or
+ * the unimportant (case 2) weights with their vector-quantized values.
+ */
+
+#ifndef MVQ_CORE_IMPORTANCE_HPP
+#define MVQ_CORE_IMPORTANCE_HPP
+
+#include "core/nm_pruning.hpp"
+
+namespace mvq::core {
+
+/**
+ * Importance mask: 1 for the top-n magnitude weights in each group of m
+ * consecutive elements (the paper uses top-2 of 8).
+ */
+Mask importanceMask(const Tensor &wr, int top_n, int group);
+
+/**
+ * Blend the original and vector-quantized matrices: positions where the
+ * mask matches `replace_marked` take the quantized value, the rest keep
+ * the original.
+ *
+ * @param replace_marked true = replace the marked (important) weights
+ *                       (case 1); false = replace the unmarked (case 2).
+ */
+Tensor mixReplace(const Tensor &original, const Tensor &quantized,
+                  const Mask &marked, bool replace_marked);
+
+} // namespace mvq::core
+
+#endif // MVQ_CORE_IMPORTANCE_HPP

@@ -1,0 +1,78 @@
+#include "core/mask_codec.hpp"
+
+#include "common/logging.hpp"
+#include "common/math_util.hpp"
+
+namespace mvq::core {
+
+MaskCodec::MaskCodec(const NmPattern &pattern) : pattern_(pattern)
+{
+    fatalIf(pattern_.m <= 0 || pattern_.n <= 0 || pattern_.n > pattern_.m,
+            "bad N:M pattern for codec");
+    fatalIf(pattern_.m > 24, "mask codec supports M <= 24");
+    count_ = binomial(pattern_.m, pattern_.n);
+    bits_ = log2Ceil(count_);
+
+    lut_.resize(count_);
+    for (std::uint64_t code = 0; code < count_; ++code) {
+        const std::vector<int> members =
+            combinationUnrank(pattern_.m, pattern_.n, code);
+        std::uint32_t bits = 0;
+        for (int pos : members)
+            bits |= (1u << pos);
+        lut_[code] = bits;
+    }
+}
+
+std::uint32_t
+MaskCodec::encodeGroup(const std::uint8_t *group_bits) const
+{
+    std::vector<int> members;
+    members.reserve(static_cast<std::size_t>(pattern_.n));
+    for (int i = 0; i < pattern_.m; ++i) {
+        if (group_bits[i])
+            members.push_back(i);
+    }
+    fatalIf(static_cast<int>(members.size()) != pattern_.n,
+            "mask group has ", members.size(), " set bits, expected ",
+            pattern_.n);
+    return static_cast<std::uint32_t>(
+        combinationRank(pattern_.m, members));
+}
+
+std::vector<std::uint8_t>
+MaskCodec::decodeGroup(std::uint32_t code) const
+{
+    fatalIf(code >= count_, "mask code ", code, " out of range");
+    std::vector<std::uint8_t> bits(static_cast<std::size_t>(pattern_.m), 0);
+    const std::uint32_t word = lut_[code];
+    for (int i = 0; i < pattern_.m; ++i)
+        bits[static_cast<std::size_t>(i)] = (word >> i) & 1u;
+    return bits;
+}
+
+std::vector<std::uint32_t>
+MaskCodec::encodeSubvector(const std::uint8_t *mask_bits,
+                           std::int64_t d) const
+{
+    fatalIf(d % pattern_.m != 0, "subvector length not a multiple of M");
+    std::vector<std::uint32_t> codes;
+    codes.reserve(static_cast<std::size_t>(d / pattern_.m));
+    for (std::int64_t g0 = 0; g0 < d; g0 += pattern_.m)
+        codes.push_back(encodeGroup(mask_bits + g0));
+    return codes;
+}
+
+std::vector<std::uint8_t>
+MaskCodec::decodeSubvector(const std::vector<std::uint32_t> &codes) const
+{
+    std::vector<std::uint8_t> bits;
+    bits.reserve(codes.size() * static_cast<std::size_t>(pattern_.m));
+    for (std::uint32_t code : codes) {
+        const auto group = decodeGroup(code);
+        bits.insert(bits.end(), group.begin(), group.end());
+    }
+    return bits;
+}
+
+} // namespace mvq::core

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Combinatorial mask codec (paper Section 5). A N:M-pruned group of M
+ * weights admits only C(M,N) distinct masks, so instead of storing one bit
+ * per weight the accelerator stores a ceil(log2 C(M,N))-bit code per group
+ * and expands it through a look-up table in the weight loader. This is
+ * what makes mask storage cheap enough for extreme compression
+ * (e.g. 4:16 -> 11/16 bits per weight instead of 1).
+ */
+
+#ifndef MVQ_CORE_MASK_CODEC_HPP
+#define MVQ_CORE_MASK_CODEC_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/nm_pruning.hpp"
+
+namespace mvq::core {
+
+/**
+ * Encoder/decoder between M-element 0/1 masks with exactly N set bits and
+ * compact combinatorial ranks. Also materializes the hardware LUT.
+ */
+class MaskCodec
+{
+  public:
+    explicit MaskCodec(const NmPattern &pattern);
+
+    const NmPattern &pattern() const { return pattern_; }
+
+    /** Number of valid codes: C(M, N). */
+    std::uint64_t codeCount() const { return count_; }
+
+    /** Bits per M-group code: ceil(log2 C(M,N)). */
+    int bitsPerGroup() const { return bits_; }
+
+    /** Mask storage cost in bits per weight (paper's b_m accounting). */
+    double
+    bitsPerWeight() const
+    {
+        return static_cast<double>(bits_)
+            / static_cast<double>(pattern_.m);
+    }
+
+    /**
+     * Encode one M-group of mask bits (exactly N set) to its rank.
+     *
+     * @param group_bits Pointer to M mask bytes (0/1).
+     */
+    std::uint32_t encodeGroup(const std::uint8_t *group_bits) const;
+
+    /** Decode a rank back to M mask bytes. */
+    std::vector<std::uint8_t> decodeGroup(std::uint32_t code) const;
+
+    /**
+     * Encode a whole subvector mask of length d (d % M == 0) into d/M
+     * group codes.
+     */
+    std::vector<std::uint32_t> encodeSubvector(const std::uint8_t *mask_bits,
+                                               std::int64_t d) const;
+
+    /** Decode d/M group codes back into a d-element mask. */
+    std::vector<std::uint8_t> decodeSubvector(
+        const std::vector<std::uint32_t> &codes) const;
+
+    /**
+     * The hardware look-up table: entry i is the M-bit mask (LSB = element
+     * 0) for code i. The weight loader indexes this with the stored code.
+     */
+    const std::vector<std::uint32_t> &lut() const { return lut_; }
+
+  private:
+    NmPattern pattern_;
+    std::uint64_t count_;
+    int bits_;
+    std::vector<std::uint32_t> lut_;
+};
+
+} // namespace mvq::core
+
+#endif // MVQ_CORE_MASK_CODEC_HPP

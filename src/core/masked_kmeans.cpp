@@ -1,0 +1,227 @@
+#include "core/masked_kmeans.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.hpp"
+#include "common/random.hpp"
+
+namespace mvq::core {
+
+namespace {
+
+/** Pick initial codewords: k distinct random rows (or k-means++). */
+Tensor
+initCodebook(const Tensor &wr, const KmeansConfig &cfg, Rng &rng)
+{
+    const std::int64_t ng = wr.dim(0);
+    const std::int64_t d = wr.dim(1);
+    const std::int64_t k = std::min<std::int64_t>(cfg.k, ng);
+    Tensor cb(Shape({k, d}));
+
+    if (!cfg.kmeanspp_init) {
+        // Random distinct rows (paper's procedure, step 1).
+        std::vector<std::int64_t> order(static_cast<std::size_t>(ng));
+        for (std::int64_t i = 0; i < ng; ++i)
+            order[static_cast<std::size_t>(i)] = i;
+        rng.shuffle(order);
+        for (std::int64_t i = 0; i < k; ++i) {
+            const std::int64_t row = order[static_cast<std::size_t>(i)];
+            for (std::int64_t t = 0; t < d; ++t)
+                cb.at(i, t) = wr.at(row, t);
+        }
+        return cb;
+    }
+
+    // k-means++ seeding: subsequent centers drawn proportional to the
+    // squared distance to the nearest existing center.
+    std::vector<double> dist2(static_cast<std::size_t>(ng),
+                              std::numeric_limits<double>::max());
+    std::int64_t first = static_cast<std::int64_t>(rng.index(
+        static_cast<std::size_t>(ng)));
+    for (std::int64_t t = 0; t < d; ++t)
+        cb.at(0, t) = wr.at(first, t);
+    for (std::int64_t c = 1; c < k; ++c) {
+        double total = 0.0;
+        for (std::int64_t j = 0; j < ng; ++j) {
+            double s = 0.0;
+            for (std::int64_t t = 0; t < d; ++t) {
+                const double diff = wr.at(j, t) - cb.at(c - 1, t);
+                s += diff * diff;
+            }
+            auto &dj = dist2[static_cast<std::size_t>(j)];
+            dj = std::min(dj, s);
+            total += dj;
+        }
+        double r = rng.uniform(0.0f, 1.0f) * total;
+        std::int64_t pick = ng - 1;
+        for (std::int64_t j = 0; j < ng; ++j) {
+            r -= dist2[static_cast<std::size_t>(j)];
+            if (r <= 0.0) {
+                pick = j;
+                break;
+            }
+        }
+        for (std::int64_t t = 0; t < d; ++t)
+            cb.at(c, t) = wr.at(pick, t);
+    }
+    return cb;
+}
+
+} // namespace
+
+double
+maskedSse(const Tensor &wr, const Mask &mask, const Tensor &codebook,
+          const std::vector<std::int32_t> &assignments)
+{
+    const std::int64_t ng = wr.dim(0);
+    const std::int64_t d = wr.dim(1);
+    panicIf(static_cast<std::int64_t>(assignments.size()) != ng,
+            "assignment count mismatch");
+    double total = 0.0;
+    for (std::int64_t j = 0; j < ng; ++j) {
+        const std::int32_t a = assignments[static_cast<std::size_t>(j)];
+        for (std::int64_t t = 0; t < d; ++t) {
+            const bool keep = mask[static_cast<std::size_t>(j * d + t)] != 0;
+            const double w = wr.at(j, t);
+            const double c = keep ? codebook.at(a, t) : 0.0;
+            const double diff = w - c;
+            total += diff * diff;
+        }
+    }
+    return total;
+}
+
+KmeansResult
+maskedKmeans(const Tensor &wr, const Mask &mask, const KmeansConfig &cfg)
+{
+    fatalIf(wr.rank() != 2, "maskedKmeans expects [NG, d]");
+    const std::int64_t ng = wr.dim(0);
+    const std::int64_t d = wr.dim(1);
+    fatalIf(static_cast<std::int64_t>(mask.size()) != ng * d,
+            "mask size mismatch: ", mask.size(), " vs ", ng * d);
+    fatalIf(cfg.k < 1, "k must be positive");
+
+    Rng rng(cfg.seed);
+    KmeansResult res;
+    res.codebook = initCodebook(wr, cfg, rng);
+    const std::int64_t k = res.codebook.dim(0);
+    res.assignments.assign(static_cast<std::size_t>(ng), 0);
+
+    for (int iter = 0; iter < cfg.max_iters; ++iter) {
+        // --- Masked assignment (Eq. 2) --------------------------------
+        // Distance over unpruned positions only. Pruned positions of wr
+        // are zero and the mask zeroes the codeword there too, so both
+        // contributions vanish.
+        std::int64_t changed = 0;
+        const float *pw = wr.data();
+        const float *pc = res.codebook.data();
+        for (std::int64_t j = 0; j < ng; ++j) {
+            const float *wrow = pw + j * d;
+            const std::uint8_t *mrow = mask.data() + j * d;
+            float best = std::numeric_limits<float>::max();
+            std::int32_t best_i = 0;
+            for (std::int64_t i = 0; i < k; ++i) {
+                const float *crow = pc + i * d;
+                float s = 0.0f;
+                for (std::int64_t t = 0; t < d; ++t) {
+                    if (mrow[t]) {
+                        const float diff = wrow[t] - crow[t];
+                        s += diff * diff;
+                    }
+                }
+                if (s < best) {
+                    best = s;
+                    best_i = static_cast<std::int32_t>(i);
+                }
+            }
+            if (res.assignments[static_cast<std::size_t>(j)] != best_i)
+                ++changed;
+            res.assignments[static_cast<std::size_t>(j)] = best_i;
+        }
+
+        // --- Masked update (Eq. 3/4) -----------------------------------
+        // c*_i[t] = sum of assigned unpruned values at position t divided
+        // by the count of unpruned contributions at position t.
+        Tensor sums(Shape({k, d}));
+        Tensor counts(Shape({k, d}));
+        for (std::int64_t j = 0; j < ng; ++j) {
+            const std::int32_t a = res.assignments[static_cast<std::size_t>(j)];
+            for (std::int64_t t = 0; t < d; ++t) {
+                if (mask[static_cast<std::size_t>(j * d + t)]) {
+                    sums.at(a, t) += wr.at(j, t);
+                    counts.at(a, t) += 1.0f;
+                }
+            }
+        }
+        for (std::int64_t i = 0; i < k; ++i) {
+            bool empty = true;
+            for (std::int64_t t = 0; t < d; ++t) {
+                if (counts.at(i, t) > 0.0f) {
+                    res.codebook.at(i, t) = sums.at(i, t) / counts.at(i, t);
+                    empty = false;
+                }
+                // Positions with zero unpruned contributions keep their
+                // previous value; they are never read through the mask.
+            }
+            if (empty) {
+                // Re-seed an empty cluster from a random subvector.
+                const std::int64_t row = static_cast<std::int64_t>(
+                    rng.index(static_cast<std::size_t>(ng)));
+                for (std::int64_t t = 0; t < d; ++t)
+                    res.codebook.at(i, t) = wr.at(row, t);
+            }
+        }
+
+        res.iterations = iter + 1;
+        res.sse_history.push_back(
+            maskedSse(wr, mask, res.codebook, res.assignments));
+
+        const double change_fraction =
+            static_cast<double>(changed) / static_cast<double>(ng);
+        if (iter > 0 && change_fraction < cfg.change_threshold)
+            break;
+    }
+
+    res.sse = maskedSse(wr, mask, res.codebook, res.assignments);
+    return res;
+}
+
+Tensor
+reconstructGrouped(const Tensor &codebook,
+                   const std::vector<std::int32_t> &assignments,
+                   const Mask &mask)
+{
+    const std::int64_t ng = static_cast<std::int64_t>(assignments.size());
+    const std::int64_t d = codebook.dim(1);
+    fatalIf(static_cast<std::int64_t>(mask.size()) != ng * d,
+            "mask size mismatch in reconstruct");
+    Tensor out(Shape({ng, d}));
+    for (std::int64_t j = 0; j < ng; ++j) {
+        const std::int32_t a = assignments[static_cast<std::size_t>(j)];
+        fatalIf(a < 0 || a >= codebook.dim(0), "assignment out of range");
+        for (std::int64_t t = 0; t < d; ++t) {
+            out.at(j, t) = mask[static_cast<std::size_t>(j * d + t)]
+                ? codebook.at(a, t) : 0.0f;
+        }
+    }
+    return out;
+}
+
+Tensor
+reconstructGroupedDense(const Tensor &codebook,
+                        const std::vector<std::int32_t> &assignments)
+{
+    const std::int64_t ng = static_cast<std::int64_t>(assignments.size());
+    const std::int64_t d = codebook.dim(1);
+    Tensor out(Shape({ng, d}));
+    for (std::int64_t j = 0; j < ng; ++j) {
+        const std::int32_t a = assignments[static_cast<std::size_t>(j)];
+        fatalIf(a < 0 || a >= codebook.dim(0), "assignment out of range");
+        for (std::int64_t t = 0; t < d; ++t)
+            out.at(j, t) = codebook.at(a, t);
+    }
+    return out;
+}
+
+} // namespace mvq::core

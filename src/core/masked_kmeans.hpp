@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Masked k-means clustering (paper Section 4.4). The assignment step
+ * measures distance only over a subvector's unpruned positions (Eq. 2) and
+ * the update step averages only unpruned contributions per position
+ * (Eq. 3/4), so pruned zeros never drag codewords toward the origin.
+ *
+ * With an all-ones mask this degrades exactly to standard k-means, which
+ * the tests exploit for cross-validation.
+ */
+
+#ifndef MVQ_CORE_MASKED_KMEANS_HPP
+#define MVQ_CORE_MASKED_KMEANS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "core/nm_pruning.hpp"
+#include "tensor/tensor.hpp"
+
+namespace mvq::core {
+
+/** Options shared by masked and plain k-means. */
+struct KmeansConfig
+{
+    std::int64_t k = 256;        //!< codeword count
+    int max_iters = 60;
+    /**
+     * Convergence: stop when the fraction of subvectors changing
+     * assignment drops below this (the paper uses 0.1%).
+     */
+    double change_threshold = 0.001;
+    std::uint64_t seed = 42;
+    bool kmeanspp_init = false;  //!< paper initializes from random rows
+};
+
+/** Clustering output. */
+struct KmeansResult
+{
+    Tensor codebook;             //!< [k, d]
+    std::vector<std::int32_t> assignments; //!< one per subvector
+    double sse = 0.0;            //!< final masked SSE (Eq. 1)
+    int iterations = 0;
+    std::vector<double> sse_history; //!< masked SSE after each update
+};
+
+/**
+ * Run masked k-means on a grouped weight matrix.
+ *
+ * @param wr   [NG, d] weights with pruned positions already zeroed.
+ * @param mask NG*d bytes; 1 marks unpruned positions.
+ */
+KmeansResult maskedKmeans(const Tensor &wr, const Mask &mask,
+                          const KmeansConfig &cfg);
+
+/**
+ * Masked SSE (Eq. 1): sum over subvectors of
+ * || w_j - c_{a_j} o bm_j ||^2. With an all-ones mask this is the plain
+ * clustering SSE.
+ */
+double maskedSse(const Tensor &wr, const Mask &mask, const Tensor &codebook,
+                 const std::vector<std::int32_t> &assignments);
+
+/**
+ * Reconstruct the grouped matrix from codebook + assignments, applying the
+ * mask ("sparse reconstruct"): row j = codeword[a_j] o bm_j.
+ */
+Tensor reconstructGrouped(const Tensor &codebook,
+                          const std::vector<std::int32_t> &assignments,
+                          const Mask &mask);
+
+/** Dense reconstruct: row j = codeword[a_j] (mask ignored). */
+Tensor reconstructGroupedDense(const Tensor &codebook,
+                               const std::vector<std::int32_t> &assignments);
+
+} // namespace mvq::core
+
+#endif // MVQ_CORE_MASKED_KMEANS_HPP

@@ -1,0 +1,140 @@
+#include "core/mixed_sparsity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/logging.hpp"
+
+namespace mvq::core {
+
+namespace {
+
+/**
+ * Per-layer pruning state: group-sorted magnitudes so that the cost of
+ * lowering N by one is the sum of the (N)th-largest magnitude of every
+ * group.
+ */
+struct LayerState
+{
+    // sorted_mags[g][r] = r-th largest |w| in group g.
+    std::vector<std::vector<float>> sorted_mags;
+    std::int64_t weight_count = 0;
+    int current_n = 0;
+
+    /** Magnitude removed by dropping from current_n to current_n - 1. */
+    double
+    decrementCost() const
+    {
+        double cost = 0.0;
+        for (const auto &mags : sorted_mags)
+            cost += mags[static_cast<std::size_t>(current_n - 1)];
+        return cost;
+    }
+
+    /** Weights removed by one decrement. */
+    std::int64_t
+    decrementWeights() const
+    {
+        return static_cast<std::int64_t>(sorted_mags.size());
+    }
+};
+
+LayerState
+buildState(const nn::Conv2d &conv, int m, std::int64_t d,
+           Grouping grouping)
+{
+    Tensor wr = groupWeights(conv.weight().value, d, grouping);
+    fatalIf(d % m != 0, "d must be a multiple of M");
+    LayerState state;
+    state.weight_count = wr.numel();
+    state.current_n = m;
+    const std::int64_t groups_per_row = d / m;
+    state.sorted_mags.reserve(static_cast<std::size_t>(
+        wr.dim(0) * groups_per_row));
+    for (std::int64_t row = 0; row < wr.dim(0); ++row) {
+        for (std::int64_t g = 0; g < groups_per_row; ++g) {
+            std::vector<float> mags(static_cast<std::size_t>(m));
+            for (int i = 0; i < m; ++i) {
+                mags[static_cast<std::size_t>(i)] = std::fabs(
+                    wr.at(row, g * m + i));
+            }
+            std::sort(mags.begin(), mags.end(), std::greater<float>());
+            state.sorted_mags.push_back(std::move(mags));
+        }
+    }
+    return state;
+}
+
+} // namespace
+
+MixedPatternResult
+chooseLayerwisePatterns(const std::vector<nn::Conv2d *> &targets, int m,
+                        double target_sparsity, std::int64_t d,
+                        Grouping grouping, int min_n)
+{
+    fatalIf(targets.empty(), "no targets for mixed sparsity search");
+    fatalIf(target_sparsity <= 0.0 || target_sparsity >= 1.0,
+            "target sparsity must be in (0, 1)");
+    fatalIf(min_n < 1 || min_n > m, "bad min_n");
+
+    std::vector<LayerState> states;
+    std::int64_t total_weights = 0;
+    for (const nn::Conv2d *conv : targets) {
+        states.push_back(buildState(*conv, m, d, grouping));
+        total_weights += states.back().weight_count;
+    }
+
+    const std::int64_t budget = static_cast<std::int64_t>(
+        std::llround(target_sparsity
+                     * static_cast<double>(total_weights)));
+
+    MixedPatternResult result;
+    std::int64_t pruned = 0;
+    // Greedy: repeatedly decrement the layer with the smallest removed
+    // magnitude per removed weight.
+    while (pruned < budget) {
+        double best_rate = std::numeric_limits<double>::max();
+        std::size_t best = states.size();
+        for (std::size_t i = 0; i < states.size(); ++i) {
+            if (states[i].current_n <= min_n)
+                continue;
+            const double rate = states[i].decrementCost()
+                / static_cast<double>(states[i].decrementWeights());
+            if (rate < best_rate) {
+                best_rate = rate;
+                best = i;
+            }
+        }
+        if (best == states.size())
+            break; // every layer at the floor
+        result.pruned_magnitude += states[best].decrementCost();
+        pruned += states[best].decrementWeights();
+        states[best].current_n -= 1;
+    }
+
+    for (const auto &state : states)
+        result.patterns.push_back(NmPattern{state.current_n, m});
+    result.achieved_sparsity = static_cast<double>(pruned)
+        / static_cast<double>(total_weights);
+    return result;
+}
+
+double
+uniformPrunedMagnitude(const std::vector<nn::Conv2d *> &targets,
+                       const NmPattern &pattern, std::int64_t d,
+                       Grouping grouping)
+{
+    double total = 0.0;
+    for (const nn::Conv2d *conv : targets) {
+        Tensor wr = groupWeights(conv->weight().value, d, grouping);
+        const Mask mask = nmMask(wr, pattern);
+        for (std::int64_t i = 0; i < wr.numel(); ++i) {
+            if (!mask[static_cast<std::size_t>(i)])
+                total += std::fabs(wr[i]);
+        }
+    }
+    return total;
+}
+
+} // namespace mvq::core

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Mixed layerwise N:M pattern search — the extension the paper points
+ * to via DominoSearch [Sun et al., NeurIPS 2021]: instead of one global
+ * N:M pattern, choose a per-layer N (with fixed M) meeting a global
+ * sparsity budget while removing the least salient weight mass.
+ *
+ * The search is greedy: every layer starts at the densest pattern
+ * (N = M); the layer whose next decrement removes the least magnitude
+ * per pruned weight is decremented until the global budget is met.
+ */
+
+#ifndef MVQ_CORE_MIXED_SPARSITY_HPP
+#define MVQ_CORE_MIXED_SPARSITY_HPP
+
+#include "core/grouping.hpp"
+#include "core/nm_pruning.hpp"
+#include "nn/conv2d.hpp"
+
+namespace mvq::core {
+
+/** Result of the mixed-pattern search. */
+struct MixedPatternResult
+{
+    std::vector<NmPattern> patterns; //!< one per target layer
+    double achieved_sparsity = 0.0;  //!< global fraction pruned
+    /** Magnitude mass removed (sum |w| of pruned weights). */
+    double pruned_magnitude = 0.0;
+};
+
+/**
+ * Choose per-layer keep counts.
+ *
+ * @param targets        Conv layers to sparsify.
+ * @param m              Group size M (d must be a multiple of it).
+ * @param target_sparsity Desired global pruned fraction in (0, 1).
+ * @param d              Subvector length used for grouping.
+ * @param min_n          Lower bound on per-layer N (>= 1).
+ */
+MixedPatternResult chooseLayerwisePatterns(
+    const std::vector<nn::Conv2d *> &targets, int m,
+    double target_sparsity, std::int64_t d, Grouping grouping,
+    int min_n = 1);
+
+/**
+ * Magnitude mass that uniform N:M pruning would remove from the
+ * targets (the baseline the mixed search must beat).
+ */
+double uniformPrunedMagnitude(const std::vector<nn::Conv2d *> &targets,
+                              const NmPattern &pattern, std::int64_t d,
+                              Grouping grouping);
+
+} // namespace mvq::core
+
+#endif // MVQ_CORE_MIXED_SPARSITY_HPP

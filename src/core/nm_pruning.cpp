@@ -1,0 +1,84 @@
+#include "core/nm_pruning.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hpp"
+
+namespace mvq::core {
+
+Mask
+nmMask(const Tensor &wr, const NmPattern &pattern)
+{
+    fatalIf(wr.rank() != 2, "nmMask expects a grouped [NG, d] matrix");
+    const std::int64_t ng = wr.dim(0);
+    const std::int64_t d = wr.dim(1);
+    fatalIf(pattern.m <= 0 || pattern.n <= 0 || pattern.n > pattern.m,
+            "bad N:M pattern ", pattern.n, ":", pattern.m);
+    fatalIf(d % pattern.m != 0, "subvector length ", d,
+            " not a multiple of M = ", pattern.m);
+
+    Mask mask(static_cast<std::size_t>(ng * d), 0);
+    std::vector<int> order(static_cast<std::size_t>(pattern.m));
+
+    for (std::int64_t row = 0; row < ng; ++row) {
+        for (std::int64_t g0 = 0; g0 < d; g0 += pattern.m) {
+            std::iota(order.begin(), order.end(), 0);
+            const float *base = wr.data() + row * d + g0;
+            std::stable_sort(order.begin(), order.end(),
+                [base](int a, int b) {
+                    return std::fabs(base[a]) > std::fabs(base[b]);
+                });
+            for (int i = 0; i < pattern.n; ++i) {
+                mask[static_cast<std::size_t>(
+                    row * d + g0 + order[static_cast<std::size_t>(i)])] = 1;
+            }
+        }
+    }
+    return mask;
+}
+
+void
+applyMask(Tensor &wr, const Mask &mask)
+{
+    fatalIf(static_cast<std::int64_t>(mask.size()) != wr.numel(),
+            "mask size mismatch");
+    for (std::int64_t i = 0; i < wr.numel(); ++i) {
+        if (!mask[static_cast<std::size_t>(i)])
+            wr[i] = 0.0f;
+    }
+}
+
+double
+maskSparsity(const Mask &mask)
+{
+    if (mask.empty())
+        return 0.0;
+    std::size_t zeros = 0;
+    for (auto b : mask) {
+        if (!b)
+            ++zeros;
+    }
+    return static_cast<double>(zeros) / static_cast<double>(mask.size());
+}
+
+void
+checkNmInvariant(const Mask &mask, std::int64_t d, const NmPattern &pattern)
+{
+    panicIf(d % pattern.m != 0, "d not a multiple of M");
+    panicIf(mask.size() % static_cast<std::size_t>(d) != 0,
+            "mask size not a multiple of d");
+    const std::int64_t ng = static_cast<std::int64_t>(mask.size()) / d;
+    for (std::int64_t row = 0; row < ng; ++row) {
+        for (std::int64_t g0 = 0; g0 < d; g0 += pattern.m) {
+            int kept = 0;
+            for (int i = 0; i < pattern.m; ++i)
+                kept += mask[static_cast<std::size_t>(row * d + g0 + i)];
+            panicIf(kept != pattern.n, "N:M invariant violated at row ",
+                    row, " group ", g0, ": ", kept, " kept");
+        }
+    }
+}
+
+} // namespace mvq::core

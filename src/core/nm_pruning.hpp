@@ -1,0 +1,66 @@
+/**
+ * @file
+ * N:M structured pruning inside subvectors (paper Section 4.3). For each
+ * group of M consecutive elements, the N largest-magnitude weights are
+ * kept and the other M-N are zeroed. The per-subvector bitmask has exactly
+ * N set bits per M-group, which is what the mask codec and the sparse tile
+ * exploit.
+ */
+
+#ifndef MVQ_CORE_NM_PRUNING_HPP
+#define MVQ_CORE_NM_PRUNING_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace mvq::core {
+
+/** Keep N of every M consecutive weights. */
+struct NmPattern
+{
+    int n = 2;
+    int m = 4;
+
+    /** Fraction of weights that survive pruning. */
+    double keepFraction() const
+    {
+        return static_cast<double>(n) / static_cast<double>(m);
+    }
+
+    /** Fraction of weights removed (the paper's "sparsity"). */
+    double sparsity() const { return 1.0 - keepFraction(); }
+
+    std::string
+    str() const
+    {
+        return std::to_string(n) + ":" + std::to_string(m);
+    }
+};
+
+/** Bitmask over a grouped weight matrix; 1 = kept, 0 = pruned. */
+using Mask = std::vector<std::uint8_t>;
+
+/**
+ * Compute the magnitude-based N:M mask of a grouped weight matrix.
+ *
+ * @param wr      Grouped weights [NG, d]; d must be a multiple of M.
+ * @param pattern Keep pattern.
+ * @return NG*d bytes, row-major, 1 for kept weights.
+ */
+Mask nmMask(const Tensor &wr, const NmPattern &pattern);
+
+/** Zero the pruned elements of wr in place. */
+void applyMask(Tensor &wr, const Mask &mask);
+
+/** Fraction of zero bits in a mask. */
+double maskSparsity(const Mask &mask);
+
+/** Verify a mask has exactly N set bits per M-group (panics otherwise). */
+void checkNmInvariant(const Mask &mask, std::int64_t d,
+                      const NmPattern &pattern);
+
+} // namespace mvq::core
+
+#endif // MVQ_CORE_NM_PRUNING_HPP

@@ -1,0 +1,222 @@
+#include "core/pipeline.hpp"
+
+#include "common/logging.hpp"
+#include "nn/network.hpp"
+
+namespace mvq::core {
+
+std::vector<nn::Conv2d *>
+compressibleConvs(nn::Layer &model, const MvqLayerConfig &cfg,
+                  bool skip_first)
+{
+    std::vector<nn::Conv2d *> out;
+    bool first = true;
+    for (nn::Conv2d *conv : nn::convLayers(model)) {
+        const bool is_first = first;
+        first = false;
+        if (is_first && skip_first)
+            continue;
+        const Shape &ws = conv->weight().value.shape();
+        // Must be groupable with the configured d.
+        switch (cfg.grouping) {
+          case Grouping::KernelWise:
+            if (ws.dim(2) * ws.dim(3) != cfg.d)
+                continue;
+            break;
+          case Grouping::OutputChannelWise:
+            if (ws.dim(0) % cfg.d != 0)
+                continue;
+            break;
+          case Grouping::InputChannelWise:
+            if (ws.dim(1) % cfg.d != 0)
+                continue;
+            break;
+        }
+        // Need enough subvectors for the codebook to be meaningful.
+        if (ws.numel() / cfg.d < 2)
+            continue;
+        out.push_back(conv);
+    }
+    return out;
+}
+
+CompressedModel
+clusterLayers(const std::vector<nn::Conv2d *> &targets,
+              const MvqLayerConfig &cfg, const ClusterOptions &opts)
+{
+    fatalIf(targets.empty(), "no layers to cluster");
+    CompressedModel cm;
+    cm.dense_reconstruct = !opts.sparse_reconstruct;
+
+    KmeansConfig km = opts.kmeans;
+    km.k = cfg.k;
+
+    // Per-layer grouped weights and masks.
+    std::vector<Tensor> grouped;
+    std::vector<Mask> masks;
+    grouped.reserve(targets.size());
+    masks.reserve(targets.size());
+    for (nn::Conv2d *conv : targets) {
+        Tensor wr = groupWeights(conv->weight().value, cfg.d, cfg.grouping);
+        masks.push_back(nmMask(wr, cfg.pattern));
+        grouped.push_back(std::move(wr));
+    }
+
+    if (!opts.crosslayer) {
+        // One codebook per layer.
+        for (std::size_t i = 0; i < targets.size(); ++i) {
+            Mask cluster_mask = opts.masked_kmeans
+                ? masks[i]
+                : Mask(masks[i].size(), 1);
+            KmeansConfig layer_km = km;
+            layer_km.seed = km.seed + i;
+            KmeansResult res =
+                maskedKmeans(grouped[i], cluster_mask, layer_km);
+
+            Codebook cb;
+            cb.codewords = res.codebook;
+            if (cfg.codebook_bits > 0)
+                quantizeCodebook(cb, cfg.codebook_bits);
+            cm.codebooks.push_back(std::move(cb));
+
+            CompressedLayer layer = makeCompressedLayer(
+                targets[i]->name(), targets[i]->weight().value.shape(),
+                cfg, masks[i], res, static_cast<int>(i));
+            layer.dense_flops = targets[i]->flops();
+            cm.layers.push_back(std::move(layer));
+        }
+        return cm;
+    }
+
+    // Cross-layer: one codebook over the concatenation of all layers.
+    std::int64_t total_ng = 0;
+    for (const auto &wr : grouped)
+        total_ng += wr.dim(0);
+    Tensor all(Shape({total_ng, cfg.d}));
+    Mask all_mask(static_cast<std::size_t>(total_ng * cfg.d), 1);
+    std::int64_t row = 0;
+    for (std::size_t i = 0; i < grouped.size(); ++i) {
+        const Tensor &wr = grouped[i];
+        for (std::int64_t j = 0; j < wr.dim(0); ++j, ++row) {
+            for (std::int64_t t = 0; t < cfg.d; ++t) {
+                all.at(row, t) = wr.at(j, t);
+                if (opts.masked_kmeans) {
+                    all_mask[static_cast<std::size_t>(row * cfg.d + t)] =
+                        masks[i][static_cast<std::size_t>(j * cfg.d + t)];
+                }
+            }
+        }
+    }
+
+    KmeansResult res = maskedKmeans(all, all_mask, km);
+    Codebook cb;
+    cb.codewords = res.codebook;
+    if (cfg.codebook_bits > 0)
+        quantizeCodebook(cb, cfg.codebook_bits);
+    cm.codebooks.push_back(std::move(cb));
+
+    row = 0;
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+        const std::int64_t ng = grouped[i].dim(0);
+        KmeansResult slice;
+        slice.codebook = cm.codebooks[0].codewords;
+        slice.assignments.assign(
+            res.assignments.begin() + row,
+            res.assignments.begin() + row + ng);
+        row += ng;
+
+        CompressedLayer layer = makeCompressedLayer(
+            targets[i]->name(), targets[i]->weight().value.shape(), cfg,
+            masks[i], slice, 0);
+        layer.dense_flops = targets[i]->flops();
+        cm.layers.push_back(std::move(layer));
+    }
+    return cm;
+}
+
+SseReport
+computeSse(const CompressedModel &cm, const std::vector<Tensor> &reference)
+{
+    fatalIf(reference.size() != cm.layers.size(),
+            "reference layer count mismatch");
+    SseReport report;
+    for (std::size_t i = 0; i < cm.layers.size(); ++i) {
+        const auto &layer = cm.layers[i];
+        const Tensor recon = cm.reconstructLayer(i);
+        fatalIf(recon.shape() != reference[i].shape(),
+                "reference shape mismatch at layer ", layer.name);
+        const Mask mask = layer.decodeMask();
+        Tensor ref_wr = groupWeights(reference[i], layer.cfg.d,
+                                     layer.cfg.grouping);
+        Tensor rec_wr = groupWeights(recon, layer.cfg.d,
+                                     layer.cfg.grouping);
+        for (std::int64_t idx = 0; idx < ref_wr.numel(); ++idx) {
+            const double diff = static_cast<double>(ref_wr[idx])
+                - static_cast<double>(rec_wr[idx]);
+            report.total_sse += diff * diff;
+            if (mask[static_cast<std::size_t>(idx)])
+                report.masked_sse += diff * diff;
+        }
+    }
+    return report;
+}
+
+PipelineResult
+mvqCompressClassifier(nn::Layer &model,
+                      const nn::ClassificationDataset &data,
+                      const PipelineConfig &cfg)
+{
+    PipelineResult result;
+    result.acc_dense = nn::evalClassifier(model, data, data.testSet());
+
+    // Step 1: grouping + N:M pruning + SR-STE sparse fine-tuning.
+    auto targets = compressibleConvs(model, cfg.layer,
+                                     cfg.skip_first_conv);
+    fatalIf(targets.empty(), "model has no compressible conv layers");
+    SrSteConfig sparse = cfg.sparse;
+    sparse.pattern = cfg.layer.pattern;
+    sparse.d = cfg.layer.d;
+    sparse.grouping = cfg.layer.grouping;
+    result.acc_sparse = srSteTrain(model, targets, data, sparse);
+
+    // Probe with batch 1 right before clustering so the per-layer
+    // flops() snapshots (captured into CompressedLayer::dense_flops)
+    // use the same batch size as flops_dense.
+    std::vector<int> probe{0};
+    Tensor probe_img = data.batchImages(data.trainSet(), probe);
+    model.forward(probe_img, /*train=*/false);
+    result.flops_dense = nn::networkFlops(model);
+
+    // Step 2: masked k-means clustering.
+    ClusterOptions opts;
+    opts.masked_kmeans = true;
+    opts.sparse_reconstruct = true;
+    opts.crosslayer = cfg.crosslayer;
+    opts.kmeans = cfg.kmeans;
+    // Step 3 (codebook quantization) happens inside clusterLayers via
+    // cfg.layer.codebook_bits.
+    std::vector<Tensor> reference;
+    for (nn::Conv2d *conv : targets)
+        reference.push_back(conv->weight().value);
+    result.compressed = clusterLayers(targets, cfg.layer, opts);
+
+    const SseReport sse = computeSse(result.compressed, reference);
+    result.total_sse = sse.total_sse;
+    result.masked_sse = sse.masked_sse;
+
+    result.compressed.applyTo(model);
+    result.acc_clustered = nn::evalClassifier(model, data, data.testSet());
+
+    // Step 4: codebook fine-tuning with masked gradients.
+    result.acc_final = finetuneCompressedClassifier(
+        result.compressed, model, data, cfg.finetune);
+
+    result.compression_ratio = result.compressed.compressionRatio();
+    // Uncompressed layers keep dense cost; compressed layers run sparse.
+    result.flops_compressed = result.flops_dense
+        - result.compressed.denseFlops()
+        + result.compressed.compressedFlops();
+    return result;
+}
+
+} // namespace mvq::core

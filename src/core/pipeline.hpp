@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The end-to-end MVQ compression pipeline (paper Fig. 2):
+ *   1. group weights + N:M prune + sparse fine-tune (SR-STE);
+ *   2. masked k-means clustering (layerwise or cross-layer);
+ *   3. symmetric 8-bit codebook quantization;
+ *   4. codebook fine-tuning with masked gradients.
+ *
+ * The clustering stage is also exposed separately with switches for
+ * masked/unmasked clustering and sparse/dense reconstruction so the
+ * ablation cases A-D (paper Fig. 12) and the VQ baselines can reuse it.
+ */
+
+#ifndef MVQ_CORE_PIPELINE_HPP
+#define MVQ_CORE_PIPELINE_HPP
+
+#include "core/compressed_layer.hpp"
+#include "core/finetune.hpp"
+#include "core/sparse_train.hpp"
+
+namespace mvq::core {
+
+/** Clustering-stage options shared by MVQ and the ablation cases. */
+struct ClusterOptions
+{
+    bool masked_kmeans = true;     //!< false = common k-means (cases A-C)
+    bool sparse_reconstruct = true; //!< false = dense reconstruct (A, B)
+    bool crosslayer = false;        //!< one codebook for all layers
+    KmeansConfig kmeans;            //!< k is taken from MvqLayerConfig
+};
+
+/**
+ * Cluster a set of conv layers into a CompressedModel.
+ *
+ * Masks are recomputed from the layers' current weights with the
+ * magnitude rule, so the caller must have pruned the weights already
+ * (or use pattern 1:1 for dense clustering).
+ */
+CompressedModel clusterLayers(const std::vector<nn::Conv2d *> &targets,
+                              const MvqLayerConfig &cfg,
+                              const ClusterOptions &opts);
+
+/** Full-pipeline options. */
+struct PipelineConfig
+{
+    MvqLayerConfig layer;
+    bool crosslayer = false;
+    bool skip_first_conv = true; //!< keep the stem conv uncompressed
+    SrSteConfig sparse;          //!< pattern/d/grouping copied from layer
+    KmeansConfig kmeans;         //!< k copied from layer
+    FinetuneConfig finetune;
+};
+
+/** Metrics collected along the pipeline. */
+struct PipelineResult
+{
+    CompressedModel compressed;
+    double acc_dense = 0.0;     //!< test accuracy before compression
+    double acc_sparse = 0.0;    //!< after N:M pruning + sparse training
+    double acc_clustered = 0.0; //!< after clustering, before fine-tune
+    double acc_final = 0.0;     //!< after codebook fine-tuning
+    double total_sse = 0.0;     //!< clustering SSE over all weights
+    double masked_sse = 0.0;    //!< clustering SSE over kept weights
+    std::int64_t flops_dense = 0;
+    std::int64_t flops_compressed = 0;
+    double compression_ratio = 0.0;
+};
+
+/**
+ * Run the full MVQ pipeline on a classifier. The model is modified in
+ * place (its conv weights end up reconstructed from the codebooks).
+ */
+PipelineResult mvqCompressClassifier(nn::Layer &model,
+                                     const nn::ClassificationDataset &data,
+                                     const PipelineConfig &cfg);
+
+/**
+ * Conv layers eligible for compression: all convs, optionally skipping
+ * the first (stem) conv, and always skipping layers whose grouped
+ * dimension is not divisible by d (e.g. depthwise layers too small to
+ * group).
+ */
+std::vector<nn::Conv2d *> compressibleConvs(nn::Layer &model,
+                                            const MvqLayerConfig &cfg,
+                                            bool skip_first);
+
+/** Total/masked clustering SSE of a compressed model vs reference weights
+ *  (the weights the targets held when clustering ran). */
+struct SseReport
+{
+    double total_sse = 0.0;  //!< over all weight positions
+    double masked_sse = 0.0; //!< over kept (unpruned) positions only
+};
+
+/**
+ * Compare reconstructed weights against reference kernels.
+ *
+ * @param reference Per-layer kernels, in the order of cm.layers.
+ */
+SseReport computeSse(const CompressedModel &cm,
+                     const std::vector<Tensor> &reference);
+
+} // namespace mvq::core
+
+#endif // MVQ_CORE_PIPELINE_HPP

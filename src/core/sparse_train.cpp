@@ -1,0 +1,170 @@
+#include "core/sparse_train.hpp"
+
+#include <numeric>
+#include <unordered_map>
+
+#include "common/logging.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+
+namespace mvq::core {
+
+namespace {
+
+/** Mask as a 0/1 float tensor in the 4-D kernel layout. */
+Tensor
+maskTo4d(const Mask &mask, const Shape &w4_shape, std::int64_t d,
+         Grouping grouping)
+{
+    Tensor grouped(Shape({static_cast<std::int64_t>(mask.size()) / d, d}));
+    for (std::int64_t i = 0; i < grouped.numel(); ++i)
+        grouped[i] = mask[static_cast<std::size_t>(i)] ? 1.0f : 0.0f;
+    return ungroupWeights(grouped, w4_shape, d, grouping);
+}
+
+} // namespace
+
+double
+srSteTrain(nn::Layer &model, std::vector<nn::Conv2d *> targets,
+           const nn::ClassificationDataset &data, const SrSteConfig &cfg)
+{
+    // Dense shadows and their momentum buffers, per target layer.
+    std::unordered_map<nn::Conv2d *, Tensor> dense;
+    std::unordered_map<nn::Conv2d *, Tensor> velocity;
+    for (nn::Conv2d *conv : targets) {
+        dense.emplace(conv, conv->weight().value);
+        velocity.emplace(conv, Tensor(conv->weight().value.shape()));
+    }
+
+    // Optimizer for everything except the targeted kernels.
+    nn::Sgd opt(cfg.train.lr, cfg.train.momentum, cfg.train.weight_decay);
+    std::vector<nn::Parameter *> other_params;
+    for (nn::Parameter *p : model.allParameters()) {
+        bool is_target = false;
+        for (nn::Conv2d *conv : targets) {
+            if (p == &conv->weight()) {
+                is_target = true;
+                break;
+            }
+        }
+        if (!is_target)
+            other_params.push_back(p);
+    }
+
+    Rng rng(cfg.train.seed);
+    const auto &train_set = data.trainSet();
+
+    for (int epoch = 0; epoch < cfg.train.epochs; ++epoch) {
+        std::vector<int> order(train_set.size());
+        std::iota(order.begin(), order.end(), 0);
+        rng.shuffle(order);
+
+        for (std::size_t start = 0; start < order.size();
+             start += static_cast<std::size_t>(cfg.train.batch_size)) {
+            const std::size_t end = std::min(order.size(),
+                start + static_cast<std::size_t>(cfg.train.batch_size));
+            std::vector<int> batch(order.begin()
+                + static_cast<std::ptrdiff_t>(start),
+                order.begin() + static_cast<std::ptrdiff_t>(end));
+
+            // 1. Mask the dense shadow into the live weights.
+            std::unordered_map<nn::Conv2d *, Tensor> mask4d;
+            for (nn::Conv2d *conv : targets) {
+                Tensor wr = groupWeights(dense.at(conv), cfg.d,
+                                         cfg.grouping);
+                const Mask mask = nmMask(wr, cfg.pattern);
+                Tensor m4 = maskTo4d(mask, dense.at(conv).shape(), cfg.d,
+                                     cfg.grouping);
+                Tensor masked(dense.at(conv).shape());
+                for (std::int64_t i = 0; i < masked.numel(); ++i)
+                    masked[i] = dense.at(conv)[i] * m4[i];
+                conv->setWeight(masked);
+                mask4d.emplace(conv, std::move(m4));
+            }
+
+            // 2. Forward/backward with the masked weights.
+            Tensor images = data.batchImages(train_set, batch);
+            std::vector<int> labels = data.batchLabels(train_set, batch);
+            model.zeroGrad();
+            Tensor logits = model.forward(images, /*train=*/true);
+            nn::LossResult lr = nn::softmaxCrossEntropy(logits, labels);
+            model.backward(lr.grad);
+
+            // 3. SR-STE update of the dense shadow:
+            //    w <- w - lr * (g + decay * (1 - mask) o w)
+            for (nn::Conv2d *conv : targets) {
+                Tensor &w = dense.at(conv);
+                Tensor &vel = velocity.at(conv);
+                const Tensor &g = conv->weight().grad;
+                const Tensor &m4 = mask4d.at(conv);
+                for (std::int64_t i = 0; i < w.numel(); ++i) {
+                    const float srste = g[i]
+                        + cfg.decay * (1.0f - m4[i]) * w[i];
+                    vel[i] = cfg.train.momentum * vel[i] + srste;
+                    w[i] -= cfg.train.lr * vel[i];
+                }
+            }
+
+            // 4. Regular step for everything else.
+            opt.step(other_params);
+        }
+    }
+
+    // Freeze the final mask into the live weights.
+    for (nn::Conv2d *conv : targets) {
+        Tensor wr = groupWeights(dense.at(conv), cfg.d, cfg.grouping);
+        const Mask mask = nmMask(wr, cfg.pattern);
+        applyMask(wr, mask);
+        conv->setWeight(ungroupWeights(wr, dense.at(conv).shape(), cfg.d,
+                                       cfg.grouping));
+    }
+
+    return nn::evalClassifier(model, data, data.testSet());
+}
+
+std::vector<Mask>
+oneShotPrune(const std::vector<nn::Conv2d *> &targets,
+             const NmPattern &pattern, std::int64_t d, Grouping grouping)
+{
+    std::vector<Mask> masks;
+    masks.reserve(targets.size());
+    for (nn::Conv2d *conv : targets) {
+        Tensor wr = groupWeights(conv->weight().value, d, grouping);
+        Mask mask = nmMask(wr, pattern);
+        applyMask(wr, mask);
+        conv->setWeight(ungroupWeights(wr, conv->weight().value.shape(), d,
+                                       grouping));
+        masks.push_back(std::move(mask));
+    }
+    return masks;
+}
+
+std::function<void(nn::Layer &)>
+maskReapplyHook(std::vector<nn::Conv2d *> targets, std::vector<Mask> masks,
+                std::int64_t d, Grouping grouping)
+{
+    fatalIf(targets.size() != masks.size(),
+            "target/mask count mismatch in hook");
+    return [targets = std::move(targets), masks = std::move(masks), d,
+            grouping](nn::Layer &) {
+        for (std::size_t i = 0; i < targets.size(); ++i) {
+            nn::Conv2d *conv = targets[i];
+            Tensor wr = groupWeights(conv->weight().value, d, grouping);
+            applyMask(wr, masks[i]);
+            conv->setWeight(ungroupWeights(
+                wr, conv->weight().value.shape(), d, grouping));
+        }
+    };
+}
+
+Mask
+currentMask(const nn::Conv2d &conv, std::int64_t d, Grouping grouping)
+{
+    Tensor wr = groupWeights(conv.weight().value, d, grouping);
+    Mask mask(static_cast<std::size_t>(wr.numel()), 0);
+    for (std::int64_t i = 0; i < wr.numel(); ++i)
+        mask[static_cast<std::size_t>(i)] = wr[i] != 0.0f ? 1 : 0;
+    return mask;
+}
+
+} // namespace mvq::core

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Sparse training for the pruning step of the pipeline (paper Section 4.3
+ * and 6.2): SR-STE training for classification models and one-shot ASP
+ * pruning with mask-preserving fine-tuning for detection/segmentation,
+ * where the paper found SR-STE unstable.
+ */
+
+#ifndef MVQ_CORE_SPARSE_TRAIN_HPP
+#define MVQ_CORE_SPARSE_TRAIN_HPP
+
+#include <functional>
+
+#include "core/grouping.hpp"
+#include "core/nm_pruning.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dataset.hpp"
+#include "nn/trainer.hpp"
+
+namespace mvq::core {
+
+/** Options for SR-STE sparse training. */
+struct SrSteConfig
+{
+    NmPattern pattern{4, 16};
+    std::int64_t d = 16;
+    Grouping grouping = Grouping::OutputChannelWise;
+    float decay = 2e-4f; //!< SR-STE regularization on pruned weights
+    nn::TrainConfig train;
+};
+
+/**
+ * SR-STE sparse training on a classifier. The targeted conv layers keep a
+ * dense shadow copy; every step recomputes the N:M mask from the shadow,
+ * runs forward/backward with masked weights, and updates the shadow with
+ * the straight-through gradient plus the decay term on pruned weights.
+ *
+ * On return the targeted layers hold their final masked (sparse) weights.
+ *
+ * @param targets Conv layers to sparsify (others train normally).
+ * @return Final test accuracy of the sparse model.
+ */
+double srSteTrain(nn::Layer &model, std::vector<nn::Conv2d *> targets,
+                  const nn::ClassificationDataset &data,
+                  const SrSteConfig &cfg);
+
+/**
+ * One-shot magnitude (ASP-style) pruning: compute the N:M mask of each
+ * target's current weights and zero the pruned elements in place.
+ *
+ * @return Per-target masks over the grouped matrices, in target order.
+ */
+std::vector<Mask> oneShotPrune(const std::vector<nn::Conv2d *> &targets,
+                               const NmPattern &pattern, std::int64_t d,
+                               Grouping grouping);
+
+/**
+ * Build an after-step hook that re-applies fixed masks to the targets,
+ * keeping pruned weights at zero during fine-tuning. Suitable for
+ * nn::TrainConfig::after_step.
+ */
+std::function<void(nn::Layer &)> maskReapplyHook(
+    std::vector<nn::Conv2d *> targets, std::vector<Mask> masks,
+    std::int64_t d, Grouping grouping);
+
+/** Current grouped mask of a layer's weights (zeros = pruned). */
+Mask currentMask(const nn::Conv2d &conv, std::int64_t d, Grouping grouping);
+
+} // namespace mvq::core
+
+#endif // MVQ_CORE_SPARSE_TRAIN_HPP

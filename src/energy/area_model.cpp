@@ -1,0 +1,121 @@
+#include "energy/area_model.hpp"
+
+#include "common/logging.hpp"
+#include "common/math_util.hpp"
+
+namespace mvq::energy {
+
+namespace {
+
+// 40 nm unit areas in um^2, calibrated against paper Table 7:
+//   WS 64x64 array      = 0.188/0.734/2.812 mm^2 at sizes 16/32/64,
+//   EWS 64x64 array     = 4.236 mm^2 (adds the 16-deep WRF per PE),
+//   EWS-C 16 adds ~0.29 mm^2 of CRF (k=1024, d=8, 2 read ports),
+//   EWS-CMS 64x64 array = 2.129 mm^2 (H x Q multipliers + MRF + DEMUX).
+constexpr double kMultArea = 310.0;      //!< 8-bit multiplier
+constexpr double kAdderArea = 140.0;     //!< 24-bit adder (tree node)
+constexpr double kRfBitArea = 2.7;       //!< register-file bit
+constexpr double kLzcArea = 60.0;        //!< one LZC stage
+constexpr double kDemuxBitArea = 6.0;    //!< per psum DEMUX bit
+constexpr double kMuxBitArea = 6.0;      //!< per weight MUX bit
+constexpr double kPeOverhead = 225.0;    //!< PE control/pipeline misc
+constexpr double kWsWeightRegBits = 16;  //!< WS double-buffered weight reg
+
+// SRAM macro densities from the L1/L2 rows of Table 7.
+constexpr double kL1AreaPerKb = 0.484 / 128.0; //!< mm^2 per KB
+constexpr double kL2AreaPerKb = 6.924 / 2048.0;
+
+// CRF: bit area plus a port-dependent multiplier (L/d read ports).
+constexpr double kCrfPortFactor = 0.30;
+
+} // namespace
+
+TileResources
+denseTileResources(std::int64_t h, std::int64_t d, std::int64_t wrf_depth,
+                   std::int64_t weight_bits, std::int64_t psum_bits)
+{
+    (void)psum_bits;
+    TileResources r;
+    r.multipliers = h * d;
+    r.adders = h * d;
+    r.rf_bits = h * d * wrf_depth * weight_bits;
+    r.parallelism = 2 * h * d;
+    return r;
+}
+
+TileResources
+sparseTileResources(std::int64_t h, std::int64_t d, std::int64_t q,
+                    std::int64_t wrf_depth, std::int64_t weight_bits,
+                    std::int64_t psum_bits)
+{
+    TileResources r;
+    r.multipliers = h * q;
+    r.adders = h * d;
+    r.rf_bits = h * q * wrf_depth * weight_bits
+        + h * q * wrf_depth * log2Ceil(static_cast<std::uint64_t>(d));
+    r.lzc_units = h * q;
+    r.demux_bits = h * q * psum_bits;
+    r.mux_bits = h * q * weight_bits;
+    r.parallelism = 2 * h * d;
+    return r;
+}
+
+double
+tileArea(const TileResources &res)
+{
+    const double um2 =
+        static_cast<double>(res.multipliers) * kMultArea
+        + static_cast<double>(res.adders) * kAdderArea
+        + static_cast<double>(res.rf_bits) * kRfBitArea
+        + static_cast<double>(res.lzc_units) * kLzcArea
+        + static_cast<double>(res.demux_bits) * kDemuxBitArea
+        + static_cast<double>(res.mux_bits) * kMuxBitArea
+        + static_cast<double>(res.multipliers) * kPeOverhead;
+    return um2 * 1e-6;
+}
+
+AreaBreakdown
+accelArea(const sim::AccelConfig &cfg)
+{
+    AreaBreakdown area;
+    const std::int64_t h = cfg.array_h;
+    const std::int64_t l = cfg.array_l;
+
+    // The array is L/d tiles of H x d (one "tile" of width L when the
+    // tile concept does not apply).
+    if (cfg.tile == sim::TileStyle::Sparse) {
+        const std::int64_t d = cfg.vq_d;
+        const std::int64_t q = cfg.sparseQ();
+        const std::int64_t tiles = l / d;
+        area.array_mm2 = tileArea(sparseTileResources(
+            h, d, q, cfg.wrf_depth, cfg.weight_bits, cfg.psum_bits))
+            * static_cast<double>(tiles);
+    } else if (cfg.dataflow == sim::Dataflow::EWS) {
+        area.array_mm2 = tileArea(denseTileResources(
+            h, l, cfg.wrf_depth, cfg.weight_bits, cfg.psum_bits));
+    } else {
+        // WS: single (double-buffered) weight register per PE.
+        area.array_mm2 = tileArea(denseTileResources(
+            h, l, static_cast<std::int64_t>(kWsWeightRegBits)
+                / cfg.weight_bits,
+            cfg.weight_bits, cfg.psum_bits));
+    }
+
+    if (cfg.weight_stream != sim::WeightStream::Dense8b) {
+        const double crf_bits = static_cast<double>(
+            cfg.vq_k * cfg.vq_d * cfg.weight_bits);
+        const double ports = static_cast<double>(l / cfg.vq_d);
+        area.crf_mm2 = crf_bits * kRfBitArea * 1e-6
+            * (1.0 + kCrfPortFactor * ports);
+    }
+
+    area.l1_mm2 = static_cast<double>(cfg.l1_bytes) / 1024.0
+        * kL1AreaPerKb;
+    area.l2_mm2 = static_cast<double>(cfg.l2_bytes) / 1024.0
+        * kL2AreaPerKb;
+    area.other_mm2 = cfg.array_h <= 16 ? 0.787
+        : (cfg.array_h <= 32 ? 1.303 : 1.659);
+    return area;
+}
+
+} // namespace mvq::energy

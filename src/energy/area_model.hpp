@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Analytic area model (paper Tables 2 and 7). Resource counts follow
+ * Table 2 exactly; unit areas are 40 nm constants calibrated against the
+ * paper's DC-synthesis areas in Table 7 (see the constants' comments).
+ */
+
+#ifndef MVQ_ENERGY_AREA_MODEL_HPP
+#define MVQ_ENERGY_AREA_MODEL_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "sim/accel_config.hpp"
+
+namespace mvq::energy {
+
+/** Resource inventory of one H x d tile (paper Table 2). */
+struct TileResources
+{
+    std::int64_t multipliers = 0;
+    std::int64_t adders = 0;
+    std::int64_t rf_bits = 0;     //!< WRF (+MRF for the sparse tile)
+    std::int64_t lzc_units = 0;
+    std::int64_t demux_bits = 0;
+    std::int64_t mux_bits = 0;
+    std::int64_t parallelism = 0; //!< ops per cycle (2 * H * d both ways)
+};
+
+/** Table 2 resource counts for a dense EWS tile. */
+TileResources denseTileResources(std::int64_t h, std::int64_t d,
+                                 std::int64_t wrf_depth,
+                                 std::int64_t weight_bits,
+                                 std::int64_t psum_bits);
+
+/** Table 2 resource counts for the EWS-Sparse tile. */
+TileResources sparseTileResources(std::int64_t h, std::int64_t d,
+                                  std::int64_t q, std::int64_t wrf_depth,
+                                  std::int64_t weight_bits,
+                                  std::int64_t psum_bits);
+
+/** Area components of a full accelerator (paper Table 7 rows), mm^2. */
+struct AreaBreakdown
+{
+    double array_mm2 = 0.0; //!< systolic array incl. per-PE RFs
+    double crf_mm2 = 0.0;   //!< codebook register file (VQ settings)
+    double l1_mm2 = 0.0;
+    double l2_mm2 = 0.0;
+    double other_mm2 = 0.0; //!< DMA, peripherals, interconnect
+
+    double
+    accel_mm2() const
+    {
+        return array_mm2 + crf_mm2;
+    }
+
+    double
+    total_mm2() const
+    {
+        return accel_mm2() + l1_mm2 + l2_mm2 + other_mm2;
+    }
+};
+
+/** Area of a configured accelerator. */
+AreaBreakdown accelArea(const sim::AccelConfig &cfg);
+
+/** Tile area in mm^2 from a resource inventory. */
+double tileArea(const TileResources &res);
+
+} // namespace mvq::energy
+
+#endif // MVQ_ENERGY_AREA_MODEL_HPP

@@ -1,0 +1,104 @@
+#include "energy/competitors.hpp"
+
+#include "energy/tech_scaling.hpp"
+
+namespace mvq::energy {
+
+std::vector<AcceleratorSpec>
+priorWorkSpecs()
+{
+    std::vector<AcceleratorSpec> specs;
+
+    AcceleratorSpec sparten;
+    sparten.name = "SparTen";
+    sparten.venue = "MICRO19";
+    sparten.process_nm = 45;
+    sparten.freq_ghz = 0.8;
+    sparten.sram = "NA";
+    sparten.macs = 32;
+    sparten.sparse_granularity = "Random";
+    sparten.sparsity = "NA";
+    sparten.quantization = "INT8";
+    sparten.workload = "AlexNet";
+    sparten.dataflow = "OS";
+    sparten.peak_tops = 0.2;
+    sparten.area_mm2 = 0.766;
+    sparten.efficiency_tops_w = 0.68;
+    specs.push_back(sparten);
+
+    AcceleratorSpec cgnet;
+    cgnet.name = "CGNet";
+    cgnet.venue = "MICRO19";
+    cgnet.process_nm = 28;
+    cgnet.freq_ghz = 0.5;
+    cgnet.sram = "606K+576K";
+    cgnet.macs = 576;
+    cgnet.sparse_granularity = "Channel-wise";
+    cgnet.sparsity = "60%";
+    cgnet.quantization = "INT8";
+    cgnet.compression_ratio = 10.0;
+    cgnet.workload = "ResNet18";
+    cgnet.dataflow = "WS";
+    cgnet.peak_tops = 2.4;
+    cgnet.area_mm2 = 5.574;
+    cgnet.efficiency_tops_w = 4.5;
+    specs.push_back(cgnet);
+
+    AcceleratorSpec spots;
+    spots.name = "SPOTS";
+    spots.venue = "TACO22";
+    spots.process_nm = 45;
+    spots.freq_ghz = 0.5;
+    spots.sram = "1M+512K";
+    spots.macs = 512;
+    spots.sparse_granularity = "Group-wise";
+    spots.sparsity = "27%";
+    spots.quantization = "INT16";
+    spots.compression_ratio = 3.0;
+    spots.workload = "VGG16";
+    spots.dataflow = "OS";
+    spots.peak_tops = 0.5;
+    spots.area_mm2 = 8.61;
+    spots.efficiency_tops_w = 0.47;
+    specs.push_back(spots);
+
+    AcceleratorSpec s2ta16;
+    s2ta16.name = "S2TA-16nm";
+    s2ta16.venue = "HPCA22";
+    s2ta16.process_nm = 16;
+    s2ta16.freq_ghz = 1.0;
+    s2ta16.sram = "2M+512K";
+    s2ta16.macs = 2048;
+    s2ta16.sparse_granularity = "N:M";
+    s2ta16.sparsity = "50%";
+    s2ta16.quantization = "INT8";
+    s2ta16.compression_ratio = 6.4;
+    s2ta16.workload = "AlexNet";
+    s2ta16.dataflow = "OS";
+    s2ta16.peak_tops = 8.0;
+    s2ta16.area_mm2 = 3.8;
+    s2ta16.efficiency_tops_w = 14.0;
+    specs.push_back(s2ta16);
+
+    AcceleratorSpec s2ta65 = s2ta16;
+    s2ta65.name = "S2TA-65nm";
+    s2ta65.process_nm = 65;
+    s2ta65.freq_ghz = 0.5;
+    s2ta65.peak_tops = 4.0;
+    s2ta65.area_mm2 = 24.0;
+    s2ta65.efficiency_tops_w = 1.1;
+    specs.push_back(s2ta65);
+
+    return specs;
+}
+
+void
+normalizeEfficiencies(std::vector<AcceleratorSpec> &specs)
+{
+    for (auto &s : specs) {
+        s.normalized_tops_w =
+            s.efficiency_tops_w * efficiencyTo40nm(s.process_nm);
+    }
+}
+
+} // namespace mvq::energy

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Published specifications of the sparse CNN accelerators compared in
+ * paper Table 9 (SparTen MICRO'19, CGNet MICRO'19, SPOTS TACO'22, S2TA
+ * HPCA'22), plus helpers to assemble the MVQ rows from our own models.
+ */
+
+#ifndef MVQ_ENERGY_COMPETITORS_HPP
+#define MVQ_ENERGY_COMPETITORS_HPP
+
+#include <string>
+#include <vector>
+
+namespace mvq::energy {
+
+/** One accelerator row of Table 9. */
+struct AcceleratorSpec
+{
+    std::string name;
+    std::string venue;
+    int process_nm = 40;
+    double freq_ghz = 0.0;
+    std::string sram;
+    std::int64_t macs = 0;
+    std::string sparse_granularity;
+    std::string sparsity;
+    std::string quantization;
+    double compression_ratio = 0.0; //!< 0 = not reported
+    std::string workload;
+    std::string dataflow;
+    double peak_tops = 0.0;
+    double area_mm2 = 0.0;
+    double efficiency_tops_w = 0.0;  //!< as published, native node
+    double normalized_tops_w = 0.0;  //!< 40 nm normalized (computed)
+};
+
+/** The four prior-work rows with their published numbers. */
+std::vector<AcceleratorSpec> priorWorkSpecs();
+
+/** Fill normalized_tops_w from efficiency_tops_w via Stillmaker. */
+void normalizeEfficiencies(std::vector<AcceleratorSpec> &specs);
+
+} // namespace mvq::energy
+
+#endif // MVQ_ENERGY_COMPETITORS_HPP

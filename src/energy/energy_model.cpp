@@ -1,0 +1,81 @@
+#include "energy/energy_model.hpp"
+
+namespace mvq::energy {
+
+EnergyBreakdown
+energyFromCounters(const sim::Counters &c, const EnergyCosts &costs)
+{
+    EnergyBreakdown e;
+    e.mac = static_cast<double>(c.macs) * costs.mac
+        + static_cast<double>(c.gated_macs) * costs.gated_mac;
+    e.rf = static_cast<double>(c.wrf_reads + c.wrf_writes)
+            * costs.wrf_per_access
+        + static_cast<double>(c.arf_reads + c.arf_writes)
+            * costs.arf_per_access
+        + static_cast<double>(c.prf_reads + c.prf_writes)
+            * costs.prf_per_access
+        + static_cast<double>(c.crf_reads + c.crf_writes)
+            * costs.crf_per_access
+        + static_cast<double>(c.mrf_reads + c.mrf_writes)
+            * costs.mrf_per_access;
+    e.l1 = static_cast<double>(c.l1_read_bytes + c.l1_write_bytes)
+        * costs.l1_per_byte;
+    e.l2 = static_cast<double>(c.l2_read_bytes + c.l2_write_bytes)
+        * costs.l2_per_byte;
+    e.dram = static_cast<double>(c.dram_read_bytes + c.dram_write_bytes)
+        * costs.dram_per_byte;
+    return e;
+}
+
+namespace {
+
+/** Fixed system power (CPU, DMA, interconnect, IO) by array size, mW. */
+double
+otherPowerMw(const sim::AccelConfig &cfg)
+{
+    if (cfg.array_h <= 16)
+        return 10.0;
+    if (cfg.array_h <= 32)
+        return 13.0;
+    return 18.0;
+}
+
+} // namespace
+
+PowerBreakdown
+powerBreakdown(const perf::NetworkPerf &perf, const sim::AccelConfig &cfg,
+               const EnergyCosts &costs)
+{
+    const EnergyBreakdown e = energyFromCounters(perf.totals, costs);
+    const double pj = costs.mac_energy_pj;
+    const double seconds = perf.seconds;
+
+    PowerBreakdown p;
+    // units * pJ / s = pW -> convert to mW.
+    p.accel_mw = e.accel() * pj / seconds * 1e-9;
+    p.l1_mw = e.l1 * pj / seconds * 1e-9;
+    p.l2_mw = e.l2 * pj / seconds * 1e-9;
+    p.other_mw = otherPowerMw(cfg);
+    return p;
+}
+
+double
+topsPerWatt(const perf::NetworkPerf &perf, const sim::AccelConfig &cfg,
+            const EnergyCosts &costs)
+{
+    const EnergyBreakdown e = energyFromCounters(perf.totals, costs);
+    const double other_j = otherPowerMw(cfg) * 1e-3 * perf.seconds;
+    const double joules = e.onChip() * costs.mac_energy_pj * 1e-12
+        + other_j;
+    const double ops = 2.0 * static_cast<double>(perf.dense_macs);
+    return ops / joules / 1e12;
+}
+
+double
+dataAccessEnergy(const perf::NetworkPerf &perf, const EnergyCosts &costs)
+{
+    const EnergyBreakdown e = energyFromCounters(perf.totals, costs);
+    return e.dram + e.l2 + e.l1 + e.rf;
+}
+
+} // namespace mvq::energy

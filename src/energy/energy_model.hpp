@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Energy model built on the paper's Table 8 normalized access costs
+ * (unit = one MAC operation): DRAM 200, L2 15, L1 6, PRF 0.22, ARF 0.11,
+ * WRF 0.02, CRF 0.02 (we use the CRF cost for the MRF as well — both are
+ * small register files of similar width). Memory costs are per byte;
+ * register-file costs are per word access; a zero-gated MAC retains a
+ * small residual switching cost.
+ */
+
+#ifndef MVQ_ENERGY_ENERGY_MODEL_HPP
+#define MVQ_ENERGY_ENERGY_MODEL_HPP
+
+#include <string>
+
+#include "perf/network_perf.hpp"
+#include "sim/counters.hpp"
+
+namespace mvq::energy {
+
+/** Normalized access costs (Table 8). */
+struct EnergyCosts
+{
+    double mac = 1.0;
+    double gated_mac = 0.1; //!< residual cost of a gated MAC slot
+    double dram_per_byte = 200.0;
+    double l2_per_byte = 15.0;
+    double l1_per_byte = 6.0;
+    double prf_per_access = 0.22;
+    double arf_per_access = 0.11;
+    double wrf_per_access = 0.02;
+    double crf_per_access = 0.02;
+    double mrf_per_access = 0.02;
+
+    /**
+     * Absolute energy of one MAC in picojoules (40 nm, 0.99 V int8 MAC
+     * plus local control). Calibrated so the EWS baseline lands in the
+     * paper's Fig. 19 TOPS/W range.
+     */
+    double mac_energy_pj = 0.70;
+};
+
+/** Energy breakdown in normalized MAC units. */
+struct EnergyBreakdown
+{
+    double mac = 0.0;       //!< useful + gated MAC energy
+    double rf = 0.0;        //!< WRF + ARF + PRF + CRF + MRF
+    double l1 = 0.0;
+    double l2 = 0.0;
+    double dram = 0.0;
+
+    double
+    accel() const
+    {
+        return mac + rf; //!< the paper's "Accel" (array + RFs)
+    }
+
+    double
+    onChip() const
+    {
+        return mac + rf + l1 + l2;
+    }
+
+    double
+    total() const
+    {
+        return onChip() + dram;
+    }
+};
+
+/** Energy from a counter set. */
+EnergyBreakdown energyFromCounters(const sim::Counters &c,
+                                   const EnergyCosts &costs);
+
+/** Power split matching paper Fig. 16 (Accel / L1 / L2 / Other). */
+struct PowerBreakdown
+{
+    double accel_mw = 0.0;
+    double l1_mw = 0.0;
+    double l2_mw = 0.0;
+    double other_mw = 0.0; //!< CPU, DMA, interfaces, IO
+
+    double
+    total_mw() const
+    {
+        return accel_mw + l1_mw + l2_mw + other_mw;
+    }
+};
+
+/**
+ * Power while running a network: per-component energy / runtime, plus
+ * the fixed system power (CPU + DMA + IO) that scales with array size.
+ */
+PowerBreakdown powerBreakdown(const perf::NetworkPerf &perf,
+                              const sim::AccelConfig &cfg,
+                              const EnergyCosts &costs);
+
+/**
+ * Energy efficiency in TOPS/W over the on-chip energy (the paper's
+ * Fig. 19 explicitly excludes main-memory access).
+ */
+double topsPerWatt(const perf::NetworkPerf &perf,
+                   const sim::AccelConfig &cfg, const EnergyCosts &costs);
+
+/**
+ * Total data-access energy (all levels including DRAM) in MAC units —
+ * the quantity whose ratio gives the paper's Fig. 15 reduction factors.
+ */
+double dataAccessEnergy(const perf::NetworkPerf &perf,
+                        const EnergyCosts &costs);
+
+} // namespace mvq::energy
+
+#endif // MVQ_ENERGY_ENERGY_MODEL_HPP

@@ -1,0 +1,35 @@
+#include "energy/tech_scaling.hpp"
+
+#include "common/logging.hpp"
+
+namespace mvq::energy {
+
+double
+efficiencyTo40nm(int node_nm)
+{
+    // Stillmaker scaling of switching energy (C*V^2) between nodes,
+    // evaluated at nominal voltage. The 16 nm entry matches the paper's
+    // S2TA normalization (14 -> 1.64 TOPS/W).
+    switch (node_nm) {
+      case 16:
+        return 1.64 / 14.0; // 0.117x
+      case 28:
+        return 0.54;
+      case 40:
+        return 1.0;
+      case 45:
+        return 1.43;
+      case 65:
+        return 1.99;
+      default:
+        fatal("no 40 nm scaling factor for node ", node_nm, " nm");
+    }
+}
+
+double
+energyRatioVs40nm(int node_nm)
+{
+    return 1.0 / efficiencyTo40nm(node_nm);
+}
+
+} // namespace mvq::energy

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Process normalization following Stillmaker & Baas, "Scaling equations
+ * for the accurate prediction of CMOS device performance from 180 nm to
+ * 7 nm" (Integration 58, 2017), which the paper cites for Table 9's
+ * normalized-efficiency row. The factors below convert an energy
+ * efficiency measured at a given node to its 40 nm equivalent.
+ */
+
+#ifndef MVQ_ENERGY_TECH_SCALING_HPP
+#define MVQ_ENERGY_TECH_SCALING_HPP
+
+namespace mvq::energy {
+
+/**
+ * Multiplier applied to TOPS/W measured at `node_nm` to express it at
+ * 40 nm. Nodes smaller than 40 nm are penalized (their energy advantage
+ * is removed); larger nodes are boosted.
+ *
+ * Supported nodes: 16, 28, 40, 45, 65 (fatal otherwise).
+ */
+double efficiencyTo40nm(int node_nm);
+
+/** Energy-per-op ratio of `node_nm` relative to 40 nm (inverse factor). */
+double energyRatioVs40nm(int node_nm);
+
+} // namespace mvq::energy
+
+#endif // MVQ_ENERGY_TECH_SCALING_HPP

@@ -1,0 +1,316 @@
+#include "models/detector.hpp"
+
+#include <numeric>
+
+#include "common/logging.hpp"
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/pooling.hpp"
+#include "nn/reshape.hpp"
+#include "nn/upsample.hpp"
+#include "tensor/ops.hpp"
+
+namespace mvq::models {
+
+namespace {
+
+void
+convBnRelu(nn::Sequential &seq, const std::string &name, Rng &rng,
+           std::int64_t in_c, std::int64_t out_c, std::int64_t kernel,
+           std::int64_t stride, std::int64_t pad)
+{
+    nn::Conv2dConfig cfg{in_c, out_c, kernel, stride, pad, 1, false};
+    seq.add<nn::Conv2d>(name, cfg, rng);
+    seq.add<nn::BatchNorm2d>(name + ".bn", out_c);
+    seq.add<nn::ReLU>(name + ".relu");
+}
+
+} // namespace
+
+MiniDetector::MiniDetector(const MiniConfig &cfg, std::int64_t image_size)
+{
+    fatalIf(image_size % 2 != 0, "detector expects even image size");
+    Rng rng(cfg.seed);
+    const std::int64_t w = cfg.width;
+
+    backbone_ = std::make_unique<nn::Sequential>("backbone");
+    convBnRelu(*backbone_, "stem", rng, cfg.in_channels, w, 3, 1, 1);
+    convBnRelu(*backbone_, "c1", rng, w, 2 * w, 3, 2, 1);
+    convBnRelu(*backbone_, "c2", rng, 2 * w, 2 * w, 3, 1, 1);
+    convBnRelu(*backbone_, "c3", rng, 2 * w, 4 * w, 3, 1, 1);
+
+    classHead = std::make_unique<nn::Sequential>("class_head");
+    classHead->add<nn::GlobalAvgPool>("class_gap");
+    classHead->add<nn::Linear>("class_fc", 4 * w, cfg.classes, rng);
+
+    boxHead = std::make_unique<nn::Sequential>("box_head");
+    boxHead->add<nn::Flatten>("box_flatten");
+    const std::int64_t feat = image_size / 2;
+    boxHead->add<nn::Linear>("box_fc", 4 * w * feat * feat, 4, rng);
+
+    maskHead = std::make_unique<nn::Sequential>("mask_head");
+    nn::Conv2dConfig mask_cfg{4 * w, 2, 3, 1, 1, 1, true};
+    Rng mask_rng(cfg.seed + 1);
+    maskHead->add<nn::Conv2d>("mask_conv", mask_cfg, mask_rng);
+    maskHead->add<nn::UpsampleNearest>("mask_up", 2);
+}
+
+DetectorOutput
+MiniDetector::forwardAll(const Tensor &images, bool train)
+{
+    Tensor feat = backbone_->forward(images, train);
+    DetectorOutput out;
+    out.class_logits = classHead->forward(feat, train);
+    out.box_pred = boxHead->forward(feat, train);
+    out.mask_logits = maskHead->forward(feat, train);
+    return out;
+}
+
+void
+MiniDetector::backwardAll(const Tensor &g_class, const Tensor &g_box,
+                          const Tensor &g_mask)
+{
+    Tensor g_feat = classHead->backward(g_class);
+    // The box head trains as a regression probe on the shared features:
+    // its parameter gradients are kept, but its feature gradient is not
+    // propagated into the backbone. Joint propagation destabilizes the
+    // classification features at these model scales (the full-scale
+    // analogue is the paper's frozen-backbone fine-tuning of heads).
+    boxHead->backward(g_box);
+    addInPlace(g_feat, maskHead->backward(g_mask));
+    backbone_->backward(g_feat);
+}
+
+Tensor
+MiniDetector::forward(const Tensor &, bool)
+{
+    panic("MiniDetector::forward: use forwardAll");
+}
+
+Tensor
+MiniDetector::backward(const Tensor &)
+{
+    panic("MiniDetector::backward: use backwardAll");
+}
+
+std::vector<nn::Layer *>
+MiniDetector::children()
+{
+    return {backbone_.get(), classHead.get(), boxHead.get(),
+            maskHead.get()};
+}
+
+namespace {
+
+/** Ground-truth tensors for one batch. */
+struct DetTargets
+{
+    std::vector<int> labels;
+    Tensor boxes;            //!< [N, 4] normalized
+    std::vector<int> mask_px; //!< N*H*W {0,1}
+};
+
+DetTargets
+gatherTargets(const nn::DetectionDataset &data,
+              const std::vector<nn::DetSample> &set,
+              const std::vector<int> &indices)
+{
+    const auto s = static_cast<float>(data.config().size);
+    DetTargets t;
+    t.boxes = Tensor(Shape({static_cast<std::int64_t>(indices.size()), 4}));
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+        const auto &smp = set[static_cast<std::size_t>(indices[i])];
+        t.labels.push_back(smp.label);
+        t.boxes.at(static_cast<std::int64_t>(i), 0) = smp.box.x0 / s;
+        t.boxes.at(static_cast<std::int64_t>(i), 1) = smp.box.y0 / s;
+        t.boxes.at(static_cast<std::int64_t>(i), 2) = smp.box.x1 / s;
+        t.boxes.at(static_cast<std::int64_t>(i), 3) = smp.box.y1 / s;
+        t.mask_px.insert(t.mask_px.end(), smp.mask.begin(),
+                         smp.mask.end());
+    }
+    return t;
+}
+
+/** Joint loss; fills gradients for all three heads. */
+struct DetLoss
+{
+    double loss = 0.0;
+    Tensor g_class;
+    Tensor g_box;
+    Tensor g_mask;
+};
+
+DetLoss
+detectorLoss(const DetectorOutput &out, const DetTargets &targets,
+             const DetectorTrainConfig &cfg)
+{
+    DetLoss dl;
+    nn::LossResult cls = nn::softmaxCrossEntropy(out.class_logits,
+                                                 targets.labels);
+    nn::LossResult box = nn::mseLoss(out.box_pred, targets.boxes);
+    nn::LossResult mask = nn::pixelwiseCrossEntropy(out.mask_logits,
+                                                    targets.mask_px);
+    dl.loss = cls.loss + cfg.box_loss_weight * box.loss
+        + cfg.mask_loss_weight * mask.loss;
+    dl.g_class = cls.grad;
+    dl.g_box = box.grad;
+    scaleInPlace(dl.g_box, cfg.box_loss_weight);
+    dl.g_mask = mask.grad;
+    scaleInPlace(dl.g_mask, cfg.mask_loss_weight);
+    return dl;
+}
+
+} // namespace
+
+void
+trainDetector(MiniDetector &det, const nn::DetectionDataset &data,
+              const DetectorTrainConfig &cfg)
+{
+    Rng rng(cfg.seed);
+    nn::Sgd opt(cfg.lr, cfg.momentum, 1e-4f);
+    const auto &train_set = data.trainSet();
+
+    for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+        std::vector<int> order(train_set.size());
+        std::iota(order.begin(), order.end(), 0);
+        rng.shuffle(order);
+        for (std::size_t start = 0; start < order.size();
+             start += static_cast<std::size_t>(cfg.batch_size)) {
+            const std::size_t end = std::min(order.size(),
+                start + static_cast<std::size_t>(cfg.batch_size));
+            std::vector<int> batch(order.begin()
+                + static_cast<std::ptrdiff_t>(start),
+                order.begin() + static_cast<std::ptrdiff_t>(end));
+
+            Tensor images = data.batchImages(train_set, batch);
+            DetTargets targets = gatherTargets(data, train_set, batch);
+            det.zeroGrad();
+            DetectorOutput out = det.forwardAll(images, /*train=*/true);
+            DetLoss dl = detectorLoss(out, targets, cfg);
+            det.backwardAll(dl.g_class, dl.g_box, dl.g_mask);
+            opt.step(det.allParameters());
+        }
+    }
+}
+
+DetMetrics
+evalDetector(MiniDetector &det, const nn::DetectionDataset &data,
+             const std::vector<nn::DetSample> &set, int batch_size)
+{
+    const float s = static_cast<float>(data.config().size);
+    std::size_t bb_hits = 0;
+    std::size_t mk_hits = 0;
+    std::size_t total = 0;
+
+    for (std::size_t i = 0; i < set.size();
+         i += static_cast<std::size_t>(batch_size)) {
+        const std::size_t end =
+            std::min(set.size(), i + static_cast<std::size_t>(batch_size));
+        std::vector<int> idx;
+        for (std::size_t j = i; j < end; ++j)
+            idx.push_back(static_cast<int>(j));
+        Tensor images = data.batchImages(set, idx);
+        DetectorOutput out = det.forwardAll(images, /*train=*/false);
+        const std::vector<int> pred = nn::argmaxRows(out.class_logits);
+
+        const std::int64_t hh = out.mask_logits.dim(2);
+        const std::int64_t ww = out.mask_logits.dim(3);
+        for (std::size_t j = 0; j < idx.size(); ++j) {
+            const auto &smp = set[static_cast<std::size_t>(idx[j])];
+            const bool class_ok = pred[j] == smp.label;
+            const std::int64_t n = static_cast<std::int64_t>(j);
+
+            // Predicted box: the tight bounding box of the predicted
+            // foreground mask (blended with the auxiliary regressor's
+            // output when the mask is empty). Boxes are more forgiving
+            // than masks, so AP_bb >= AP_mk, as in the paper's Table 6.
+            std::int64_t bx0 = ww, by0 = hh, bx1 = -1, by1 = -1;
+            std::int64_t inter = 0, uni = 0;
+            for (std::int64_t y = 0; y < hh; ++y) {
+                for (std::int64_t x = 0; x < ww; ++x) {
+                    const bool p = out.mask_logits.at(n, 1, y, x)
+                        > out.mask_logits.at(n, 0, y, x);
+                    const bool g = smp.mask[static_cast<std::size_t>(
+                        y * ww + x)] != 0;
+                    if (p) {
+                        bx0 = std::min(bx0, x);
+                        by0 = std::min(by0, y);
+                        bx1 = std::max(bx1, x + 1);
+                        by1 = std::max(by1, y + 1);
+                    }
+                    if (p && g)
+                        ++inter;
+                    if (p || g)
+                        ++uni;
+                }
+            }
+            nn::Box pb;
+            if (bx1 > bx0) {
+                pb = nn::Box{static_cast<float>(bx0),
+                             static_cast<float>(by0),
+                             static_cast<float>(bx1),
+                             static_cast<float>(by1)};
+            } else {
+                pb.x0 = std::clamp(out.box_pred.at(n, 0), 0.0f, 1.0f) * s;
+                pb.y0 = std::clamp(out.box_pred.at(n, 1), 0.0f, 1.0f) * s;
+                pb.x1 = std::clamp(out.box_pred.at(n, 2), 0.0f, 1.0f) * s;
+                pb.y1 = std::clamp(out.box_pred.at(n, 3), 0.0f, 1.0f) * s;
+            }
+            if (class_ok && nn::boxIou(pb, smp.box) > 0.5f)
+                ++bb_hits;
+            const double miou = uni > 0
+                ? static_cast<double>(inter) / static_cast<double>(uni)
+                : 0.0;
+            if (class_ok && miou > 0.5)
+                ++mk_hits;
+            ++total;
+        }
+    }
+
+    DetMetrics m;
+    m.ap_bb = 100.0 * static_cast<double>(bb_hits)
+        / static_cast<double>(total);
+    m.ap_mk = 100.0 * static_cast<double>(mk_hits)
+        / static_cast<double>(total);
+    return m;
+}
+
+DetMetrics
+finetuneCompressedDetector(core::CompressedModel &cm, MiniDetector &det,
+                           const nn::DetectionDataset &data,
+                           const core::FinetuneConfig &cfg,
+                           const DetectorTrainConfig &train_cfg)
+{
+    core::CodebookTrainer tuner(cm, det, cfg);
+    Rng rng(cfg.seed);
+    const auto &train_set = data.trainSet();
+
+    for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+        std::vector<int> order(train_set.size());
+        std::iota(order.begin(), order.end(), 0);
+        rng.shuffle(order);
+        for (std::size_t start = 0; start < order.size();
+             start += static_cast<std::size_t>(cfg.batch_size)) {
+            const std::size_t end = std::min(order.size(),
+                start + static_cast<std::size_t>(cfg.batch_size));
+            std::vector<int> batch(order.begin()
+                + static_cast<std::ptrdiff_t>(start),
+                order.begin() + static_cast<std::ptrdiff_t>(end));
+
+            Tensor images = data.batchImages(train_set, batch);
+            DetTargets targets = gatherTargets(data, train_set, batch);
+            det.zeroGrad();
+            DetectorOutput out = det.forwardAll(images, /*train=*/true);
+            DetLoss dl = detectorLoss(out, targets, train_cfg);
+            det.backwardAll(dl.g_class, dl.g_box, dl.g_mask);
+            tuner.step();
+        }
+    }
+    return evalDetector(det, data, data.testSet());
+}
+
+} // namespace mvq::models

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Detection-proxy model standing in for the paper's ResNet-50 Mask-RCNN
+ * (Table 6). A shared conv backbone feeds three heads: classification
+ * (GAP + FC), box regression (GAP + FC -> normalized x0,y0,x1,y1), and a
+ * dense 2-class mask head. Metrics are AP proxies: the fraction of test
+ * images whose class is correct AND whose predicted box (resp. mask) has
+ * IoU > 0.5 with the ground truth. DESIGN.md documents this substitution.
+ */
+
+#ifndef MVQ_MODELS_DETECTOR_HPP
+#define MVQ_MODELS_DETECTOR_HPP
+
+#include "core/compressed_layer.hpp"
+#include "core/finetune.hpp"
+#include "models/mini_models.hpp"
+#include "nn/dataset.hpp"
+
+namespace mvq::models {
+
+/** The three head outputs of one forward pass. */
+struct DetectorOutput
+{
+    Tensor class_logits; //!< [N, classes]
+    Tensor box_pred;     //!< [N, 4], normalized corners
+    Tensor mask_logits;  //!< [N, 2, H, W]
+};
+
+/**
+ * Multi-head detector. Implements Layer only for parameter/conv traversal
+ * (children()); use detectorForward/detectorBackward instead of the Layer
+ * forward/backward, which panic by design.
+ */
+class MiniDetector : public nn::Layer
+{
+  public:
+    MiniDetector(const MiniConfig &cfg, std::int64_t image_size);
+
+    DetectorOutput forwardAll(const Tensor &images, bool train);
+
+    /** Backward through all three heads and the backbone. */
+    void backwardAll(const Tensor &g_class, const Tensor &g_box,
+                     const Tensor &g_mask);
+
+    nn::Sequential &backbone() { return *backbone_; }
+
+    // Layer interface (traversal only).
+    Tensor forward(const Tensor &, bool) override;
+    Tensor backward(const Tensor &) override;
+    std::vector<nn::Layer *> children() override;
+    std::string name() const override { return "mini_detector"; }
+
+  private:
+    std::unique_ptr<nn::Sequential> backbone_;
+    std::unique_ptr<nn::Sequential> classHead;
+    std::unique_ptr<nn::Sequential> boxHead;
+    std::unique_ptr<nn::Sequential> maskHead;
+};
+
+/** AP-proxy metrics (percent, 0-100). */
+struct DetMetrics
+{
+    double ap_bb = 0.0;
+    double ap_mk = 0.0;
+};
+
+/** Options for detector training. */
+struct DetectorTrainConfig
+{
+    int epochs = 8;
+    int batch_size = 32;
+    float lr = 0.05f;
+    float momentum = 0.9f;
+    float box_loss_weight = 4.0f;
+    float mask_loss_weight = 0.5f;
+    std::uint64_t seed = 37;
+};
+
+/** Train the detector with SGD on the joint loss. */
+void trainDetector(MiniDetector &det, const nn::DetectionDataset &data,
+                   const DetectorTrainConfig &cfg);
+
+/** Evaluate AP proxies over a sample set. */
+DetMetrics evalDetector(MiniDetector &det, const nn::DetectionDataset &data,
+                        const std::vector<nn::DetSample> &set,
+                        int batch_size = 32);
+
+/**
+ * Codebook fine-tuning of a compressed detector backbone, driving
+ * core::CodebookTrainer with the detector's custom forward/backward.
+ */
+DetMetrics finetuneCompressedDetector(core::CompressedModel &cm,
+                                      MiniDetector &det,
+                                      const nn::DetectionDataset &data,
+                                      const core::FinetuneConfig &cfg,
+                                      const DetectorTrainConfig &train_cfg);
+
+} // namespace mvq::models
+
+#endif // MVQ_MODELS_DETECTOR_HPP

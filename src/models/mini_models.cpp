@@ -1,0 +1,287 @@
+#include "models/mini_models.hpp"
+
+#include "common/logging.hpp"
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+#include "nn/reshape.hpp"
+#include "nn/residual.hpp"
+#include "nn/upsample.hpp"
+
+namespace mvq::models {
+
+namespace {
+
+using nn::Conv2dConfig;
+
+/** conv + BN + ReLU convenience. */
+void
+convBnRelu(nn::Sequential &seq, const std::string &name, Rng &rng,
+           std::int64_t in_c, std::int64_t out_c, std::int64_t kernel,
+           std::int64_t stride, std::int64_t pad, std::int64_t groups = 1,
+           bool relu6 = false)
+{
+    Conv2dConfig cfg;
+    cfg.in_channels = in_c;
+    cfg.out_channels = out_c;
+    cfg.kernel = kernel;
+    cfg.stride = stride;
+    cfg.pad = pad;
+    cfg.groups = groups;
+    seq.add<nn::Conv2d>(name, cfg, rng);
+    seq.add<nn::BatchNorm2d>(name + ".bn", out_c);
+    seq.add<nn::ReLU>(name + ".relu", relu6);
+}
+
+/** ResNet basic block. */
+std::unique_ptr<nn::Residual>
+basicBlock(const std::string &name, Rng &rng, std::int64_t in_c,
+           std::int64_t out_c, std::int64_t stride)
+{
+    auto main = std::make_unique<nn::Sequential>(name + ".main");
+    Conv2dConfig c1{in_c, out_c, 3, stride, 1, 1, false};
+    main->add<nn::Conv2d>(name + ".conv1", c1, rng);
+    main->add<nn::BatchNorm2d>(name + ".bn1", out_c);
+    main->add<nn::ReLU>(name + ".relu1");
+    Conv2dConfig c2{out_c, out_c, 3, 1, 1, 1, false};
+    main->add<nn::Conv2d>(name + ".conv2", c2, rng);
+    main->add<nn::BatchNorm2d>(name + ".bn2", out_c);
+
+    std::unique_ptr<nn::Sequential> skip;
+    if (stride != 1 || in_c != out_c) {
+        skip = std::make_unique<nn::Sequential>(name + ".skip");
+        Conv2dConfig cd{in_c, out_c, 1, stride, 0, 1, false};
+        skip->add<nn::Conv2d>(name + ".down", cd, rng);
+        skip->add<nn::BatchNorm2d>(name + ".bn_down", out_c);
+    }
+    return std::make_unique<nn::Residual>(name, std::move(main),
+                                          std::move(skip), true);
+}
+
+/** ResNet bottleneck block (1x1 -> 3x3 -> 1x1 with 4x expansion). */
+std::unique_ptr<nn::Residual>
+bottleneckBlock(const std::string &name, Rng &rng, std::int64_t in_c,
+                std::int64_t mid_c, std::int64_t stride)
+{
+    const std::int64_t out_c = mid_c * 4;
+    auto main = std::make_unique<nn::Sequential>(name + ".main");
+    Conv2dConfig c1{in_c, mid_c, 1, 1, 0, 1, false};
+    main->add<nn::Conv2d>(name + ".conv1", c1, rng);
+    main->add<nn::BatchNorm2d>(name + ".bn1", mid_c);
+    main->add<nn::ReLU>(name + ".relu1");
+    Conv2dConfig c2{mid_c, mid_c, 3, stride, 1, 1, false};
+    main->add<nn::Conv2d>(name + ".conv2", c2, rng);
+    main->add<nn::BatchNorm2d>(name + ".bn2", mid_c);
+    main->add<nn::ReLU>(name + ".relu2");
+    Conv2dConfig c3{mid_c, out_c, 1, 1, 0, 1, false};
+    main->add<nn::Conv2d>(name + ".conv3", c3, rng);
+    main->add<nn::BatchNorm2d>(name + ".bn3", out_c);
+
+    std::unique_ptr<nn::Sequential> skip;
+    if (stride != 1 || in_c != out_c) {
+        skip = std::make_unique<nn::Sequential>(name + ".skip");
+        Conv2dConfig cd{in_c, out_c, 1, stride, 0, 1, false};
+        skip->add<nn::Conv2d>(name + ".down", cd, rng);
+        skip->add<nn::BatchNorm2d>(name + ".bn_down", out_c);
+    }
+    return std::make_unique<nn::Residual>(name, std::move(main),
+                                          std::move(skip), true);
+}
+
+/** MobileNet-v2 inverted residual block. */
+std::unique_ptr<nn::Layer>
+invertedResidual(const std::string &name, Rng &rng, std::int64_t in_c,
+                 std::int64_t out_c, std::int64_t expand,
+                 std::int64_t stride, std::int64_t kernel = 3)
+{
+    const std::int64_t hidden = in_c * expand;
+    auto main = std::make_unique<nn::Sequential>(name + ".main");
+    if (expand != 1)
+        convBnRelu(*main, name + ".expand", rng, in_c, hidden, 1, 1, 0, 1,
+                   true);
+    convBnRelu(*main, name + ".dw", rng, hidden, hidden, kernel, stride,
+               kernel / 2, hidden, true);
+    Conv2dConfig proj{hidden, out_c, 1, 1, 0, 1, false};
+    main->add<nn::Conv2d>(name + ".project", proj, rng);
+    main->add<nn::BatchNorm2d>(name + ".bn_project", out_c);
+
+    if (stride == 1 && in_c == out_c) {
+        // Linear bottleneck: no ReLU after the residual addition.
+        return std::make_unique<nn::Residual>(name, std::move(main),
+                                              nullptr, false);
+    }
+    return main;
+}
+
+} // namespace
+
+std::unique_ptr<nn::Sequential>
+miniResNet18(const MiniConfig &cfg)
+{
+    Rng rng(cfg.seed);
+    const std::int64_t w = cfg.width;
+    auto net = std::make_unique<nn::Sequential>("resnet18_mini");
+    convBnRelu(*net, "stem", rng, cfg.in_channels, w, 3, 1, 1);
+    net->addLayer(basicBlock("layer1.0", rng, w, w, 1));
+    net->addLayer(basicBlock("layer2.0", rng, w, 2 * w, 2));
+    net->addLayer(basicBlock("layer3.0", rng, 2 * w, 4 * w, 2));
+    net->add<nn::GlobalAvgPool>("gap");
+    net->add<nn::Linear>("fc", 4 * w, cfg.classes, rng);
+    return net;
+}
+
+std::unique_ptr<nn::Sequential>
+miniResNet50(const MiniConfig &cfg)
+{
+    Rng rng(cfg.seed);
+    const std::int64_t w = cfg.width;
+    auto net = std::make_unique<nn::Sequential>("resnet50_mini");
+    convBnRelu(*net, "stem", rng, cfg.in_channels, w, 3, 1, 1);
+    net->addLayer(bottleneckBlock("layer1.0", rng, w, w, 1));
+    net->addLayer(bottleneckBlock("layer2.0", rng, 4 * w, w, 2));
+    net->addLayer(bottleneckBlock("layer3.0", rng, 4 * w, 2 * w, 2));
+    net->add<nn::GlobalAvgPool>("gap");
+    net->add<nn::Linear>("fc", 8 * w, cfg.classes, rng);
+    return net;
+}
+
+std::unique_ptr<nn::Sequential>
+miniVgg16(const MiniConfig &cfg)
+{
+    Rng rng(cfg.seed);
+    const std::int64_t w = cfg.width;
+    auto net = std::make_unique<nn::Sequential>("vgg16_mini");
+    convBnRelu(*net, "conv1_1", rng, cfg.in_channels, w, 3, 1, 1);
+    convBnRelu(*net, "conv1_2", rng, w, w, 3, 1, 1);
+    net->add<nn::MaxPool2d>("pool1", 2, 2);
+    convBnRelu(*net, "conv2_1", rng, w, 2 * w, 3, 1, 1);
+    convBnRelu(*net, "conv2_2", rng, 2 * w, 2 * w, 3, 1, 1);
+    net->add<nn::MaxPool2d>("pool2", 2, 2);
+    convBnRelu(*net, "conv3_1", rng, 2 * w, 4 * w, 3, 1, 1);
+    convBnRelu(*net, "conv3_2", rng, 4 * w, 4 * w, 3, 1, 1);
+    net->add<nn::Flatten>("flatten");
+    net->add<nn::Linear>("fc1", 4 * w * 3 * 3, 8 * w, rng);
+    net->add<nn::ReLU>("fc1.relu");
+    net->add<nn::Linear>("fc2", 8 * w, cfg.classes, rng);
+    return net;
+}
+
+std::unique_ptr<nn::Sequential>
+miniAlexNet(const MiniConfig &cfg)
+{
+    Rng rng(cfg.seed);
+    const std::int64_t w = cfg.width;
+    auto net = std::make_unique<nn::Sequential>("alexnet_mini");
+    convBnRelu(*net, "conv1", rng, cfg.in_channels, w, 5, 1, 2);
+    net->add<nn::MaxPool2d>("pool1", 2, 2);
+    convBnRelu(*net, "conv2", rng, w, 2 * w, 3, 1, 1);
+    net->add<nn::MaxPool2d>("pool2", 2, 2);
+    convBnRelu(*net, "conv3", rng, 2 * w, 4 * w, 3, 1, 1);
+    convBnRelu(*net, "conv4", rng, 4 * w, 2 * w, 3, 1, 1);
+    net->add<nn::Flatten>("flatten");
+    net->add<nn::Linear>("fc1", 2 * w * 3 * 3, 8 * w, rng);
+    net->add<nn::ReLU>("fc1.relu");
+    net->add<nn::Linear>("fc2", 8 * w, cfg.classes, rng);
+    return net;
+}
+
+std::unique_ptr<nn::Sequential>
+miniMobileNetV1(const MiniConfig &cfg)
+{
+    Rng rng(cfg.seed);
+    const std::int64_t w = cfg.width;
+    auto net = std::make_unique<nn::Sequential>("mobilenet_v1_mini");
+    convBnRelu(*net, "stem", rng, cfg.in_channels, w, 3, 1, 1);
+    const struct { std::int64_t c, s; } blocks[] = {
+        {2 * w, 1}, {2 * w, 2}, {4 * w, 1}, {4 * w, 2}, {8 * w, 1}};
+    std::int64_t in_c = w;
+    int idx = 0;
+    for (const auto &blk : blocks) {
+        ++idx;
+        const std::string p = "sep" + std::to_string(idx);
+        convBnRelu(*net, p + ".dw", rng, in_c, in_c, 3, blk.s, 1, in_c);
+        convBnRelu(*net, p + ".pw", rng, in_c, blk.c, 1, 1, 0);
+        in_c = blk.c;
+    }
+    net->add<nn::GlobalAvgPool>("gap");
+    net->add<nn::Linear>("fc", in_c, cfg.classes, rng);
+    return net;
+}
+
+std::unique_ptr<nn::Sequential>
+miniMobileNetV2(const MiniConfig &cfg)
+{
+    Rng rng(cfg.seed);
+    const std::int64_t w = cfg.width;
+    auto net = std::make_unique<nn::Sequential>("mobilenet_v2_mini");
+    convBnRelu(*net, "stem", rng, cfg.in_channels, w, 3, 1, 1, 1, true);
+    net->addLayer(invertedResidual("block1", rng, w, w, 1, 1));
+    net->addLayer(invertedResidual("block2", rng, w, 2 * w, 4, 2));
+    net->addLayer(invertedResidual("block3", rng, 2 * w, 2 * w, 4, 1));
+    net->addLayer(invertedResidual("block4", rng, 2 * w, 4 * w, 4, 2));
+    net->addLayer(invertedResidual("block5", rng, 4 * w, 4 * w, 4, 1));
+    convBnRelu(*net, "head", rng, 4 * w, 8 * w, 1, 1, 0, 1, true);
+    net->add<nn::GlobalAvgPool>("gap");
+    net->add<nn::Linear>("fc", 8 * w, cfg.classes, rng);
+    return net;
+}
+
+std::unique_ptr<nn::Sequential>
+miniEfficientNet(const MiniConfig &cfg)
+{
+    Rng rng(cfg.seed);
+    const std::int64_t w = cfg.width;
+    auto net = std::make_unique<nn::Sequential>("efficientnet_mini");
+    convBnRelu(*net, "stem", rng, cfg.in_channels, w, 3, 1, 1, 1, true);
+    net->addLayer(invertedResidual("mb1", rng, w, w, 1, 1, 3));
+    net->addLayer(invertedResidual("mb2", rng, w, 2 * w, 4, 2, 3));
+    net->addLayer(invertedResidual("mb3", rng, 2 * w, 2 * w, 4, 1, 5));
+    net->addLayer(invertedResidual("mb4", rng, 2 * w, 4 * w, 4, 2, 3));
+    convBnRelu(*net, "head", rng, 4 * w, 8 * w, 1, 1, 0, 1, true);
+    net->add<nn::GlobalAvgPool>("gap");
+    net->add<nn::Linear>("fc", 8 * w, cfg.classes, rng);
+    return net;
+}
+
+std::unique_ptr<nn::Sequential>
+miniDeepLab(const MiniConfig &cfg)
+{
+    Rng rng(cfg.seed);
+    const std::int64_t w = cfg.width;
+    auto net = std::make_unique<nn::Sequential>("deeplab_mini");
+    convBnRelu(*net, "stem", rng, cfg.in_channels, w, 3, 1, 1);
+    convBnRelu(*net, "enc1", rng, w, 2 * w, 3, 2, 1);
+    net->addLayer(invertedResidual("enc2", rng, 2 * w, 2 * w, 4, 1));
+    net->addLayer(invertedResidual("enc3", rng, 2 * w, 2 * w, 4, 1));
+    convBnRelu(*net, "aspp", rng, 2 * w, 4 * w, 3, 1, 1);
+    Conv2dConfig cls{4 * w, cfg.classes, 1, 1, 0, 1, true};
+    net->add<nn::Conv2d>("classifier", cls, rng);
+    net->add<nn::UpsampleNearest>("upsample", 2);
+    return net;
+}
+
+std::unique_ptr<nn::Sequential>
+miniModelByName(const std::string &name, const MiniConfig &cfg)
+{
+    if (name == "resnet18")
+        return miniResNet18(cfg);
+    if (name == "resnet50")
+        return miniResNet50(cfg);
+    if (name == "vgg16")
+        return miniVgg16(cfg);
+    if (name == "alexnet")
+        return miniAlexNet(cfg);
+    if (name == "mobilenet_v1")
+        return miniMobileNetV1(cfg);
+    if (name == "mobilenet_v2")
+        return miniMobileNetV2(cfg);
+    if (name == "efficientnet")
+        return miniEfficientNet(cfg);
+    if (name == "deeplab")
+        return miniDeepLab(cfg);
+    fatal("unknown mini model: ", name);
+}
+
+} // namespace mvq::models

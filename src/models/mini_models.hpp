@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Trainable scaled-down versions of every model family in the paper's
+ * evaluation. These train on the synthetic datasets in seconds and are
+ * the subjects of the accuracy experiments (Tables 1, 3-6; Figs. 10, 11,
+ * 13). All channel counts are multiples of 16 so both d = 8 and d = 16
+ * output-channel grouping apply.
+ */
+
+#ifndef MVQ_MODELS_MINI_MODELS_HPP
+#define MVQ_MODELS_MINI_MODELS_HPP
+
+#include <memory>
+
+#include "nn/network.hpp"
+
+namespace mvq::models {
+
+/** Common knobs for the mini model builders. */
+struct MiniConfig
+{
+    int classes = 10;
+    std::int64_t in_channels = 3;
+    std::int64_t width = 16; //!< base channel count
+    std::uint64_t seed = 31;
+};
+
+/** ResNet-18-mini: stem + 3 basic-block stages (w, 2w, 4w) + GAP + FC. */
+std::unique_ptr<nn::Sequential> miniResNet18(const MiniConfig &cfg);
+
+/** ResNet-50-mini: stem + 3 bottleneck stages (4x expansion) + GAP + FC. */
+std::unique_ptr<nn::Sequential> miniResNet50(const MiniConfig &cfg);
+
+/** VGG-16-mini: stacked 3x3 conv blocks with pooling and an FC head. */
+std::unique_ptr<nn::Sequential> miniVgg16(const MiniConfig &cfg);
+
+/** AlexNet-mini: plain conv stack without residuals or BN-free head. */
+std::unique_ptr<nn::Sequential> miniAlexNet(const MiniConfig &cfg);
+
+/** MobileNet-v1-mini: depthwise-separable conv pairs. */
+std::unique_ptr<nn::Sequential> miniMobileNetV1(const MiniConfig &cfg);
+
+/** MobileNet-v2-mini: inverted residual bottlenecks with ReLU6. */
+std::unique_ptr<nn::Sequential> miniMobileNetV2(const MiniConfig &cfg);
+
+/** EfficientNet-mini: MBConv stack (no squeeze-excite; documented). */
+std::unique_ptr<nn::Sequential> miniEfficientNet(const MiniConfig &cfg);
+
+/**
+ * DeepLab-mini: encoder at stride 2 plus a dense classification head and
+ * nearest upsampling back to input resolution. Output is
+ * [N, classes, H, W] (paper's DeepLab-v3 substitute for Table 6).
+ */
+std::unique_ptr<nn::Sequential> miniDeepLab(const MiniConfig &cfg);
+
+/** Builder lookup by family name used by the comparison benches. */
+std::unique_ptr<nn::Sequential> miniModelByName(const std::string &name,
+                                                const MiniConfig &cfg);
+
+} // namespace mvq::models
+
+#endif // MVQ_MODELS_MINI_MODELS_HPP

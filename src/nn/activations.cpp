@@ -1,0 +1,36 @@
+#include "nn/activations.hpp"
+
+#include "common/logging.hpp"
+
+namespace mvq::nn {
+
+Tensor
+ReLU::forward(const Tensor &x, bool train)
+{
+    Tensor out(x.shape());
+    const float hi = clip6 ? 6.0f : 0.0f;
+    for (std::int64_t i = 0; i < x.numel(); ++i) {
+        float v = x[i] > 0.0f ? x[i] : 0.0f;
+        if (clip6 && v > hi)
+            v = hi;
+        out[i] = v;
+    }
+    if (train)
+        cachedInput = x;
+    return out;
+}
+
+Tensor
+ReLU::backward(const Tensor &grad_out)
+{
+    fatalIf(cachedInput.numel() == 0, name_, ": backward without forward");
+    Tensor grad_in(grad_out.shape());
+    for (std::int64_t i = 0; i < grad_out.numel(); ++i) {
+        const float x = cachedInput[i];
+        const bool pass = clip6 ? (x > 0.0f && x < 6.0f) : (x > 0.0f);
+        grad_in[i] = pass ? grad_out[i] : 0.0f;
+    }
+    return grad_in;
+}
+
+} // namespace mvq::nn

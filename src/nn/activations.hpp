@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Pointwise activation layers.
+ */
+
+#ifndef MVQ_NN_ACTIVATIONS_HPP
+#define MVQ_NN_ACTIVATIONS_HPP
+
+#include "nn/layer.hpp"
+
+namespace mvq::nn {
+
+/** Rectified linear unit, optionally clipped at 6 (ReLU6). */
+class ReLU : public Layer
+{
+  public:
+    /**
+     * @param clip_at_6 Use the ReLU6 variant (MobileNet convention).
+     */
+    explicit ReLU(std::string name, bool clip_at_6 = false)
+        : name_(std::move(name)), clip6(clip_at_6)
+    {
+    }
+
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::string name() const override { return name_; }
+
+  private:
+    std::string name_;
+    bool clip6;
+    Tensor cachedInput;
+};
+
+} // namespace mvq::nn
+
+#endif // MVQ_NN_ACTIVATIONS_HPP

@@ -1,0 +1,135 @@
+#include "nn/batchnorm.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace mvq::nn {
+
+BatchNorm2d::BatchNorm2d(std::string name, std::int64_t chans,
+                         float momentum, float eps)
+    : name_(std::move(name)),
+      channels(chans),
+      momentum(momentum),
+      eps(eps),
+      gamma_(name_ + ".gamma", Tensor(Shape({chans}), 1.0f)),
+      beta_(name_ + ".beta", Tensor(Shape({chans}))),
+      runningMean(Shape({chans})),
+      runningVar(Shape({chans}), 1.0f)
+{
+}
+
+Tensor
+BatchNorm2d::forward(const Tensor &x, bool train)
+{
+    fatalIf(x.rank() != 4 || x.dim(1) != channels,
+            name_, ": bad input ", x.shape().str());
+
+    const std::int64_t n = x.dim(0);
+    const std::int64_t h = x.dim(2);
+    const std::int64_t w = x.dim(3);
+    const std::int64_t per_chan = n * h * w;
+
+    Tensor out(x.shape());
+    if (train) {
+        cachedXhat = Tensor(x.shape());
+        cachedInvStd.assign(static_cast<std::size_t>(channels), 0.0f);
+    }
+
+    for (std::int64_t c = 0; c < channels; ++c) {
+        float m, v;
+        if (train) {
+            double s = 0.0;
+            for (std::int64_t b = 0; b < n; ++b)
+                for (std::int64_t y = 0; y < h; ++y)
+                    for (std::int64_t xx = 0; xx < w; ++xx)
+                        s += x.at(b, c, y, xx);
+            m = static_cast<float>(s / static_cast<double>(per_chan));
+            double sv = 0.0;
+            for (std::int64_t b = 0; b < n; ++b) {
+                for (std::int64_t y = 0; y < h; ++y) {
+                    for (std::int64_t xx = 0; xx < w; ++xx) {
+                        const double d = x.at(b, c, y, xx) - m;
+                        sv += d * d;
+                    }
+                }
+            }
+            v = static_cast<float>(sv / static_cast<double>(per_chan));
+            runningMean[c] = (1.0f - momentum) * runningMean[c] + momentum * m;
+            runningVar[c] = (1.0f - momentum) * runningVar[c] + momentum * v;
+        } else {
+            m = runningMean[c];
+            v = runningVar[c];
+        }
+
+        const float inv_std = 1.0f / std::sqrt(v + eps);
+        const float g = gamma_.value[c];
+        const float b0 = beta_.value[c];
+        for (std::int64_t b = 0; b < n; ++b) {
+            for (std::int64_t y = 0; y < h; ++y) {
+                for (std::int64_t xx = 0; xx < w; ++xx) {
+                    const float xh = (x.at(b, c, y, xx) - m) * inv_std;
+                    out.at(b, c, y, xx) = g * xh + b0;
+                    if (train)
+                        cachedXhat.at(b, c, y, xx) = xh;
+                }
+            }
+        }
+        if (train)
+            cachedInvStd[static_cast<std::size_t>(c)] = inv_std;
+    }
+    return out;
+}
+
+Tensor
+BatchNorm2d::backward(const Tensor &grad_out)
+{
+    fatalIf(cachedXhat.numel() == 0, name_, ": backward without forward");
+    const Tensor &xhat = cachedXhat;
+    const std::int64_t n = xhat.dim(0);
+    const std::int64_t h = xhat.dim(2);
+    const std::int64_t w = xhat.dim(3);
+    const double count = static_cast<double>(n * h * w);
+
+    Tensor grad_in(xhat.shape());
+
+    for (std::int64_t c = 0; c < channels; ++c) {
+        double sum_g = 0.0;
+        double sum_gx = 0.0;
+        for (std::int64_t b = 0; b < n; ++b) {
+            for (std::int64_t y = 0; y < h; ++y) {
+                for (std::int64_t xx = 0; xx < w; ++xx) {
+                    const float g = grad_out.at(b, c, y, xx);
+                    sum_g += g;
+                    sum_gx += g * xhat.at(b, c, y, xx);
+                }
+            }
+        }
+        gamma_.grad[c] += static_cast<float>(sum_gx);
+        beta_.grad[c] += static_cast<float>(sum_g);
+
+        const float gam = gamma_.value[c];
+        const float inv_std = cachedInvStd[static_cast<std::size_t>(c)];
+        const float k1 = static_cast<float>(sum_g / count);
+        const float k2 = static_cast<float>(sum_gx / count);
+        for (std::int64_t b = 0; b < n; ++b) {
+            for (std::int64_t y = 0; y < h; ++y) {
+                for (std::int64_t xx = 0; xx < w; ++xx) {
+                    const float g = grad_out.at(b, c, y, xx);
+                    const float xh = xhat.at(b, c, y, xx);
+                    grad_in.at(b, c, y, xx) =
+                        gam * inv_std * (g - k1 - xh * k2);
+                }
+            }
+        }
+    }
+    return grad_in;
+}
+
+std::vector<Parameter *>
+BatchNorm2d::parameters()
+{
+    return {&gamma_, &beta_};
+}
+
+} // namespace mvq::nn

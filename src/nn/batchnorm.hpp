@@ -1,0 +1,51 @@
+/**
+ * @file
+ * 2-D batch normalization with running statistics.
+ */
+
+#ifndef MVQ_NN_BATCHNORM_HPP
+#define MVQ_NN_BATCHNORM_HPP
+
+#include "nn/layer.hpp"
+
+namespace mvq::nn {
+
+/** BatchNorm over NCHW activations, per-channel affine. */
+class BatchNorm2d : public Layer
+{
+  public:
+    /**
+     * @param name     Stable layer name.
+     * @param channels Number of channels normalized independently.
+     * @param momentum Running-stat update rate (PyTorch convention).
+     */
+    BatchNorm2d(std::string name, std::int64_t channels,
+                float momentum = 0.1f, float eps = 1e-5f);
+
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::vector<Parameter *> parameters() override;
+    std::string name() const override { return name_; }
+
+    /** Per-channel scale (gamma). */
+    Parameter &gamma() { return gamma_; }
+    /** Per-channel shift (beta). */
+    Parameter &beta() { return beta_; }
+
+  private:
+    std::string name_;
+    std::int64_t channels;
+    float momentum;
+    float eps;
+    Parameter gamma_;
+    Parameter beta_;
+    Tensor runningMean;
+    Tensor runningVar;
+    // Caches for backward.
+    Tensor cachedXhat;
+    std::vector<float> cachedInvStd;
+};
+
+} // namespace mvq::nn
+
+#endif // MVQ_NN_BATCHNORM_HPP

@@ -1,0 +1,222 @@
+#include "nn/conv2d.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace mvq::nn {
+
+namespace {
+
+/** im2col over a channel slice [c0, c0 + geom.in_c) of the input. */
+Tensor
+im2colSlice(const Tensor &input, std::int64_t n, std::int64_t c0,
+            const ConvGeom &g)
+{
+    const std::int64_t oh = g.outH();
+    const std::int64_t ow = g.outW();
+    Tensor cols(Shape({g.in_c * g.k_h * g.k_w, oh * ow}));
+    float *pc = cols.data();
+
+    std::int64_t row = 0;
+    for (std::int64_t c = 0; c < g.in_c; ++c) {
+        for (std::int64_t kh = 0; kh < g.k_h; ++kh) {
+            for (std::int64_t kw = 0; kw < g.k_w; ++kw, ++row) {
+                float *dst = pc + row * oh * ow;
+                for (std::int64_t y = 0; y < oh; ++y) {
+                    const std::int64_t ih = y * g.stride - g.pad + kh;
+                    for (std::int64_t x = 0; x < ow; ++x) {
+                        const std::int64_t iw = x * g.stride - g.pad + kw;
+                        float v = 0.0f;
+                        if (ih >= 0 && ih < g.in_h && iw >= 0 && iw < g.in_w)
+                            v = input.at(n, c0 + c, ih, iw);
+                        dst[y * ow + x] = v;
+                    }
+                }
+            }
+        }
+    }
+    return cols;
+}
+
+/** Scatter-add columns into the channel slice [c0, ...) of grad. */
+void
+col2imSlice(const Tensor &cols, Tensor &grad, std::int64_t n,
+            std::int64_t c0, const ConvGeom &g)
+{
+    const std::int64_t oh = g.outH();
+    const std::int64_t ow = g.outW();
+    const float *pc = cols.data();
+    std::int64_t row = 0;
+    for (std::int64_t c = 0; c < g.in_c; ++c) {
+        for (std::int64_t kh = 0; kh < g.k_h; ++kh) {
+            for (std::int64_t kw = 0; kw < g.k_w; ++kw, ++row) {
+                const float *src = pc + row * oh * ow;
+                for (std::int64_t y = 0; y < oh; ++y) {
+                    const std::int64_t ih = y * g.stride - g.pad + kh;
+                    if (ih < 0 || ih >= g.in_h)
+                        continue;
+                    for (std::int64_t x = 0; x < ow; ++x) {
+                        const std::int64_t iw = x * g.stride - g.pad + kw;
+                        if (iw < 0 || iw >= g.in_w)
+                            continue;
+                        grad.at(n, c0 + c, ih, iw) += src[y * ow + x];
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+Conv2d::Conv2d(std::string name, const Conv2dConfig &cfg, Rng &rng)
+    : name_(std::move(name)), cfg_(cfg)
+{
+    fatalIf(cfg_.in_channels % cfg_.groups != 0,
+            name_, ": in_channels not divisible by groups");
+    fatalIf(cfg_.out_channels % cfg_.groups != 0,
+            name_, ": out_channels not divisible by groups");
+
+    const std::int64_t cg = cfg_.in_channels / cfg_.groups;
+    Tensor w(Shape({cfg_.out_channels, cg, cfg_.kernel, cfg_.kernel}));
+    // Kaiming-uniform with fan-in = cg * k * k.
+    const float fan_in =
+        static_cast<float>(cg * cfg_.kernel * cfg_.kernel);
+    const float bound = std::sqrt(6.0f / fan_in);
+    w.fillUniform(rng, -bound, bound);
+    weight_ = Parameter(name_ + ".weight", std::move(w));
+
+    if (cfg_.bias)
+        bias_ = Parameter(name_ + ".bias", Tensor(Shape({cfg_.out_channels})));
+}
+
+Tensor
+Conv2d::forward(const Tensor &x, bool train)
+{
+    fatalIf(x.rank() != 4, name_, ": expected NCHW input");
+    fatalIf(x.dim(1) != cfg_.in_channels,
+            name_, ": input channels ", x.dim(1), " != ", cfg_.in_channels);
+
+    const std::int64_t batch = x.dim(0);
+    const std::int64_t cg = cfg_.in_channels / cfg_.groups;
+    const std::int64_t kg = cfg_.out_channels / cfg_.groups;
+    ConvGeom g{cg, x.dim(2), x.dim(3), cfg_.kernel, cfg_.kernel,
+               cfg_.stride, cfg_.pad};
+    const std::int64_t oh = g.outH();
+    const std::int64_t ow = g.outW();
+    fatalIf(oh <= 0 || ow <= 0, name_, ": empty output feature map");
+
+    Tensor out(Shape({batch, cfg_.out_channels, oh, ow}));
+
+    // Weight viewed per group as a [kg, cg*k*k] matrix.
+    const std::int64_t wcols = cg * cfg_.kernel * cfg_.kernel;
+    for (std::int64_t n = 0; n < batch; ++n) {
+        for (std::int64_t grp = 0; grp < cfg_.groups; ++grp) {
+            Tensor cols = im2colSlice(x, n, grp * cg, g);
+            Tensor wmat(Shape({kg, wcols}));
+            const float *pw = weight_.value.data() + grp * kg * wcols;
+            for (std::int64_t i = 0; i < kg * wcols; ++i)
+                wmat[i] = pw[i];
+            Tensor res = matmul(wmat, cols); // [kg, oh*ow]
+            float *po = out.data()
+                + ((n * cfg_.out_channels + grp * kg) * oh * ow);
+            for (std::int64_t i = 0; i < kg * oh * ow; ++i)
+                po[i] = res[i];
+        }
+    }
+
+    if (cfg_.bias) {
+        for (std::int64_t n = 0; n < batch; ++n) {
+            for (std::int64_t k = 0; k < cfg_.out_channels; ++k) {
+                const float b = bias_.value[k];
+                for (std::int64_t i = 0; i < oh * ow; ++i)
+                    out.data()[(n * cfg_.out_channels + k) * oh * ow + i] += b;
+            }
+        }
+    }
+
+    flops_ = batch * cfg_.out_channels * oh * ow * wcols;
+    if (train)
+        cachedInput = x;
+    return out;
+}
+
+Tensor
+Conv2d::backward(const Tensor &grad_out)
+{
+    const Tensor &x = cachedInput;
+    fatalIf(x.numel() == 0, name_, ": backward without forward");
+
+    const std::int64_t batch = x.dim(0);
+    const std::int64_t cg = cfg_.in_channels / cfg_.groups;
+    const std::int64_t kg = cfg_.out_channels / cfg_.groups;
+    ConvGeom g{cg, x.dim(2), x.dim(3), cfg_.kernel, cfg_.kernel,
+               cfg_.stride, cfg_.pad};
+    const std::int64_t oh = g.outH();
+    const std::int64_t ow = g.outW();
+    const std::int64_t wcols = cg * cfg_.kernel * cfg_.kernel;
+
+    Tensor grad_in(x.shape());
+
+    for (std::int64_t n = 0; n < batch; ++n) {
+        for (std::int64_t grp = 0; grp < cfg_.groups; ++grp) {
+            Tensor cols = im2colSlice(x, n, grp * cg, g);
+
+            // Gradient slab for this group as a [kg, oh*ow] matrix.
+            Tensor gmat(Shape({kg, oh * ow}));
+            const float *pg = grad_out.data()
+                + ((n * cfg_.out_channels + grp * kg) * oh * ow);
+            for (std::int64_t i = 0; i < kg * oh * ow; ++i)
+                gmat[i] = pg[i];
+
+            // dW += G * cols^T
+            Tensor gw = matmul(gmat, cols, false, true); // [kg, wcols]
+            float *pwg = weight_.grad.data() + grp * kg * wcols;
+            for (std::int64_t i = 0; i < kg * wcols; ++i)
+                pwg[i] += gw[i];
+
+            // dCols = W^T * G, scatter back to input gradient.
+            Tensor wmat(Shape({kg, wcols}));
+            const float *pw = weight_.value.data() + grp * kg * wcols;
+            for (std::int64_t i = 0; i < kg * wcols; ++i)
+                wmat[i] = pw[i];
+            Tensor gcols = matmul(wmat, gmat, true, false); // [wcols, oh*ow]
+            col2imSlice(gcols, grad_in, n, grp * cg, g);
+        }
+    }
+
+    if (cfg_.bias) {
+        for (std::int64_t n = 0; n < batch; ++n) {
+            for (std::int64_t k = 0; k < cfg_.out_channels; ++k) {
+                const float *pg = grad_out.data()
+                    + (n * cfg_.out_channels + k) * oh * ow;
+                float s = 0.0f;
+                for (std::int64_t i = 0; i < oh * ow; ++i)
+                    s += pg[i];
+                bias_.grad[k] += s;
+            }
+        }
+    }
+
+    return grad_in;
+}
+
+std::vector<Parameter *>
+Conv2d::parameters()
+{
+    std::vector<Parameter *> ps{&weight_};
+    if (cfg_.bias)
+        ps.push_back(&bias_);
+    return ps;
+}
+
+void
+Conv2d::setWeight(const Tensor &w)
+{
+    fatalIf(w.shape() != weight_.value.shape(),
+            name_, ": setWeight shape mismatch ", w.shape().str());
+    weight_.value = w;
+}
+
+} // namespace mvq::nn

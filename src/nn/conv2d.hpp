@@ -1,0 +1,71 @@
+/**
+ * @file
+ * 2-D convolution layer with grouped/depthwise support, implemented with
+ * im2col + GEMM. Weight layout is [K, C/groups, R, S] (output channels,
+ * input channels per group, kernel height, kernel width).
+ */
+
+#ifndef MVQ_NN_CONV2D_HPP
+#define MVQ_NN_CONV2D_HPP
+
+#include "nn/layer.hpp"
+#include "tensor/ops.hpp"
+
+namespace mvq::nn {
+
+/** Configuration for a Conv2d layer. */
+struct Conv2dConfig
+{
+    std::int64_t in_channels = 1;
+    std::int64_t out_channels = 1;
+    std::int64_t kernel = 3;
+    std::int64_t stride = 1;
+    std::int64_t pad = 0;
+    std::int64_t groups = 1;
+    bool bias = false;
+};
+
+/** Convolution layer; the primary compression target of the MVQ pipeline. */
+class Conv2d : public Layer
+{
+  public:
+    /**
+     * @param name Stable layer name (used by compression manifests).
+     * @param cfg  Geometry; in/out channels must be divisible by groups.
+     * @param rng  Initializer stream (Kaiming-uniform fan-in init).
+     */
+    Conv2d(std::string name, const Conv2dConfig &cfg, Rng &rng);
+
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::vector<Parameter *> parameters() override;
+    std::string name() const override { return name_; }
+    std::int64_t flops() const override { return flops_; }
+
+    const Conv2dConfig &config() const { return cfg_; }
+
+    /** Learnable kernel, shape [K, C/groups, R, S]. */
+    Parameter &weight() { return weight_; }
+    const Parameter &weight() const { return weight_; }
+
+    /** Optional bias, shape [K]; only valid when config().bias. */
+    Parameter &biasParam() { return bias_; }
+
+    /** Replace the kernel values (used by compression / reconstruction). */
+    void setWeight(const Tensor &w);
+
+    /** Input cached by the most recent training-mode forward. */
+    const Tensor &lastInput() const { return cachedInput; }
+
+  private:
+    std::string name_;
+    Conv2dConfig cfg_;
+    Parameter weight_;
+    Parameter bias_;
+    Tensor cachedInput;
+    std::int64_t flops_ = 0;
+};
+
+} // namespace mvq::nn
+
+#endif // MVQ_NN_CONV2D_HPP

@@ -1,0 +1,291 @@
+#include "nn/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace mvq::nn {
+
+Tensor
+smoothField(Rng &rng, std::int64_t channels, std::int64_t size,
+            std::int64_t coarse)
+{
+    Tensor field(Shape({channels, size, size}));
+    for (std::int64_t c = 0; c < channels; ++c) {
+        // Coarse grid of normals, bilinearly upsampled.
+        std::vector<float> grid(static_cast<std::size_t>(coarse * coarse));
+        for (auto &g : grid)
+            g = rng.normal(0.0f, 1.0f);
+        for (std::int64_t y = 0; y < size; ++y) {
+            const float fy = static_cast<float>(y)
+                / static_cast<float>(size - 1)
+                * static_cast<float>(coarse - 1);
+            const std::int64_t y0 =
+                std::min<std::int64_t>(coarse - 2,
+                                       static_cast<std::int64_t>(fy));
+            const float wy = fy - static_cast<float>(y0);
+            for (std::int64_t x = 0; x < size; ++x) {
+                const float fx = static_cast<float>(x)
+                    / static_cast<float>(size - 1)
+                    * static_cast<float>(coarse - 1);
+                const std::int64_t x0 =
+                    std::min<std::int64_t>(coarse - 2,
+                                           static_cast<std::int64_t>(fx));
+                const float wx = fx - static_cast<float>(x0);
+                auto g = [&](std::int64_t yy, std::int64_t xx) {
+                    return grid[static_cast<std::size_t>(yy * coarse + xx)];
+                };
+                const float v =
+                    g(y0, x0) * (1 - wy) * (1 - wx)
+                    + g(y0, x0 + 1) * (1 - wy) * wx
+                    + g(y0 + 1, x0) * wy * (1 - wx)
+                    + g(y0 + 1, x0 + 1) * wy * wx;
+                field.data()[(c * size + y) * size + x] = v;
+            }
+        }
+    }
+    return field;
+}
+
+// --- Classification -------------------------------------------------------
+
+ClassificationDataset::ClassificationDataset(const ClassificationConfig &cfg)
+    : cfg_(cfg)
+{
+    Rng rng(cfg_.seed);
+    prototypes.reserve(static_cast<std::size_t>(cfg_.classes));
+    for (int c = 0; c < cfg_.classes; ++c)
+        prototypes.push_back(smoothField(rng, cfg_.channels, cfg_.size));
+
+    train_.reserve(static_cast<std::size_t>(cfg_.train_count));
+    for (int i = 0; i < cfg_.train_count; ++i)
+        train_.push_back(makeSample(rng, i % cfg_.classes));
+    test_.reserve(static_cast<std::size_t>(cfg_.test_count));
+    for (int i = 0; i < cfg_.test_count; ++i)
+        test_.push_back(makeSample(rng, i % cfg_.classes));
+}
+
+Sample
+ClassificationDataset::makeSample(Rng &rng, int label) const
+{
+    const auto &proto = prototypes[static_cast<std::size_t>(label)];
+    const std::int64_t s = cfg_.size;
+    const std::int64_t c = cfg_.channels;
+    const int dx = static_cast<int>(rng.intIn(-cfg_.max_shift,
+                                              cfg_.max_shift));
+    const int dy = static_cast<int>(rng.intIn(-cfg_.max_shift,
+                                              cfg_.max_shift));
+    const float scale = rng.uniform(0.8f, 1.2f);
+
+    Sample smp;
+    smp.label = label;
+    smp.image = Tensor(Shape({c, s, s}));
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+        for (std::int64_t y = 0; y < s; ++y) {
+            const std::int64_t sy = ((y + dy) % s + s) % s;
+            for (std::int64_t x = 0; x < s; ++x) {
+                const std::int64_t sx = ((x + dx) % s + s) % s;
+                const float v =
+                    proto.data()[(ch * s + sy) * s + sx] * scale
+                    + rng.normal(0.0f, cfg_.noise);
+                smp.image.data()[(ch * s + y) * s + x] = v;
+            }
+        }
+    }
+    return smp;
+}
+
+Tensor
+ClassificationDataset::batchImages(const std::vector<Sample> &set,
+                                   const std::vector<int> &indices) const
+{
+    fatalIf(indices.empty(), "empty batch");
+    const std::int64_t c = cfg_.channels;
+    const std::int64_t s = cfg_.size;
+    Tensor batch(Shape({static_cast<std::int64_t>(indices.size()), c, s, s}));
+    const std::int64_t chw = c * s * s;
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+        const auto &img = set[static_cast<std::size_t>(indices[i])].image;
+        std::copy(img.data(), img.data() + chw,
+                  batch.data() + static_cast<std::int64_t>(i) * chw);
+    }
+    return batch;
+}
+
+std::vector<int>
+ClassificationDataset::batchLabels(const std::vector<Sample> &set,
+                                   const std::vector<int> &indices) const
+{
+    std::vector<int> out;
+    out.reserve(indices.size());
+    for (int idx : indices)
+        out.push_back(set[static_cast<std::size_t>(idx)].label);
+    return out;
+}
+
+// --- Segmentation ---------------------------------------------------------
+
+SegmentationDataset::SegmentationDataset(const SegmentationConfig &cfg)
+    : cfg_(cfg)
+{
+    Rng rng(cfg_.seed);
+    textures.reserve(static_cast<std::size_t>(cfg_.classes));
+    for (int c = 0; c < cfg_.classes; ++c)
+        textures.push_back(smoothField(rng, cfg_.channels, cfg_.size));
+
+    train_.reserve(static_cast<std::size_t>(cfg_.train_count));
+    for (int i = 0; i < cfg_.train_count; ++i)
+        train_.push_back(makeSample(rng));
+    test_.reserve(static_cast<std::size_t>(cfg_.test_count));
+    for (int i = 0; i < cfg_.test_count; ++i)
+        test_.push_back(makeSample(rng));
+}
+
+SegSample
+SegmentationDataset::makeSample(Rng &rng) const
+{
+    const std::int64_t s = cfg_.size;
+    const std::int64_t c = cfg_.channels;
+    SegSample smp;
+    smp.image = Tensor(Shape({c, s, s}));
+    smp.labels.assign(static_cast<std::size_t>(s * s), 0);
+
+    // Background noise on top of the class-0 texture at low amplitude.
+    for (std::int64_t i = 0; i < smp.image.numel(); ++i)
+        smp.image[i] = 0.3f * textures[0][i] + rng.normal(0.0f, cfg_.noise);
+
+    const int objects = static_cast<int>(rng.intIn(1, 2));
+    for (int o = 0; o < objects; ++o) {
+        const int cls = static_cast<int>(rng.intIn(1, cfg_.classes - 1));
+        const std::int64_t w = rng.intIn(4, s / 2);
+        const std::int64_t h = rng.intIn(4, s / 2);
+        const std::int64_t x0 = rng.intIn(0, s - w);
+        const std::int64_t y0 = rng.intIn(0, s - h);
+        const auto &tex = textures[static_cast<std::size_t>(cls)];
+        for (std::int64_t y = y0; y < y0 + h; ++y) {
+            for (std::int64_t x = x0; x < x0 + w; ++x) {
+                for (std::int64_t ch = 0; ch < c; ++ch) {
+                    smp.image.data()[(ch * s + y) * s + x] =
+                        tex.data()[(ch * s + y) * s + x]
+                        + rng.normal(0.0f, cfg_.noise * 0.5f);
+                }
+                smp.labels[static_cast<std::size_t>(y * s + x)] = cls;
+            }
+        }
+    }
+    return smp;
+}
+
+Tensor
+SegmentationDataset::batchImages(const std::vector<SegSample> &set,
+                                 const std::vector<int> &indices) const
+{
+    fatalIf(indices.empty(), "empty batch");
+    const std::int64_t c = cfg_.channels;
+    const std::int64_t s = cfg_.size;
+    Tensor batch(Shape({static_cast<std::int64_t>(indices.size()), c, s, s}));
+    const std::int64_t chw = c * s * s;
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+        const auto &img = set[static_cast<std::size_t>(indices[i])].image;
+        std::copy(img.data(), img.data() + chw,
+                  batch.data() + static_cast<std::int64_t>(i) * chw);
+    }
+    return batch;
+}
+
+std::vector<int>
+SegmentationDataset::batchLabels(const std::vector<SegSample> &set,
+                                 const std::vector<int> &indices) const
+{
+    std::vector<int> out;
+    const std::size_t hw = static_cast<std::size_t>(cfg_.size * cfg_.size);
+    out.reserve(indices.size() * hw);
+    for (int idx : indices) {
+        const auto &l = set[static_cast<std::size_t>(idx)].labels;
+        out.insert(out.end(), l.begin(), l.end());
+    }
+    return out;
+}
+
+// --- Detection proxy ------------------------------------------------------
+
+float
+boxIou(const Box &a, const Box &b)
+{
+    const float ix0 = std::max(a.x0, b.x0);
+    const float iy0 = std::max(a.y0, b.y0);
+    const float ix1 = std::min(a.x1, b.x1);
+    const float iy1 = std::min(a.y1, b.y1);
+    const float inter = std::max(0.0f, ix1 - ix0) * std::max(0.0f, iy1 - iy0);
+    const float uni = a.area() + b.area() - inter;
+    return uni > 0.0f ? inter / uni : 0.0f;
+}
+
+DetectionDataset::DetectionDataset(const DetectionConfig &cfg) : cfg_(cfg)
+{
+    Rng rng(cfg_.seed);
+    textures.reserve(static_cast<std::size_t>(cfg_.classes));
+    for (int c = 0; c < cfg_.classes; ++c)
+        textures.push_back(smoothField(rng, cfg_.channels, cfg_.size));
+
+    train_.reserve(static_cast<std::size_t>(cfg_.train_count));
+    for (int i = 0; i < cfg_.train_count; ++i)
+        train_.push_back(makeSample(rng));
+    test_.reserve(static_cast<std::size_t>(cfg_.test_count));
+    for (int i = 0; i < cfg_.test_count; ++i)
+        test_.push_back(makeSample(rng));
+}
+
+DetSample
+DetectionDataset::makeSample(Rng &rng) const
+{
+    const std::int64_t s = cfg_.size;
+    const std::int64_t c = cfg_.channels;
+    DetSample smp;
+    smp.image = Tensor(Shape({c, s, s}));
+    smp.mask.assign(static_cast<std::size_t>(s * s), 0);
+    smp.label = static_cast<int>(rng.intIn(0, cfg_.classes - 1));
+
+    for (std::int64_t i = 0; i < smp.image.numel(); ++i)
+        smp.image[i] = rng.normal(0.0f, cfg_.noise);
+
+    const std::int64_t w = rng.intIn(s / 4, s / 2);
+    const std::int64_t h = rng.intIn(s / 4, s / 2);
+    const std::int64_t x0 = rng.intIn(0, s - w);
+    const std::int64_t y0 = rng.intIn(0, s - h);
+    smp.box = Box{static_cast<float>(x0), static_cast<float>(y0),
+                  static_cast<float>(x0 + w), static_cast<float>(y0 + h)};
+
+    const auto &tex = textures[static_cast<std::size_t>(smp.label)];
+    for (std::int64_t y = y0; y < y0 + h; ++y) {
+        for (std::int64_t x = x0; x < x0 + w; ++x) {
+            for (std::int64_t ch = 0; ch < c; ++ch) {
+                smp.image.data()[(ch * s + y) * s + x] =
+                    tex.data()[(ch * s + y) * s + x]
+                    + rng.normal(0.0f, cfg_.noise * 0.5f);
+            }
+            smp.mask[static_cast<std::size_t>(y * s + x)] = 1;
+        }
+    }
+    return smp;
+}
+
+Tensor
+DetectionDataset::batchImages(const std::vector<DetSample> &set,
+                              const std::vector<int> &indices) const
+{
+    fatalIf(indices.empty(), "empty batch");
+    const std::int64_t c = cfg_.channels;
+    const std::int64_t s = cfg_.size;
+    Tensor batch(Shape({static_cast<std::int64_t>(indices.size()), c, s, s}));
+    const std::int64_t chw = c * s * s;
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+        const auto &img = set[static_cast<std::size_t>(indices[i])].image;
+        std::copy(img.data(), img.data() + chw,
+                  batch.data() + static_cast<std::int64_t>(i) * chw);
+    }
+    return batch;
+}
+
+} // namespace mvq::nn

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Deterministic synthetic datasets. These stand in for ImageNet / COCO /
+ * VOC (see DESIGN.md, substitution table): each task is generated from a
+ * seeded RNG so every run of every bench sees identical data.
+ *
+ * Classification: each class has a fixed smooth "prototype" pattern;
+ * samples are shifted, scaled, noisy copies. Segmentation: images contain
+ * rectangles of class-specific texture over background; labels are dense
+ * class maps. Detection proxy: one object per image with a ground-truth
+ * box and mask.
+ */
+
+#ifndef MVQ_NN_DATASET_HPP
+#define MVQ_NN_DATASET_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace mvq::nn {
+
+/** One labelled image. */
+struct Sample
+{
+    Tensor image; //!< [C, H, W]
+    int label = 0;
+};
+
+/** Configuration of the synthetic classification task. */
+struct ClassificationConfig
+{
+    int classes = 10;
+    std::int64_t channels = 3;
+    std::int64_t size = 12;      //!< square image side
+    int train_count = 1536;
+    int test_count = 384;
+    float noise = 0.35f;
+    int max_shift = 2;           //!< circular shift range in pixels
+    std::uint64_t seed = 7;
+};
+
+/** Pre-generated synthetic classification dataset. */
+class ClassificationDataset
+{
+  public:
+    explicit ClassificationDataset(const ClassificationConfig &cfg);
+
+    const ClassificationConfig &config() const { return cfg_; }
+    const std::vector<Sample> &trainSet() const { return train_; }
+    const std::vector<Sample> &testSet() const { return test_; }
+
+    /** Assemble a NCHW batch from sample indices of a set. */
+    Tensor batchImages(const std::vector<Sample> &set,
+                       const std::vector<int> &indices) const;
+
+    /** Labels for the same indices. */
+    std::vector<int> batchLabels(const std::vector<Sample> &set,
+                                 const std::vector<int> &indices) const;
+
+  private:
+    ClassificationConfig cfg_;
+    std::vector<Tensor> prototypes; //!< one [C, H, W] pattern per class
+    std::vector<Sample> train_;
+    std::vector<Sample> test_;
+
+    Sample makeSample(Rng &rng, int label) const;
+};
+
+/** One segmentation sample: image plus dense label map. */
+struct SegSample
+{
+    Tensor image;            //!< [C, H, W]
+    std::vector<int> labels; //!< H*W class ids (0 = background)
+};
+
+/** Configuration of the synthetic segmentation task. */
+struct SegmentationConfig
+{
+    int classes = 5;              //!< including background class 0
+    std::int64_t channels = 3;
+    std::int64_t size = 16;
+    int train_count = 768;
+    int test_count = 192;
+    float noise = 0.3f;
+    std::uint64_t seed = 11;
+};
+
+/** Pre-generated synthetic segmentation dataset. */
+class SegmentationDataset
+{
+  public:
+    explicit SegmentationDataset(const SegmentationConfig &cfg);
+
+    const SegmentationConfig &config() const { return cfg_; }
+    const std::vector<SegSample> &trainSet() const { return train_; }
+    const std::vector<SegSample> &testSet() const { return test_; }
+
+    Tensor batchImages(const std::vector<SegSample> &set,
+                       const std::vector<int> &indices) const;
+    std::vector<int> batchLabels(const std::vector<SegSample> &set,
+                                 const std::vector<int> &indices) const;
+
+  private:
+    SegmentationConfig cfg_;
+    std::vector<Tensor> textures; //!< per-class fill texture
+    std::vector<SegSample> train_;
+    std::vector<SegSample> test_;
+
+    SegSample makeSample(Rng &rng) const;
+};
+
+/** Axis-aligned box in pixel units. */
+struct Box
+{
+    float x0 = 0, y0 = 0, x1 = 0, y1 = 0;
+
+    float area() const { return std::max(0.0f, x1 - x0)
+        * std::max(0.0f, y1 - y0); }
+};
+
+/** Intersection-over-union of two boxes. */
+float boxIou(const Box &a, const Box &b);
+
+/** One detection-proxy sample: image, object class, box, binary mask. */
+struct DetSample
+{
+    Tensor image;          //!< [C, H, W]
+    int label = 0;
+    Box box;
+    std::vector<int> mask; //!< H*W, 1 inside the object
+};
+
+/** Configuration of the synthetic detection-proxy task. */
+struct DetectionConfig
+{
+    int classes = 5;
+    std::int64_t channels = 3;
+    std::int64_t size = 16;
+    int train_count = 768;
+    int test_count = 192;
+    float noise = 0.25f;
+    std::uint64_t seed = 13;
+};
+
+/** Pre-generated synthetic detection dataset. */
+class DetectionDataset
+{
+  public:
+    explicit DetectionDataset(const DetectionConfig &cfg);
+
+    const DetectionConfig &config() const { return cfg_; }
+    const std::vector<DetSample> &trainSet() const { return train_; }
+    const std::vector<DetSample> &testSet() const { return test_; }
+
+    Tensor batchImages(const std::vector<DetSample> &set,
+                       const std::vector<int> &indices) const;
+
+  private:
+    DetectionConfig cfg_;
+    std::vector<Tensor> textures;
+    std::vector<DetSample> train_;
+    std::vector<DetSample> test_;
+
+    DetSample makeSample(Rng &rng) const;
+};
+
+/**
+ * Smooth random field: bilinear upsampling of a coarse normal grid.
+ * Shared by all three dataset generators.
+ */
+Tensor smoothField(Rng &rng, std::int64_t channels, std::int64_t size,
+                   std::int64_t coarse = 3);
+
+} // namespace mvq::nn
+
+#endif // MVQ_NN_DATASET_HPP

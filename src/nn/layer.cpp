@@ -1,0 +1,35 @@
+#include "nn/layer.hpp"
+
+namespace mvq::nn {
+
+void
+Layer::zeroGrad()
+{
+    for (Parameter *p : allParameters())
+        p->grad.fill(0.0f);
+}
+
+std::vector<Parameter *>
+Layer::allParameters()
+{
+    std::vector<Parameter *> out;
+    for (Layer *l : allLayers()) {
+        for (Parameter *p : l->parameters())
+            out.push_back(p);
+    }
+    return out;
+}
+
+std::vector<Layer *>
+Layer::allLayers()
+{
+    std::vector<Layer *> out;
+    out.push_back(this);
+    for (Layer *c : children()) {
+        for (Layer *l : c->allLayers())
+            out.push_back(l);
+    }
+    return out;
+}
+
+} // namespace mvq::nn

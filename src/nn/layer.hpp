@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Layer interface for the in-repo neural network library. Each layer owns
+ * its parameters and caches whatever it needs in forward() to compute exact
+ * gradients in backward().
+ */
+
+#ifndef MVQ_NN_LAYER_HPP
+#define MVQ_NN_LAYER_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace mvq::nn {
+
+/** A named, learnable tensor with its gradient accumulator. */
+struct Parameter
+{
+    std::string name;
+    Tensor value;
+    Tensor grad;
+
+    Parameter() = default;
+
+    Parameter(std::string n, Tensor v)
+        : name(std::move(n)), value(std::move(v)), grad(value.shape())
+    {
+    }
+};
+
+/**
+ * Base class for all layers. The contract is strict single-use per step:
+ * forward() must be called before backward(), and backward() consumes the
+ * caches left by the most recent forward().
+ */
+class Layer
+{
+  public:
+    virtual ~Layer() = default;
+
+    /**
+     * Run the layer.
+     *
+     * @param x     Input activation (NCHW or [N, features]).
+     * @param train True during training (enables BN batch statistics and
+     *              gradient caches).
+     */
+    virtual Tensor forward(const Tensor &x, bool train) = 0;
+
+    /**
+     * Back-propagate through the most recent forward().
+     *
+     * @param grad_out Gradient of the loss w.r.t. this layer's output.
+     * @return Gradient of the loss w.r.t. this layer's input.
+     */
+    virtual Tensor backward(const Tensor &grad_out) = 0;
+
+    /** Learnable parameters (possibly empty). */
+    virtual std::vector<Parameter *> parameters() { return {}; }
+
+    /** Nested layers, for recursive traversal (possibly empty). */
+    virtual std::vector<Layer *> children() { return {}; }
+
+    /** Stable identifier used in reports and compression manifests. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Multiply-accumulate operations for one forward pass with the most
+     * recently seen input shape (0 for parameterless layers). The paper's
+     * "FLOPs" counts one MAC as one FLOP (torchvision convention).
+     */
+    virtual std::int64_t flops() const { return 0; }
+
+    /** Zero all parameter gradients (recursively). */
+    void zeroGrad();
+
+    /** Collect parameters recursively, depth-first. */
+    std::vector<Parameter *> allParameters();
+
+    /** Collect all layers recursively (including this), depth-first. */
+    std::vector<Layer *> allLayers();
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+} // namespace mvq::nn
+
+#endif // MVQ_NN_LAYER_HPP

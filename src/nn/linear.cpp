@@ -1,0 +1,72 @@
+#include "nn/linear.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "tensor/ops.hpp"
+
+namespace mvq::nn {
+
+Linear::Linear(std::string name, std::int64_t in_features,
+               std::int64_t out_features, Rng &rng, bool bias)
+    : name_(std::move(name)),
+      inFeatures(in_features),
+      outFeatures(out_features),
+      hasBias(bias)
+{
+    Tensor w(Shape({out_features, in_features}));
+    const float bound = std::sqrt(6.0f / static_cast<float>(in_features));
+    w.fillUniform(rng, -bound, bound);
+    weight_ = Parameter(name_ + ".weight", std::move(w));
+    if (hasBias)
+        bias_ = Parameter(name_ + ".bias", Tensor(Shape({out_features})));
+}
+
+Tensor
+Linear::forward(const Tensor &x, bool train)
+{
+    fatalIf(x.rank() != 2, name_, ": expected [N, features] input");
+    fatalIf(x.dim(1) != inFeatures,
+            name_, ": features ", x.dim(1), " != ", inFeatures);
+
+    Tensor out = matmul(x, weight_.value, false, true); // [N, out]
+    if (hasBias) {
+        for (std::int64_t n = 0; n < out.dim(0); ++n) {
+            for (std::int64_t k = 0; k < outFeatures; ++k)
+                out.at(n, k) += bias_.value[k];
+        }
+    }
+    flops_ = x.dim(0) * inFeatures * outFeatures;
+    if (train)
+        cachedInput = x;
+    return out;
+}
+
+Tensor
+Linear::backward(const Tensor &grad_out)
+{
+    const Tensor &x = cachedInput;
+    fatalIf(x.numel() == 0, name_, ": backward without forward");
+
+    // dW += G^T X, dX = G W
+    Tensor gw = matmul(grad_out, x, true, false); // [out, in]
+    addInPlace(weight_.grad, gw);
+    if (hasBias) {
+        for (std::int64_t n = 0; n < grad_out.dim(0); ++n) {
+            for (std::int64_t k = 0; k < outFeatures; ++k)
+                bias_.grad[k] += grad_out.at(n, k);
+        }
+    }
+    return matmul(grad_out, weight_.value); // [N, in]
+}
+
+std::vector<Parameter *>
+Linear::parameters()
+{
+    std::vector<Parameter *> ps{&weight_};
+    if (hasBias)
+        ps.push_back(&bias_);
+    return ps;
+}
+
+} // namespace mvq::nn

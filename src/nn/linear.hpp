@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Fully connected layer: y = x W^T + b with x of shape [N, in].
+ */
+
+#ifndef MVQ_NN_LINEAR_HPP
+#define MVQ_NN_LINEAR_HPP
+
+#include "nn/layer.hpp"
+
+namespace mvq::nn {
+
+/** Dense layer over flattened features. */
+class Linear : public Layer
+{
+  public:
+    Linear(std::string name, std::int64_t in_features,
+           std::int64_t out_features, Rng &rng, bool bias = true);
+
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::vector<Parameter *> parameters() override;
+    std::string name() const override { return name_; }
+    std::int64_t flops() const override { return flops_; }
+
+    /** Weight matrix, shape [out, in]. */
+    Parameter &weight() { return weight_; }
+
+  private:
+    std::string name_;
+    std::int64_t inFeatures;
+    std::int64_t outFeatures;
+    bool hasBias;
+    Parameter weight_;
+    Parameter bias_;
+    Tensor cachedInput;
+    std::int64_t flops_ = 0;
+};
+
+} // namespace mvq::nn
+
+#endif // MVQ_NN_LINEAR_HPP

@@ -1,0 +1,140 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace mvq::nn {
+
+LossResult
+softmaxCrossEntropy(const Tensor &logits, const std::vector<int> &labels)
+{
+    fatalIf(logits.rank() != 2, "softmaxCrossEntropy expects [N, classes]");
+    const std::int64_t n = logits.dim(0);
+    const std::int64_t c = logits.dim(1);
+    fatalIf(static_cast<std::int64_t>(labels.size()) != n,
+            "label count mismatch");
+
+    LossResult res;
+    res.grad = Tensor(logits.shape());
+    double total = 0.0;
+    const float invn = 1.0f / static_cast<float>(n);
+
+    for (std::int64_t i = 0; i < n; ++i) {
+        const int label = labels[static_cast<std::size_t>(i)];
+        fatalIf(label < 0 || label >= c, "label ", label, " out of range");
+        float maxv = logits.at(i, 0);
+        for (std::int64_t j = 1; j < c; ++j)
+            maxv = std::max(maxv, logits.at(i, j));
+        double denom = 0.0;
+        for (std::int64_t j = 0; j < c; ++j)
+            denom += std::exp(static_cast<double>(logits.at(i, j) - maxv));
+        const double logz = std::log(denom) + maxv;
+        total += logz - logits.at(i, label);
+        for (std::int64_t j = 0; j < c; ++j) {
+            const double p =
+                std::exp(static_cast<double>(logits.at(i, j) - maxv)) / denom;
+            res.grad.at(i, j) =
+                (static_cast<float>(p) - (j == label ? 1.0f : 0.0f)) * invn;
+        }
+    }
+    res.loss = total / static_cast<double>(n);
+    return res;
+}
+
+LossResult
+pixelwiseCrossEntropy(const Tensor &logits, const std::vector<int> &labels)
+{
+    fatalIf(logits.rank() != 4, "pixelwiseCrossEntropy expects NCHW");
+    const std::int64_t n = logits.dim(0);
+    const std::int64_t c = logits.dim(1);
+    const std::int64_t h = logits.dim(2);
+    const std::int64_t w = logits.dim(3);
+    fatalIf(static_cast<std::int64_t>(labels.size()) != n * h * w,
+            "pixel label count mismatch");
+
+    LossResult res;
+    res.grad = Tensor(logits.shape());
+    double total = 0.0;
+    const float inv = 1.0f / static_cast<float>(n * h * w);
+
+    std::size_t li = 0;
+    for (std::int64_t b = 0; b < n; ++b) {
+        for (std::int64_t y = 0; y < h; ++y) {
+            for (std::int64_t x = 0; x < w; ++x, ++li) {
+                const int label = labels[li];
+                fatalIf(label < 0 || label >= c,
+                        "pixel label out of range");
+                float maxv = logits.at(b, 0, y, x);
+                for (std::int64_t j = 1; j < c; ++j)
+                    maxv = std::max(maxv, logits.at(b, j, y, x));
+                double denom = 0.0;
+                for (std::int64_t j = 0; j < c; ++j) {
+                    denom += std::exp(
+                        static_cast<double>(logits.at(b, j, y, x) - maxv));
+                }
+                total += std::log(denom) + maxv - logits.at(b, label, y, x);
+                for (std::int64_t j = 0; j < c; ++j) {
+                    const double p = std::exp(static_cast<double>(
+                        logits.at(b, j, y, x) - maxv)) / denom;
+                    res.grad.at(b, j, y, x) =
+                        (static_cast<float>(p)
+                         - (j == label ? 1.0f : 0.0f)) * inv;
+                }
+            }
+        }
+    }
+    res.loss = total / static_cast<double>(n * h * w);
+    return res;
+}
+
+LossResult
+mseLoss(const Tensor &pred, const Tensor &target)
+{
+    fatalIf(pred.shape() != target.shape(), "mseLoss shape mismatch");
+    LossResult res;
+    res.grad = Tensor(pred.shape());
+    const std::int64_t n = pred.numel();
+    double total = 0.0;
+    const float scale = 2.0f / static_cast<float>(n);
+    for (std::int64_t i = 0; i < n; ++i) {
+        const double d =
+            static_cast<double>(pred[i]) - static_cast<double>(target[i]);
+        total += d * d;
+        res.grad[i] = scale * static_cast<float>(d);
+    }
+    res.loss = total / static_cast<double>(n);
+    return res;
+}
+
+std::vector<int>
+argmaxRows(const Tensor &logits)
+{
+    fatalIf(logits.rank() != 2, "argmaxRows expects [N, classes]");
+    std::vector<int> out(static_cast<std::size_t>(logits.dim(0)));
+    for (std::int64_t i = 0; i < logits.dim(0); ++i) {
+        int best = 0;
+        for (std::int64_t j = 1; j < logits.dim(1); ++j) {
+            if (logits.at(i, j) > logits.at(i, best))
+                best = static_cast<int>(j);
+        }
+        out[static_cast<std::size_t>(i)] = best;
+    }
+    return out;
+}
+
+double
+top1Accuracy(const Tensor &logits, const std::vector<int> &labels)
+{
+    const std::vector<int> pred = argmaxRows(logits);
+    fatalIf(pred.size() != labels.size(), "accuracy label count mismatch");
+    std::size_t hit = 0;
+    for (std::size_t i = 0; i < pred.size(); ++i) {
+        if (pred[i] == labels[i])
+            ++hit;
+    }
+    return 100.0 * static_cast<double>(hit)
+        / static_cast<double>(pred.size());
+}
+
+} // namespace mvq::nn

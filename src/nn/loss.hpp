@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Loss functions. These are free-standing (not Layers): they take the
+ * network output and targets, and return the scalar loss plus the gradient
+ * with respect to the network output.
+ */
+
+#ifndef MVQ_NN_LOSS_HPP
+#define MVQ_NN_LOSS_HPP
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace mvq::nn {
+
+/** Loss value and gradient w.r.t. the logits/predictions. */
+struct LossResult
+{
+    double loss = 0.0;
+    Tensor grad;
+};
+
+/**
+ * Mean softmax cross-entropy over a batch.
+ *
+ * @param logits [N, classes].
+ * @param labels N class indices.
+ */
+LossResult softmaxCrossEntropy(const Tensor &logits,
+                               const std::vector<int> &labels);
+
+/**
+ * Per-pixel mean softmax cross-entropy for dense prediction.
+ *
+ * @param logits [N, classes, H, W].
+ * @param labels [N * H * W] class indices in row-major (n, h, w) order.
+ */
+LossResult pixelwiseCrossEntropy(const Tensor &logits,
+                                 const std::vector<int> &labels);
+
+/** Mean squared error between prediction and target (same shape). */
+LossResult mseLoss(const Tensor &pred, const Tensor &target);
+
+/** Argmax class per row of a [N, classes] tensor. */
+std::vector<int> argmaxRows(const Tensor &logits);
+
+/** Top-1 accuracy of logits against labels, in [0, 100]. */
+double top1Accuracy(const Tensor &logits, const std::vector<int> &labels);
+
+} // namespace mvq::nn
+
+#endif // MVQ_NN_LOSS_HPP

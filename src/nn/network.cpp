@@ -1,0 +1,102 @@
+#include "nn/network.hpp"
+
+#include "common/logging.hpp"
+#include "nn/conv2d.hpp"
+
+namespace mvq::nn {
+
+Layer *
+Sequential::addLayer(LayerPtr layer)
+{
+    Layer *raw = layer.get();
+    layers.push_back(std::move(layer));
+    return raw;
+}
+
+Tensor
+Sequential::forward(const Tensor &x, bool train)
+{
+    Tensor cur = x;
+    for (auto &l : layers)
+        cur = l->forward(cur, train);
+    return cur;
+}
+
+Tensor
+Sequential::backward(const Tensor &grad_out)
+{
+    Tensor cur = grad_out;
+    for (auto it = layers.rbegin(); it != layers.rend(); ++it)
+        cur = (*it)->backward(cur);
+    return cur;
+}
+
+std::vector<Layer *>
+Sequential::children()
+{
+    std::vector<Layer *> out;
+    out.reserve(layers.size());
+    for (auto &l : layers)
+        out.push_back(l.get());
+    return out;
+}
+
+std::int64_t
+Sequential::flops() const
+{
+    return 0; // accounted by the per-layer sum in networkFlops()
+}
+
+std::vector<Conv2d *>
+convLayers(Layer &root)
+{
+    std::vector<Conv2d *> out;
+    for (Layer *l : root.allLayers()) {
+        if (auto *conv = dynamic_cast<Conv2d *>(l))
+            out.push_back(conv);
+    }
+    return out;
+}
+
+std::int64_t
+parameterCount(Layer &root)
+{
+    std::int64_t n = 0;
+    for (Parameter *p : root.allParameters())
+        n += p->value.numel();
+    return n;
+}
+
+std::int64_t
+networkFlops(Layer &root)
+{
+    std::int64_t n = 0;
+    for (Layer *l : root.allLayers())
+        n += l->flops();
+    return n;
+}
+
+std::vector<Tensor>
+snapshotParameters(Layer &root)
+{
+    std::vector<Tensor> out;
+    for (Parameter *p : root.allParameters())
+        out.push_back(p->value);
+    return out;
+}
+
+void
+restoreParameters(Layer &root, const std::vector<Tensor> &snapshot)
+{
+    auto params = root.allParameters();
+    fatalIf(params.size() != snapshot.size(),
+            "snapshot size mismatch: ", snapshot.size(), " vs ",
+            params.size());
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        fatalIf(params[i]->value.shape() != snapshot[i].shape(),
+                "snapshot shape mismatch at parameter ", params[i]->name);
+        params[i]->value = snapshot[i];
+    }
+}
+
+} // namespace mvq::nn

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Sequential network container. Owns an ordered list of layers and runs
+ * forward/backward through them.
+ */
+
+#ifndef MVQ_NN_NETWORK_HPP
+#define MVQ_NN_NETWORK_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace mvq::nn {
+
+class Conv2d;
+
+/** Ordered layer container; itself a Layer so it nests. */
+class Sequential : public Layer
+{
+  public:
+    explicit Sequential(std::string name) : name_(std::move(name)) {}
+
+    /** Append a layer; returns a typed handle for convenience. */
+    template <typename L, typename... Args>
+    L *
+    add(Args &&...args)
+    {
+        auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+        L *raw = layer.get();
+        layers.push_back(std::move(layer));
+        return raw;
+    }
+
+    /** Append an already-constructed layer. */
+    Layer *addLayer(LayerPtr layer);
+
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::vector<Layer *> children() override;
+    std::string name() const override { return name_; }
+    std::int64_t flops() const override;
+
+    std::size_t size() const { return layers.size(); }
+
+  private:
+    std::string name_;
+    std::vector<LayerPtr> layers;
+};
+
+/** All Conv2d layers in a network, in forward order. */
+std::vector<Conv2d *> convLayers(Layer &root);
+
+/** Total parameter element count. */
+std::int64_t parameterCount(Layer &root);
+
+/** Sum of layer flops() over the most recent forward pass. */
+std::int64_t networkFlops(Layer &root);
+
+/**
+ * Snapshot all parameter values (used to train once and then restore the
+ * same starting point for each compression method under comparison).
+ */
+std::vector<Tensor> snapshotParameters(Layer &root);
+
+/** Restore a snapshot taken from the same (structurally equal) model. */
+void restoreParameters(Layer &root, const std::vector<Tensor> &snapshot);
+
+} // namespace mvq::nn
+
+#endif // MVQ_NN_NETWORK_HPP

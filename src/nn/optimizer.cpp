@@ -1,0 +1,59 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+namespace mvq::nn {
+
+void
+Sgd::step(const std::vector<Parameter *> &params)
+{
+    for (Parameter *p : params) {
+        auto &vel = velocity[p];
+        const std::size_t n = static_cast<std::size_t>(p->value.numel());
+        if (vel.size() != n)
+            vel.assign(n, 0.0f);
+        float *w = p->value.data();
+        const float *g = p->grad.data();
+        for (std::size_t i = 0; i < n; ++i) {
+            float gi = g[i] + weightDecay * w[i];
+            vel[i] = momentum * vel[i] + gi;
+            w[i] -= lr * vel[i];
+        }
+    }
+}
+
+void
+Adam::step(const std::vector<Parameter *> &params)
+{
+    for (Parameter *p : params) {
+        Moments &mom = state[p];
+        const std::size_t n = static_cast<std::size_t>(p->value.numel());
+        if (mom.m.size() != n) {
+            mom.m.assign(n, 0.0f);
+            mom.v.assign(n, 0.0f);
+            mom.t = 0;
+        }
+        ++mom.t;
+        const float bc1 =
+            1.0f - std::pow(beta1, static_cast<float>(mom.t));
+        const float bc2 =
+            1.0f - std::pow(beta2, static_cast<float>(mom.t));
+        float *w = p->value.data();
+        const float *g = p->grad.data();
+        for (std::size_t i = 0; i < n; ++i) {
+            float gi = g[i];
+            if (!decoupled)
+                gi += weightDecay * w[i];
+            mom.m[i] = beta1 * mom.m[i] + (1.0f - beta1) * gi;
+            mom.v[i] = beta2 * mom.v[i] + (1.0f - beta2) * gi * gi;
+            const float mhat = mom.m[i] / bc1;
+            const float vhat = mom.v[i] / bc2;
+            float upd = mhat / (std::sqrt(vhat) + eps);
+            if (decoupled)
+                upd += weightDecay * w[i];
+            w[i] -= lr * upd;
+        }
+    }
+}
+
+} // namespace mvq::nn

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * First-order optimizers over Parameter lists: SGD with momentum, Adam and
+ * AdamW. These drive both network training and MVQ codebook fine-tuning
+ * (Eq. 6 of the paper applies the optimizer to masked codeword gradients).
+ */
+
+#ifndef MVQ_NN_OPTIMIZER_HPP
+#define MVQ_NN_OPTIMIZER_HPP
+
+#include <unordered_map>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace mvq::nn {
+
+/** Shared optimizer interface. */
+class Optimizer
+{
+  public:
+    virtual ~Optimizer() = default;
+
+    /** Apply one update step from each parameter's .grad to its .value. */
+    virtual void step(const std::vector<Parameter *> &params) = 0;
+
+    /** Reset any per-parameter state (moments, step counters). */
+    virtual void reset() = 0;
+};
+
+/** SGD with classical momentum and decoupled L2 weight decay. */
+class Sgd : public Optimizer
+{
+  public:
+    explicit Sgd(float lr, float momentum = 0.9f, float weight_decay = 0.0f)
+        : lr(lr), momentum(momentum), weightDecay(weight_decay)
+    {
+    }
+
+    void step(const std::vector<Parameter *> &params) override;
+    void reset() override { velocity.clear(); }
+
+    float lr;
+
+  private:
+    float momentum;
+    float weightDecay;
+    std::unordered_map<Parameter *, std::vector<float>> velocity;
+};
+
+/** Adam / AdamW (decoupled weight decay when adamw = true). */
+class Adam : public Optimizer
+{
+  public:
+    Adam(float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+         float eps = 1e-8f, float weight_decay = 0.0f, bool adamw = false)
+        : lr(lr), beta1(beta1), beta2(beta2), eps(eps),
+          weightDecay(weight_decay), decoupled(adamw)
+    {
+    }
+
+    void step(const std::vector<Parameter *> &params) override;
+    void reset() override { state.clear(); }
+
+    float lr;
+
+  private:
+    struct Moments
+    {
+        std::vector<float> m;
+        std::vector<float> v;
+        std::int64_t t = 0;
+    };
+
+    float beta1;
+    float beta2;
+    float eps;
+    float weightDecay;
+    bool decoupled;
+    std::unordered_map<Parameter *, Moments> state;
+};
+
+} // namespace mvq::nn
+
+#endif // MVQ_NN_OPTIMIZER_HPP

@@ -1,0 +1,170 @@
+#include "nn/pooling.hpp"
+
+#include <limits>
+
+#include "common/logging.hpp"
+
+namespace mvq::nn {
+
+Tensor
+MaxPool2d::forward(const Tensor &x, bool train)
+{
+    fatalIf(x.rank() != 4, name_, ": expected NCHW input");
+    const std::int64_t n = x.dim(0);
+    const std::int64_t c = x.dim(1);
+    const std::int64_t h = x.dim(2);
+    const std::int64_t w = x.dim(3);
+    const std::int64_t oh = (h + 2 * pad - kernel) / stride + 1;
+    const std::int64_t ow = (w + 2 * pad - kernel) / stride + 1;
+    fatalIf(oh <= 0 || ow <= 0, name_, ": empty output");
+
+    Tensor out(Shape({n, c, oh, ow}));
+    if (train) {
+        cachedInShape = x.shape();
+        argmax.assign(static_cast<std::size_t>(out.numel()), -1);
+    }
+
+    std::int64_t oi = 0;
+    for (std::int64_t b = 0; b < n; ++b) {
+        for (std::int64_t ch = 0; ch < c; ++ch) {
+            for (std::int64_t y = 0; y < oh; ++y) {
+                for (std::int64_t xx = 0; xx < ow; ++xx, ++oi) {
+                    float best = -std::numeric_limits<float>::infinity();
+                    std::int64_t best_idx = -1;
+                    for (std::int64_t ky = 0; ky < kernel; ++ky) {
+                        const std::int64_t iy = y * stride - pad + ky;
+                        if (iy < 0 || iy >= h)
+                            continue;
+                        for (std::int64_t kx = 0; kx < kernel; ++kx) {
+                            const std::int64_t iw = xx * stride - pad + kx;
+                            if (iw < 0 || iw >= w)
+                                continue;
+                            const float v = x.at(b, ch, iy, iw);
+                            if (v > best) {
+                                best = v;
+                                best_idx = x.shape().at(b, ch, iy, iw);
+                            }
+                        }
+                    }
+                    out[oi] = best_idx >= 0 ? best : 0.0f;
+                    if (train)
+                        argmax[static_cast<std::size_t>(oi)] = best_idx;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+MaxPool2d::backward(const Tensor &grad_out)
+{
+    fatalIf(argmax.empty(), name_, ": backward without forward");
+    Tensor grad_in(cachedInShape);
+    for (std::int64_t i = 0; i < grad_out.numel(); ++i) {
+        const std::int64_t src = argmax[static_cast<std::size_t>(i)];
+        if (src >= 0)
+            grad_in[src] += grad_out[i];
+    }
+    return grad_in;
+}
+
+Tensor
+AvgPool2d::forward(const Tensor &x, bool train)
+{
+    fatalIf(x.rank() != 4, name_, ": expected NCHW input");
+    const std::int64_t n = x.dim(0);
+    const std::int64_t c = x.dim(1);
+    const std::int64_t h = x.dim(2);
+    const std::int64_t w = x.dim(3);
+    const std::int64_t oh = (h - kernel) / stride + 1;
+    const std::int64_t ow = (w - kernel) / stride + 1;
+    fatalIf(oh <= 0 || ow <= 0, name_, ": empty output");
+
+    Tensor out(Shape({n, c, oh, ow}));
+    const float inv = 1.0f / static_cast<float>(kernel * kernel);
+    for (std::int64_t b = 0; b < n; ++b) {
+        for (std::int64_t ch = 0; ch < c; ++ch) {
+            for (std::int64_t y = 0; y < oh; ++y) {
+                for (std::int64_t xx = 0; xx < ow; ++xx) {
+                    float s = 0.0f;
+                    for (std::int64_t ky = 0; ky < kernel; ++ky)
+                        for (std::int64_t kx = 0; kx < kernel; ++kx)
+                            s += x.at(b, ch, y * stride + ky,
+                                      xx * stride + kx);
+                    out.at(b, ch, y, xx) = s * inv;
+                }
+            }
+        }
+    }
+    if (train)
+        cachedInShape = x.shape();
+    return out;
+}
+
+Tensor
+AvgPool2d::backward(const Tensor &grad_out)
+{
+    fatalIf(cachedInShape.numel() == 0, name_, ": backward without forward");
+    Tensor grad_in(cachedInShape);
+    const std::int64_t oh = grad_out.dim(2);
+    const std::int64_t ow = grad_out.dim(3);
+    const float inv = 1.0f / static_cast<float>(kernel * kernel);
+    for (std::int64_t b = 0; b < grad_out.dim(0); ++b) {
+        for (std::int64_t ch = 0; ch < grad_out.dim(1); ++ch) {
+            for (std::int64_t y = 0; y < oh; ++y) {
+                for (std::int64_t xx = 0; xx < ow; ++xx) {
+                    const float g = grad_out.at(b, ch, y, xx) * inv;
+                    for (std::int64_t ky = 0; ky < kernel; ++ky)
+                        for (std::int64_t kx = 0; kx < kernel; ++kx)
+                            grad_in.at(b, ch, y * stride + ky,
+                                       xx * stride + kx) += g;
+                }
+            }
+        }
+    }
+    return grad_in;
+}
+
+Tensor
+GlobalAvgPool::forward(const Tensor &x, bool train)
+{
+    fatalIf(x.rank() != 4, name_, ": expected NCHW input");
+    const std::int64_t n = x.dim(0);
+    const std::int64_t c = x.dim(1);
+    const std::int64_t hw = x.dim(2) * x.dim(3);
+    Tensor out(Shape({n, c}));
+    for (std::int64_t b = 0; b < n; ++b) {
+        for (std::int64_t ch = 0; ch < c; ++ch) {
+            double s = 0.0;
+            const float *p = x.data() + (b * c + ch) * hw;
+            for (std::int64_t i = 0; i < hw; ++i)
+                s += p[i];
+            out.at(b, ch) = static_cast<float>(s / static_cast<double>(hw));
+        }
+    }
+    if (train)
+        cachedInShape = x.shape();
+    return out;
+}
+
+Tensor
+GlobalAvgPool::backward(const Tensor &grad_out)
+{
+    fatalIf(cachedInShape.numel() == 0, name_, ": backward without forward");
+    Tensor grad_in(cachedInShape);
+    const std::int64_t c = cachedInShape.dim(1);
+    const std::int64_t hw = cachedInShape.dim(2) * cachedInShape.dim(3);
+    const float inv = 1.0f / static_cast<float>(hw);
+    for (std::int64_t b = 0; b < grad_out.dim(0); ++b) {
+        for (std::int64_t ch = 0; ch < c; ++ch) {
+            const float g = grad_out.at(b, ch) * inv;
+            float *p = grad_in.data() + (b * c + ch) * hw;
+            for (std::int64_t i = 0; i < hw; ++i)
+                p[i] = g;
+        }
+    }
+    return grad_in;
+}
+
+} // namespace mvq::nn

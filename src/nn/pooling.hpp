@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Pooling layers: max pooling, average pooling, global average pooling.
+ */
+
+#ifndef MVQ_NN_POOLING_HPP
+#define MVQ_NN_POOLING_HPP
+
+#include "nn/layer.hpp"
+
+namespace mvq::nn {
+
+/** Max pooling over square windows. */
+class MaxPool2d : public Layer
+{
+  public:
+    MaxPool2d(std::string name, std::int64_t kernel, std::int64_t stride,
+              std::int64_t pad = 0)
+        : name_(std::move(name)), kernel(kernel), stride(stride), pad(pad)
+    {
+    }
+
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::string name() const override { return name_; }
+
+  private:
+    std::string name_;
+    std::int64_t kernel;
+    std::int64_t stride;
+    std::int64_t pad;
+    Shape cachedInShape;
+    std::vector<std::int64_t> argmax; //!< winning flat input index per output
+};
+
+/** Average pooling over square windows (no padding). */
+class AvgPool2d : public Layer
+{
+  public:
+    AvgPool2d(std::string name, std::int64_t kernel, std::int64_t stride)
+        : name_(std::move(name)), kernel(kernel), stride(stride)
+    {
+    }
+
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::string name() const override { return name_; }
+
+  private:
+    std::string name_;
+    std::int64_t kernel;
+    std::int64_t stride;
+    Shape cachedInShape;
+};
+
+/** Global average pooling: NCHW -> [N, C]. */
+class GlobalAvgPool : public Layer
+{
+  public:
+    explicit GlobalAvgPool(std::string name) : name_(std::move(name)) {}
+
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::string name() const override { return name_; }
+
+  private:
+    std::string name_;
+    Shape cachedInShape;
+};
+
+} // namespace mvq::nn
+
+#endif // MVQ_NN_POOLING_HPP

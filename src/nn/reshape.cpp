@@ -1,0 +1,25 @@
+#include "nn/reshape.hpp"
+
+#include "common/logging.hpp"
+
+namespace mvq::nn {
+
+Tensor
+Flatten::forward(const Tensor &x, bool train)
+{
+    fatalIf(x.rank() < 2, name_, ": expected batched input");
+    const std::int64_t n = x.dim(0);
+    const std::int64_t rest = x.numel() / n;
+    if (train)
+        cachedInShape = x.shape();
+    return x.reshaped(Shape({n, rest}));
+}
+
+Tensor
+Flatten::backward(const Tensor &grad_out)
+{
+    fatalIf(cachedInShape.numel() == 0, name_, ": backward without forward");
+    return grad_out.reshaped(cachedInShape);
+}
+
+} // namespace mvq::nn

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Shape adapters: Flatten (NCHW -> [N, C*H*W]).
+ */
+
+#ifndef MVQ_NN_RESHAPE_HPP
+#define MVQ_NN_RESHAPE_HPP
+
+#include "nn/layer.hpp"
+
+namespace mvq::nn {
+
+/** Flatten all non-batch dimensions. */
+class Flatten : public Layer
+{
+  public:
+    explicit Flatten(std::string name) : name_(std::move(name)) {}
+
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::string name() const override { return name_; }
+
+  private:
+    std::string name_;
+    Shape cachedInShape;
+};
+
+} // namespace mvq::nn
+
+#endif // MVQ_NN_RESHAPE_HPP

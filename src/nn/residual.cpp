@@ -1,0 +1,63 @@
+#include "nn/residual.hpp"
+
+#include "common/logging.hpp"
+#include "tensor/ops.hpp"
+
+namespace mvq::nn {
+
+Residual::Residual(std::string name, std::unique_ptr<Sequential> main,
+                   std::unique_ptr<Sequential> skip, bool final_relu)
+    : name_(std::move(name)),
+      mainPath(std::move(main)),
+      skipPath(std::move(skip)),
+      finalRelu(final_relu)
+{
+    fatalIf(!mainPath, name_, ": main path required");
+}
+
+Tensor
+Residual::forward(const Tensor &x, bool train)
+{
+    Tensor a = mainPath->forward(x, train);
+    Tensor b = skipPath ? skipPath->forward(x, train) : x;
+    fatalIf(a.shape() != b.shape(),
+            name_, ": branch shapes differ: ", a.shape().str(), " vs ",
+            b.shape().str());
+    Tensor s = add(a, b);
+    if (!finalRelu)
+        return s;
+    if (train)
+        cachedSum = s;
+    Tensor out(s.shape());
+    for (std::int64_t i = 0; i < s.numel(); ++i)
+        out[i] = s[i] > 0.0f ? s[i] : 0.0f;
+    return out;
+}
+
+Tensor
+Residual::backward(const Tensor &grad_out)
+{
+    Tensor g = grad_out;
+    if (finalRelu) {
+        fatalIf(cachedSum.numel() == 0, name_, ": backward without forward");
+        for (std::int64_t i = 0; i < g.numel(); ++i) {
+            if (cachedSum[i] <= 0.0f)
+                g[i] = 0.0f;
+        }
+    }
+    Tensor ga = mainPath->backward(g);
+    Tensor gb = skipPath ? skipPath->backward(g) : g;
+    addInPlace(ga, gb);
+    return ga;
+}
+
+std::vector<Layer *>
+Residual::children()
+{
+    std::vector<Layer *> out{mainPath.get()};
+    if (skipPath)
+        out.push_back(skipPath.get());
+    return out;
+}
+
+} // namespace mvq::nn

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Residual block: y = relu(main(x) + skip(x)). The skip path is identity
+ * when empty. Used by the ResNet- and MobileNet-v2-style mini models.
+ */
+
+#ifndef MVQ_NN_RESIDUAL_HPP
+#define MVQ_NN_RESIDUAL_HPP
+
+#include "nn/network.hpp"
+
+namespace mvq::nn {
+
+/** Two-branch additive block with optional final ReLU. */
+class Residual : public Layer
+{
+  public:
+    /**
+     * @param main       Main branch (owned).
+     * @param skip       Skip branch (owned); nullptr means identity.
+     * @param final_relu Apply ReLU after the addition (ResNet) or not
+     *                   (MobileNet-v2 linear bottleneck).
+     */
+    Residual(std::string name, std::unique_ptr<Sequential> main,
+             std::unique_ptr<Sequential> skip, bool final_relu = true);
+
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::vector<Layer *> children() override;
+    std::string name() const override { return name_; }
+
+  private:
+    std::string name_;
+    std::unique_ptr<Sequential> mainPath;
+    std::unique_ptr<Sequential> skipPath; //!< nullptr => identity
+    bool finalRelu;
+    Tensor cachedSum; //!< pre-ReLU sum, for the final ReLU backward
+};
+
+} // namespace mvq::nn
+
+#endif // MVQ_NN_RESIDUAL_HPP

@@ -1,0 +1,187 @@
+#include "nn/trainer.hpp"
+
+#include <numeric>
+
+#include "common/logging.hpp"
+#include "nn/loss.hpp"
+
+namespace mvq::nn {
+
+namespace {
+
+/** Shuffled index batches over a set size. */
+std::vector<std::vector<int>>
+makeBatches(Rng &rng, std::size_t count, int batch_size)
+{
+    std::vector<int> order(count);
+    std::iota(order.begin(), order.end(), 0);
+    rng.shuffle(order);
+    std::vector<std::vector<int>> batches;
+    for (std::size_t i = 0; i < count; i += static_cast<std::size_t>(batch_size)) {
+        const std::size_t end =
+            std::min(count, i + static_cast<std::size_t>(batch_size));
+        batches.emplace_back(order.begin() + static_cast<std::ptrdiff_t>(i),
+                             order.begin() + static_cast<std::ptrdiff_t>(end));
+    }
+    return batches;
+}
+
+} // namespace
+
+TrainStats
+trainClassifier(Layer &model, const ClassificationDataset &data,
+                const TrainConfig &cfg)
+{
+    Rng rng(cfg.seed);
+    Sgd opt(cfg.lr, cfg.momentum, cfg.weight_decay);
+    TrainStats stats;
+
+    for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+        const auto batches =
+            makeBatches(rng, data.trainSet().size(), cfg.batch_size);
+        double loss_sum = 0.0;
+        double acc_sum = 0.0;
+        for (const auto &batch : batches) {
+            Tensor images = data.batchImages(data.trainSet(), batch);
+            std::vector<int> labels = data.batchLabels(data.trainSet(), batch);
+
+            model.zeroGrad();
+            Tensor logits = model.forward(images, /*train=*/true);
+            LossResult lr = softmaxCrossEntropy(logits, labels);
+            model.backward(lr.grad);
+            if (cfg.before_step)
+                cfg.before_step(model);
+            opt.step(model.allParameters());
+            if (cfg.after_step)
+                cfg.after_step(model);
+
+            loss_sum += lr.loss;
+            acc_sum += top1Accuracy(logits, labels);
+        }
+        stats.final_loss = loss_sum / static_cast<double>(batches.size());
+        stats.train_accuracy = acc_sum / static_cast<double>(batches.size());
+        if (cfg.verbose) {
+            inform("epoch ", epoch, " loss ", stats.final_loss,
+                   " train-acc ", stats.train_accuracy);
+        }
+    }
+    stats.test_accuracy = evalClassifier(model, data, data.testSet());
+    return stats;
+}
+
+double
+evalClassifier(Layer &model, const ClassificationDataset &data,
+               const std::vector<Sample> &set, int batch_size)
+{
+    double acc_weighted = 0.0;
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < set.size();
+         i += static_cast<std::size_t>(batch_size)) {
+        const std::size_t end =
+            std::min(set.size(), i + static_cast<std::size_t>(batch_size));
+        std::vector<int> idx;
+        for (std::size_t j = i; j < end; ++j)
+            idx.push_back(static_cast<int>(j));
+        Tensor images = data.batchImages(set, idx);
+        std::vector<int> labels = data.batchLabels(set, idx);
+        Tensor logits = model.forward(images, /*train=*/false);
+        acc_weighted +=
+            top1Accuracy(logits, labels) * static_cast<double>(idx.size());
+        total += idx.size();
+    }
+    return total ? acc_weighted / static_cast<double>(total) : 0.0;
+}
+
+TrainStats
+trainSegmenter(Layer &model, const SegmentationDataset &data,
+               const TrainConfig &cfg)
+{
+    Rng rng(cfg.seed);
+    Sgd opt(cfg.lr, cfg.momentum, cfg.weight_decay);
+    TrainStats stats;
+
+    for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+        const auto batches =
+            makeBatches(rng, data.trainSet().size(), cfg.batch_size);
+        double loss_sum = 0.0;
+        for (const auto &batch : batches) {
+            Tensor images = data.batchImages(data.trainSet(), batch);
+            std::vector<int> labels = data.batchLabels(data.trainSet(), batch);
+
+            model.zeroGrad();
+            Tensor logits = model.forward(images, /*train=*/true);
+            LossResult lr = pixelwiseCrossEntropy(logits, labels);
+            model.backward(lr.grad);
+            if (cfg.before_step)
+                cfg.before_step(model);
+            opt.step(model.allParameters());
+            if (cfg.after_step)
+                cfg.after_step(model);
+            loss_sum += lr.loss;
+        }
+        stats.final_loss = loss_sum / static_cast<double>(batches.size());
+        if (cfg.verbose)
+            inform("epoch ", epoch, " seg loss ", stats.final_loss);
+    }
+    stats.test_accuracy = evalSegmenterMiou(model, data, data.testSet());
+    return stats;
+}
+
+double
+evalSegmenterMiou(Layer &model, const SegmentationDataset &data,
+                  const std::vector<SegSample> &set, int batch_size)
+{
+    const int classes = data.config().classes;
+    std::vector<std::int64_t> inter(static_cast<std::size_t>(classes), 0);
+    std::vector<std::int64_t> uni(static_cast<std::size_t>(classes), 0);
+
+    for (std::size_t i = 0; i < set.size();
+         i += static_cast<std::size_t>(batch_size)) {
+        const std::size_t end =
+            std::min(set.size(), i + static_cast<std::size_t>(batch_size));
+        std::vector<int> idx;
+        for (std::size_t j = i; j < end; ++j)
+            idx.push_back(static_cast<int>(j));
+        Tensor images = data.batchImages(set, idx);
+        std::vector<int> labels = data.batchLabels(set, idx);
+        Tensor logits = model.forward(images, /*train=*/false);
+
+        const std::int64_t n = logits.dim(0);
+        const std::int64_t c = logits.dim(1);
+        const std::int64_t h = logits.dim(2);
+        const std::int64_t w = logits.dim(3);
+        std::size_t li = 0;
+        for (std::int64_t b = 0; b < n; ++b) {
+            for (std::int64_t y = 0; y < h; ++y) {
+                for (std::int64_t x = 0; x < w; ++x, ++li) {
+                    int pred = 0;
+                    for (std::int64_t j = 1; j < c; ++j) {
+                        if (logits.at(b, j, y, x) > logits.at(b, pred, y, x))
+                            pred = static_cast<int>(j);
+                    }
+                    const int gt = labels[li];
+                    if (pred == gt) {
+                        ++inter[static_cast<std::size_t>(gt)];
+                        ++uni[static_cast<std::size_t>(gt)];
+                    } else {
+                        ++uni[static_cast<std::size_t>(gt)];
+                        ++uni[static_cast<std::size_t>(pred)];
+                    }
+                }
+            }
+        }
+    }
+
+    double miou = 0.0;
+    int present = 0;
+    for (int c = 0; c < classes; ++c) {
+        if (uni[static_cast<std::size_t>(c)] > 0) {
+            miou += static_cast<double>(inter[static_cast<std::size_t>(c)])
+                / static_cast<double>(uni[static_cast<std::size_t>(c)]);
+            ++present;
+        }
+    }
+    return present ? 100.0 * miou / static_cast<double>(present) : 0.0;
+}
+
+} // namespace mvq::nn

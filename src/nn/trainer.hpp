@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Generic training/evaluation loops for classification and segmentation
+ * models built from the Layer hierarchy.
+ */
+
+#ifndef MVQ_NN_TRAINER_HPP
+#define MVQ_NN_TRAINER_HPP
+
+#include <functional>
+
+#include "nn/dataset.hpp"
+#include "nn/layer.hpp"
+#include "nn/optimizer.hpp"
+
+namespace mvq::nn {
+
+/** Options controlling a training run. */
+struct TrainConfig
+{
+    int epochs = 4;
+    int batch_size = 32;
+    float lr = 0.05f;
+    float momentum = 0.9f;
+    float weight_decay = 1e-4f;
+    std::uint64_t seed = 17;
+    bool verbose = false;
+
+    /**
+     * Called immediately before each optimizer step with the model; used by
+     * SR-STE sparse training and by compression-aware fine-tuning to edit
+     * gradients or re-apply masks.
+     */
+    std::function<void(Layer &)> before_step;
+
+    /** Called after each optimizer step (e.g. to re-project weights). */
+    std::function<void(Layer &)> after_step;
+};
+
+/** Summary of a training run. */
+struct TrainStats
+{
+    double final_loss = 0.0;
+    double train_accuracy = 0.0; //!< on the last epoch's batches
+    double test_accuracy = 0.0;
+};
+
+/**
+ * Train a classifier (model maps NCHW images to [N, classes] logits) with
+ * SGD + momentum.
+ */
+TrainStats trainClassifier(Layer &model, const ClassificationDataset &data,
+                           const TrainConfig &cfg);
+
+/** Top-1 accuracy of the model over a sample set, in [0, 100]. */
+double evalClassifier(Layer &model, const ClassificationDataset &data,
+                      const std::vector<Sample> &set, int batch_size = 64);
+
+/**
+ * Train a dense-prediction model (NCHW in, [N, classes, H, W] logits out)
+ * with pixelwise cross-entropy.
+ */
+TrainStats trainSegmenter(Layer &model, const SegmentationDataset &data,
+                          const TrainConfig &cfg);
+
+/** Mean intersection-over-union over classes, in [0, 100]. */
+double evalSegmenterMiou(Layer &model, const SegmentationDataset &data,
+                         const std::vector<SegSample> &set,
+                         int batch_size = 32);
+
+} // namespace mvq::nn
+
+#endif // MVQ_NN_TRAINER_HPP

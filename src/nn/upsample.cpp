@@ -1,0 +1,43 @@
+#include "nn/upsample.hpp"
+
+#include "common/logging.hpp"
+
+namespace mvq::nn {
+
+Tensor
+UpsampleNearest::forward(const Tensor &x, bool train)
+{
+    fatalIf(x.rank() != 4, name_, ": expected NCHW input");
+    const std::int64_t n = x.dim(0);
+    const std::int64_t c = x.dim(1);
+    const std::int64_t h = x.dim(2);
+    const std::int64_t w = x.dim(3);
+    Tensor out(Shape({n, c, h * factor, w * factor}));
+    for (std::int64_t b = 0; b < n; ++b)
+        for (std::int64_t ch = 0; ch < c; ++ch)
+            for (std::int64_t y = 0; y < h * factor; ++y)
+                for (std::int64_t xx = 0; xx < w * factor; ++xx)
+                    out.at(b, ch, y, xx) = x.at(b, ch, y / factor,
+                                                xx / factor);
+    if (train)
+        cachedInShape = x.shape();
+    return out;
+}
+
+Tensor
+UpsampleNearest::backward(const Tensor &grad_out)
+{
+    fatalIf(cachedInShape.numel() == 0, name_, ": backward without forward");
+    Tensor grad_in(cachedInShape);
+    const std::int64_t h = cachedInShape.dim(2);
+    const std::int64_t w = cachedInShape.dim(3);
+    for (std::int64_t b = 0; b < grad_out.dim(0); ++b)
+        for (std::int64_t ch = 0; ch < grad_out.dim(1); ++ch)
+            for (std::int64_t y = 0; y < h * factor; ++y)
+                for (std::int64_t xx = 0; xx < w * factor; ++xx)
+                    grad_in.at(b, ch, y / factor, xx / factor) +=
+                        grad_out.at(b, ch, y, xx);
+    return grad_in;
+}
+
+} // namespace mvq::nn

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Nearest-neighbour upsampling (used by the segmentation head).
+ */
+
+#ifndef MVQ_NN_UPSAMPLE_HPP
+#define MVQ_NN_UPSAMPLE_HPP
+
+#include "nn/layer.hpp"
+
+namespace mvq::nn {
+
+/** Nearest-neighbour spatial upsampling by an integer factor. */
+class UpsampleNearest : public Layer
+{
+  public:
+    UpsampleNearest(std::string name, std::int64_t factor)
+        : name_(std::move(name)), factor(factor)
+    {
+    }
+
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::string name() const override { return name_; }
+
+  private:
+    std::string name_;
+    std::int64_t factor;
+    Shape cachedInShape;
+};
+
+} // namespace mvq::nn
+
+#endif // MVQ_NN_UPSAMPLE_HPP

@@ -1,0 +1,230 @@
+#include "perf/layer_perf.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "common/math_util.hpp"
+#include "sim/weight_loader.hpp"
+
+namespace mvq::perf {
+
+namespace {
+
+using sim::AccelConfig;
+using sim::Counters;
+using sim::TileStyle;
+using sim::WeightStream;
+
+/**
+ * Shared block-level model for standard (groups = 1) convolution with
+ * geometry (K, C, R, E). Mirrors sim::SystolicArray::runConv counter for
+ * counter.
+ */
+LayerPerf
+analyzeStandard(const AccelConfig &cfg, const std::string &name,
+                std::int64_t k_total, std::int64_t c_total, std::int64_t r,
+                std::int64_t ep, const WorkloadStats &stats)
+{
+    const std::int64_t rr = r * r;
+    const std::int64_t hh = cfg.array_h;
+    const std::int64_t ll = cfg.array_l;
+    const bool sparse = cfg.tile == TileStyle::Sparse;
+    const double keep = sparse
+        ? static_cast<double>(cfg.nm_n) / static_cast<double>(cfg.nm_m)
+        : 1.0;
+
+    LayerPerf lp;
+    lp.name = name;
+    lp.ext = sim::chooseExtensions(cfg, k_total, c_total, rr);
+    const std::int64_t ca = lp.ext.a;
+    const std::int64_t cb = lp.ext.b;
+    const std::int64_t cd = lp.ext.d;
+
+    Counters &cnt = lp.counters;
+    lp.dense_macs = k_total * c_total * rr * ep;
+    lp.compute_macs = static_cast<std::int64_t>(
+        static_cast<double>(lp.dense_macs) * keep);
+
+    const std::int64_t n_i = ceilDiv(k_total, ca * ll);
+    const std::int64_t n_j = ceilDiv(c_total, cb * hh);
+    const std::int64_t n_k = ceilDiv(rr, cd);
+    const std::int64_t psum_bytes = cfg.psum_bits / 8;
+
+    std::int64_t pending_load = 0;
+    for (std::int64_t i = 0; i < n_i; ++i) {
+        const std::int64_t kos =
+            std::min(ca * ll, k_total - i * ca * ll);
+        for (std::int64_t j = 0; j < n_j; ++j) {
+            const std::int64_t cs =
+                std::min(cb * hh, c_total - j * cb * hh);
+            for (std::int64_t kk = 0; kk < n_k; ++kk) {
+                const std::int64_t kcs = std::min(cd, rr - kk * cd);
+                const std::int64_t block_weights = kos * cs * kcs;
+                const std::int64_t block_bits =
+                    sim::streamBits(cfg, block_weights);
+                const std::int64_t block_load =
+                    ceilDiv(block_bits, cfg.dma_bits);
+                cnt.l2_read_bytes += ceilDiv(block_bits, 8);
+                if (cfg.weight_stream != WeightStream::Dense8b)
+                    cnt.crf_reads += ceilDiv(block_weights, cfg.vq_d);
+                if (sparse) {
+                    const std::int64_t kept = block_weights
+                        * cfg.sparseQ() / cfg.vq_d;
+                    cnt.wrf_writes += kept;
+                    cnt.mrf_writes += kept;
+                } else {
+                    cnt.wrf_writes += block_weights;
+                }
+
+                const std::int64_t arith_cycles = ep * ca * cb * cd;
+                const std::int64_t l1_block_bytes = ep * cb * hh
+                    + ep * ca * ll * psum_bytes
+                    * ((j == 0 && kk == 0) ? 1 : 2);
+                const std::int64_t block_compute = std::max(
+                    arith_cycles,
+                    ceilDiv(l1_block_bytes, cfg.l1_bw_bytes));
+                cnt.compute_cycles += block_compute;
+                if (i == 0 && j == 0 && kk == 0) {
+                    cnt.total_cycles += block_load + block_compute;
+                    cnt.stall_cycles += block_load;
+                    pending_load = 0;
+                } else {
+                    cnt.total_cycles +=
+                        std::max(block_compute, pending_load);
+                    cnt.stall_cycles += std::max<std::int64_t>(
+                        0, pending_load - block_compute);
+                }
+                pending_load = block_load;
+
+                // L1 + register traffic (EWS reuse rules).
+                cnt.l1_read_bytes += ep * cb * hh;
+                cnt.arf_writes += ep * cb * hh;
+                cnt.l1_write_bytes += ep * ca * ll * psum_bytes;
+                if (!(j == 0 && kk == 0))
+                    cnt.l1_read_bytes += ep * ca * ll * psum_bytes;
+
+                cnt.arf_reads += arith_cycles * hh;
+                cnt.prf_reads += arith_cycles * ll;
+                cnt.prf_writes += arith_cycles * ll;
+
+                // Valid MAC slots in this block (edge blocks excluded).
+                const std::int64_t slots = static_cast<std::int64_t>(
+                    ep) * kos * cs * kcs;
+                if (sparse) {
+                    const std::int64_t kept_slots = static_cast<
+                        std::int64_t>(static_cast<double>(slots) * keep);
+                    cnt.wrf_reads += kept_slots;
+                    cnt.mrf_reads += kept_slots;
+                } else {
+                    cnt.wrf_reads += slots;
+                }
+            }
+        }
+    }
+
+    // Split valid MAC slots into useful vs gated using the workload
+    // statistics. With the sparse tile only kept weights occupy slots;
+    // a dense tile fed by the masked-VQ stream (EWS-CM) sees the N:M
+    // zeros and gates them.
+    const double az = stats.act_zero_frac;
+    double wz = stats.dense_weight_zero_frac;
+    if (sparse) {
+        wz = 0.0;
+    } else if (cfg.weight_stream == WeightStream::VqIndexMask) {
+        wz = 1.0 - static_cast<double>(cfg.nm_n)
+            / static_cast<double>(cfg.nm_m);
+    }
+    const double live = (1.0 - az) * (1.0 - wz);
+    const std::int64_t slots_total = sparse
+        ? lp.compute_macs : lp.dense_macs;
+    if (cfg.zero_gating) {
+        cnt.macs = static_cast<std::int64_t>(
+            static_cast<double>(slots_total) * live);
+        cnt.gated_macs = slots_total - cnt.macs;
+    } else {
+        cnt.macs = slots_total;
+        cnt.gated_macs = 0;
+    }
+    return lp;
+}
+
+} // namespace
+
+LayerPerf
+analyzeConvLayer(const sim::AccelConfig &cfg,
+                 const models::ConvLayerSpec &spec,
+                 const WorkloadStats &stats)
+{
+    const std::int64_t ep = spec.outH() * spec.outW();
+
+    if (spec.isDepthwise()) {
+        // Depthwise layers map weights to the array diagonal: only
+        // min(H, L) PEs are active and there is no C|K reuse (paper
+        // Section 7.5). Model as channel blocks of min(H, L) with the
+        // kernel plane iterated serially.
+        const std::int64_t diag = std::min(cfg.array_h, cfg.array_l);
+        const std::int64_t rr = spec.kernel * spec.kernel;
+
+        LayerPerf lp;
+        lp.name = spec.name;
+        lp.ext = sim::Extensions{1, 1,
+            cfg.dataflow == sim::Dataflow::WS
+                ? 1
+                : std::min<std::int64_t>(rr, cfg.wrf_depth)};
+        lp.depthwise = true;
+        lp.dense_macs = spec.macs();
+        const bool sparse = cfg.tile == TileStyle::Sparse;
+        const double keep = sparse
+            ? static_cast<double>(cfg.nm_n)
+                / static_cast<double>(cfg.nm_m)
+            : 1.0;
+        lp.compute_macs = static_cast<std::int64_t>(
+            static_cast<double>(lp.dense_macs) * keep);
+
+        Counters &cnt = lp.counters;
+        const std::int64_t blocks = ceilDiv(spec.out_c, diag);
+        const std::int64_t cycles = blocks * rr * ep / lp.ext.d
+            * lp.ext.d; // = blocks * rr * ep
+        cnt.compute_cycles = cycles;
+        const std::int64_t weight_bits =
+            sim::streamBits(cfg, spec.weightCount());
+        const std::int64_t load = ceilDiv(weight_bits, cfg.dma_bits);
+        cnt.total_cycles = cycles + load; // weight volume is tiny
+        cnt.l2_read_bytes += ceilDiv(weight_bits, 8);
+        cnt.l1_read_bytes += blocks * ep * diag
+            / std::max<std::int64_t>(1, lp.ext.d);
+        cnt.l1_write_bytes += ep * spec.out_c;
+        cnt.arf_reads += cycles * diag;
+        cnt.prf_reads += cycles * diag;
+        cnt.prf_writes += cycles * diag;
+        cnt.wrf_reads += sparse ? lp.compute_macs : lp.dense_macs;
+
+        const double az = stats.act_zero_frac;
+        const std::int64_t slots = sparse ? lp.compute_macs
+                                          : lp.dense_macs;
+        if (cfg.zero_gating) {
+            cnt.macs = static_cast<std::int64_t>(
+                static_cast<double>(slots) * (1.0 - az));
+            cnt.gated_macs = slots - cnt.macs;
+        } else {
+            cnt.macs = slots;
+        }
+        return lp;
+    }
+
+    fatalIf(spec.groups != 1 && !spec.isDepthwise(),
+            spec.name, ": grouped (non-depthwise) convs not modeled");
+    return analyzeStandard(cfg, spec.name, spec.out_c, spec.in_c,
+                           spec.kernel, ep, stats);
+}
+
+LayerPerf
+analyzeFcLayer(const sim::AccelConfig &cfg, const models::FcLayerSpec &spec,
+               const WorkloadStats &stats)
+{
+    // FC as a 1x1 conv over a 1x1 plane: K = out, C = in, E = 1.
+    return analyzeStandard(cfg, spec.name, spec.out_features,
+                           spec.in_features, 1, 1, stats);
+}
+
+} // namespace mvq::perf

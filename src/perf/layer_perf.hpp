@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Closed-form per-layer performance model. Mirrors the counter math of
+ * the functional simulator (src/sim) block-by-block — tests assert the
+ * two agree exactly on dense-weight layers — but runs in microseconds on
+ * full-size ResNet/VGG layers, which is what the paper's hardware sweeps
+ * need.
+ */
+
+#ifndef MVQ_PERF_LAYER_PERF_HPP
+#define MVQ_PERF_LAYER_PERF_HPP
+
+#include "models/layer_spec.hpp"
+#include "sim/accel_config.hpp"
+#include "sim/counters.hpp"
+#include "sim/systolic_array.hpp"
+
+namespace mvq::perf {
+
+/** Statistical workload knobs the cycle model cannot derive from shapes. */
+struct WorkloadStats
+{
+    /** Fraction of zero activations (post-ReLU int8); drives gating. */
+    double act_zero_frac = 0.5;
+    /** Fraction of zero weights in the *dense* int8 model. */
+    double dense_weight_zero_frac = 0.05;
+};
+
+/** Per-layer analysis result. */
+struct LayerPerf
+{
+    std::string name;
+    sim::Counters counters;
+    sim::Extensions ext;
+    std::int64_t dense_macs = 0;   //!< K*C/g*R*R*E*F
+    std::int64_t compute_macs = 0; //!< after N:M sparsity (sparse tile)
+    bool depthwise = false;
+};
+
+/**
+ * Analyze one conv layer on the configured accelerator.
+ *
+ * Depthwise layers map to the array diagonal (only min(H, L) PEs active,
+ * paper Section 7.5); they are modeled with that reduced parallelism.
+ */
+LayerPerf analyzeConvLayer(const sim::AccelConfig &cfg,
+                           const models::ConvLayerSpec &spec,
+                           const WorkloadStats &stats);
+
+/** Analyze an FC layer as a 1x1 convolution with a 1x1 output plane. */
+LayerPerf analyzeFcLayer(const sim::AccelConfig &cfg,
+                         const models::FcLayerSpec &spec,
+                         const WorkloadStats &stats);
+
+} // namespace mvq::perf
+
+#endif // MVQ_PERF_LAYER_PERF_HPP

@@ -1,0 +1,104 @@
+#include "perf/network_perf.hpp"
+
+#include "common/logging.hpp"
+
+namespace mvq::perf {
+
+NetworkPerf
+analyzeNetwork(const sim::AccelConfig &cfg, const models::ModelSpec &spec,
+               const WorkloadStats &stats, bool include_fc,
+               bool include_depthwise)
+{
+    NetworkPerf np;
+    np.model_name = spec.name;
+    np.setting_name = cfg.settingName();
+    np.include_depthwise = include_depthwise;
+
+    for (const auto &conv : spec.convs) {
+        if (conv.isDepthwise() && !include_depthwise)
+            continue;
+        np.layers.push_back(analyzeConvLayer(cfg, conv, stats));
+    }
+    if (include_fc) {
+        for (const auto &fc : spec.fcs)
+            np.layers.push_back(analyzeFcLayer(cfg, fc, stats));
+    }
+
+    // DRAM policy. Weights are read from DRAM once per inference (the
+    // compressed stream staged through L2). Feature maps live in L2
+    // unless ifmap + ofmap together exceed the L2 budget left beside the
+    // layer's weights — then both spill (paper's VGG-16 caveat).
+    std::int64_t weight_stream_bytes = 0;
+    std::size_t li = 0;
+    for (const auto &conv : spec.convs) {
+        if (conv.isDepthwise() && !include_depthwise)
+            continue;
+        LayerPerf &lp = np.layers[li++];
+        const std::int64_t weight_bytes = lp.counters.l2_read_bytes;
+        // Weight stream bytes were counted into l2_read_bytes per block;
+        // the same volume crosses DRAM -> L2 once.
+        np.totals.dram_read_bytes += weight_bytes;
+        weight_stream_bytes += weight_bytes;
+
+        const std::int64_t ifmap_bytes = conv.in_c * conv.in_h * conv.in_w;
+        const std::int64_t ofmap_bytes =
+            conv.out_c * conv.outH() * conv.outW();
+        // Weights stream through a staging window rather than residing
+        // whole in L2; feature maps need residency.
+        const std::int64_t weight_staging = 256 * 1024;
+        const bool spill = ifmap_bytes + ofmap_bytes
+            > cfg.l2_bytes - weight_staging;
+        if (spill) {
+            np.totals.dram_read_bytes += ifmap_bytes;
+            np.totals.dram_write_bytes += ofmap_bytes;
+        }
+        // L2 sees the fmap traffic either way (L1 refills / writebacks).
+        lp.counters.l2_read_bytes += ifmap_bytes;
+        lp.counters.l2_write_bytes += ofmap_bytes;
+    }
+    if (include_fc) {
+        for (const auto &fc : spec.fcs) {
+            LayerPerf &lp = np.layers[li++];
+            np.totals.dram_read_bytes += lp.counters.l2_read_bytes;
+            weight_stream_bytes += lp.counters.l2_read_bytes;
+            lp.counters.l2_read_bytes += fc.in_features;
+            lp.counters.l2_write_bytes += fc.out_features;
+        }
+    }
+
+    // First ifmap from DRAM, last ofmap to DRAM.
+    if (!spec.convs.empty()) {
+        const auto &first = spec.convs.front();
+        np.totals.dram_read_bytes +=
+            first.in_c * first.in_h * first.in_w;
+    }
+
+    for (const auto &lp : np.layers) {
+        np.totals += lp.counters;
+        np.dense_macs += lp.dense_macs;
+    }
+
+    np.seconds = static_cast<double>(np.totals.total_cycles)
+        / (cfg.freq_ghz * 1e9);
+    np.effective_gops = 2.0 * static_cast<double>(np.dense_macs)
+        / np.seconds / 1e9;
+    np.peak_gops = 2.0
+        * static_cast<double>(cfg.array_h * cfg.array_l) * cfg.freq_ghz;
+    np.weight_oi = 2.0 * static_cast<double>(np.dense_macs)
+        / std::max<double>(1.0, static_cast<double>(weight_stream_bytes));
+    return np;
+}
+
+RooflinePoint
+rooflinePoint(const NetworkPerf &perf, const sim::AccelConfig &cfg)
+{
+    RooflinePoint pt;
+    pt.label = perf.model_name + "/" + perf.setting_name;
+    pt.oi = perf.weight_oi;
+    pt.attained_gops = perf.effective_gops;
+    pt.peak_gops = perf.peak_gops;
+    pt.bw_gbps = static_cast<double>(cfg.dma_bits) / 8.0 * cfg.freq_ghz;
+    return pt;
+}
+
+} // namespace mvq::perf

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Whole-network performance/traffic model: runs the per-layer model over
+ * a ModelSpec, adds the DRAM policy (weights streamed once per inference;
+ * intermediate feature maps stay in L2 unless they exceed its capacity,
+ * the VGG-16 caveat of paper Section 7.3), and derives throughput and
+ * roofline coordinates.
+ */
+
+#ifndef MVQ_PERF_NETWORK_PERF_HPP
+#define MVQ_PERF_NETWORK_PERF_HPP
+
+#include "perf/layer_perf.hpp"
+
+namespace mvq::perf {
+
+/** Aggregated result for one network on one accelerator config. */
+struct NetworkPerf
+{
+    std::string model_name;
+    std::string setting_name;
+    std::vector<LayerPerf> layers;
+    sim::Counters totals;
+    std::int64_t dense_macs = 0;
+
+    /** Wall-clock seconds for one inference at the configured clock. */
+    double seconds = 0.0;
+
+    /** Effective throughput in GOPS (2 ops per dense MAC equivalent). */
+    double effective_gops = 0.0;
+
+    /** Peak throughput in GOPS (2 * H * L per cycle). */
+    double peak_gops = 0.0;
+
+    /** Operational intensity: ops per byte of L2 weight stream. */
+    double weight_oi = 0.0;
+
+    /** Include depthwise layers in the totals (paper reports pointwise
+     *  only for MobileNet; see Fig. 20 footnote). */
+    bool include_depthwise = true;
+};
+
+/**
+ * Analyze a full network.
+ *
+ * @param include_fc Include FC layers (run as 1x1 convs). The paper's
+ *        accelerator executes them; their weight loading dominates
+ *        AlexNet/VGG bandwidth, matching Fig. 15's lower reductions.
+ * @param include_depthwise Include depthwise layers (false reproduces
+ *        the paper's pointwise-only MobileNet rows).
+ */
+NetworkPerf analyzeNetwork(const sim::AccelConfig &cfg,
+                           const models::ModelSpec &spec,
+                           const WorkloadStats &stats,
+                           bool include_fc = true,
+                           bool include_depthwise = true);
+
+/** One point of the paper's Fig. 18 roofline. */
+struct RooflinePoint
+{
+    std::string label;
+    double oi = 0.0;            //!< ops per byte of weight stream
+    double attained_gops = 0.0;
+    double peak_gops = 0.0;
+    double bw_gbps = 0.0;       //!< weight-loading bandwidth bound
+};
+
+/** Roofline coordinates for a network/config pair. */
+RooflinePoint rooflinePoint(const NetworkPerf &perf,
+                            const sim::AccelConfig &cfg);
+
+} // namespace mvq::perf
+
+#endif // MVQ_PERF_NETWORK_PERF_HPP

@@ -1,0 +1,124 @@
+#include "sim/accel_config.hpp"
+
+#include "common/logging.hpp"
+#include "common/math_util.hpp"
+
+namespace mvq::sim {
+
+double
+AccelConfig::loadedBitsPerWeight() const
+{
+    switch (weight_stream) {
+      case WeightStream::Dense8b:
+        return static_cast<double>(weight_bits);
+      case WeightStream::VqIndex:
+        return static_cast<double>(log2Ceil(
+                   static_cast<std::uint64_t>(vq_k)))
+            / static_cast<double>(vq_d);
+      case WeightStream::VqIndexMask: {
+        const double index_bits = static_cast<double>(
+            log2Ceil(static_cast<std::uint64_t>(vq_k)));
+        const double mask_bits_per_group = static_cast<double>(
+            log2Ceil(binomial(nm_m, nm_n)));
+        const double groups = static_cast<double>(vq_d / nm_m);
+        return (index_bits + mask_bits_per_group * groups)
+            / static_cast<double>(vq_d);
+      }
+    }
+    panic("unreachable weight stream");
+}
+
+std::string
+AccelConfig::settingName() const
+{
+    return hwSettingName(setting);
+}
+
+std::string
+hwSettingName(HwSetting setting)
+{
+    switch (setting) {
+      case HwSetting::WS_Base:
+        return "WS";
+      case HwSetting::WS_CMS:
+        return "WS-CMS";
+      case HwSetting::EWS_Base:
+        return "EWS";
+      case HwSetting::EWS_C:
+        return "EWS-C";
+      case HwSetting::EWS_CM:
+        return "EWS-CM";
+      case HwSetting::EWS_CMS:
+        return "EWS-CMS";
+    }
+    return "?";
+}
+
+AccelConfig
+makeHwSetting(HwSetting setting, std::int64_t array_size)
+{
+    fatalIf(array_size != 16 && array_size != 32 && array_size != 64,
+            "paper evaluates array sizes 16/32/64, got ", array_size);
+
+    AccelConfig cfg;
+    cfg.setting = setting;
+    cfg.array_h = array_size;
+    cfg.array_l = array_size;
+    cfg.l1_bytes = (array_size == 16 ? 128 : 256) * 1024;
+    cfg.l2_bytes = 2 * 1024 * 1024;
+    // Multi-bank L1 bandwidth grows with the array (11 * H / 2 bytes
+    // per cycle, calibrated to the paper's EWS-vs-WS speedup gap).
+    cfg.l1_bw_bytes = 11 * array_size / 2;
+
+    switch (setting) {
+      case HwSetting::WS_Base:
+        cfg.dataflow = Dataflow::WS;
+        cfg.weight_stream = WeightStream::Dense8b;
+        cfg.tile = TileStyle::Dense;
+        break;
+      case HwSetting::WS_CMS:
+        cfg.dataflow = Dataflow::WS;
+        cfg.weight_stream = WeightStream::VqIndexMask;
+        cfg.tile = TileStyle::Sparse;
+        cfg.vq_k = 512;
+        cfg.vq_d = 16;
+        cfg.nm_n = 4;
+        cfg.nm_m = 16;
+        break;
+      case HwSetting::EWS_Base:
+        cfg.dataflow = Dataflow::EWS;
+        cfg.weight_stream = WeightStream::Dense8b;
+        cfg.tile = TileStyle::Dense;
+        break;
+      case HwSetting::EWS_C:
+        cfg.dataflow = Dataflow::EWS;
+        cfg.weight_stream = WeightStream::VqIndex;
+        cfg.tile = TileStyle::Dense;
+        cfg.vq_k = 1024;
+        cfg.vq_d = 8;
+        cfg.nm_n = 1; // no pruning
+        cfg.nm_m = 1;
+        break;
+      case HwSetting::EWS_CM:
+        cfg.dataflow = Dataflow::EWS;
+        cfg.weight_stream = WeightStream::VqIndexMask;
+        cfg.tile = TileStyle::Dense;
+        cfg.vq_k = 512;
+        cfg.vq_d = 16;
+        cfg.nm_n = 4;
+        cfg.nm_m = 16;
+        break;
+      case HwSetting::EWS_CMS:
+        cfg.dataflow = Dataflow::EWS;
+        cfg.weight_stream = WeightStream::VqIndexMask;
+        cfg.tile = TileStyle::Sparse;
+        cfg.vq_k = 512;
+        cfg.vq_d = 16;
+        cfg.nm_n = 4;
+        cfg.nm_m = 16;
+        break;
+    }
+    return cfg;
+}
+
+} // namespace mvq::sim

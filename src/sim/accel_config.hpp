@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Accelerator configuration: dataflow, array geometry, weight-stream
+ * format and tile style. The six named settings of paper Section 7.1 are
+ * provided as factories.
+ */
+
+#ifndef MVQ_SIM_ACCEL_CONFIG_HPP
+#define MVQ_SIM_ACCEL_CONFIG_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace mvq::sim {
+
+/** Loop-nest family (paper Fig. 7). */
+enum class Dataflow
+{
+    WS,  //!< weight stationary, C|K unrolling, A = B = D = 1
+    EWS, //!< enhanced WS with layerwise A/B/D extensions
+};
+
+/** How weights arrive from L2 (what travels over the 64-bit DMA). */
+enum class WeightStream
+{
+    Dense8b,    //!< plain 8-bit weights (WS/EWS baselines)
+    VqIndex,    //!< codeword index only (EWS-C: unmasked VQ, k=1024 d=8)
+    VqIndexMask //!< index + combinatorial mask code (MVQ: k=512 d=16)
+};
+
+/** Systolic-array tile flavour. */
+enum class TileStyle
+{
+    Dense,  //!< H x d multipliers per tile
+    Sparse, //!< H x Q multipliers + MRF/DEMUX/LZC (EWS-CMS / WS-CMS)
+};
+
+/** The six hardware settings of paper Section 7.1. */
+enum class HwSetting
+{
+    WS_Base,
+    WS_CMS,
+    EWS_Base,
+    EWS_C,
+    EWS_CM,
+    EWS_CMS,
+};
+
+/** Full accelerator parameterization. */
+struct AccelConfig
+{
+    Dataflow dataflow = Dataflow::EWS;
+    WeightStream weight_stream = WeightStream::Dense8b;
+    TileStyle tile = TileStyle::Sparse;
+
+    std::int64_t array_h = 16;       //!< rows (input-channel parallelism)
+    std::int64_t array_l = 16;       //!< cols (output-channel parallelism)
+    std::int64_t wrf_depth = 16;     //!< A*B*D budget per PE
+    std::int64_t dma_bits = 64;      //!< L2 -> loader datawidth per cycle
+    /**
+     * L1 (global buffer) bandwidth in bytes per cycle. The multi-bank L1
+     * covers EWS's reduced access rate comfortably, but the WS dataflow
+     * touches L1 every cycle and becomes bandwidth-bound (paper
+     * Section 7.4-7.5: "frequent L1 access greatly constrains the
+     * performance of WS dataflow"). Scales with the array height.
+     */
+    std::int64_t l1_bw_bytes = 88;
+
+    // Compression parameters of the loaded model (used by the loader and
+    // the storage accounting; mirror the algorithm-side configuration).
+    std::int64_t vq_k = 512;  //!< codewords
+    std::int64_t vq_d = 16;   //!< subvector length
+    int nm_n = 4;             //!< N of N:M
+    int nm_m = 16;            //!< M of N:M
+
+    bool zero_gating = true;  //!< zero-value gated PEs
+
+    std::int64_t l1_bytes = 128 * 1024;
+    std::int64_t l2_bytes = 2 * 1024 * 1024;
+    double freq_ghz = 0.3;
+
+    std::int64_t activation_bits = 8;
+    std::int64_t weight_bits = 8;
+    std::int64_t psum_bits = 24;
+
+    /** Q = N/M * d: live PEs per d output channels in the sparse tile. */
+    std::int64_t
+    sparseQ() const
+    {
+        return vq_d * nm_n / nm_m;
+    }
+
+    /** Per-weight loaded bits for the configured stream. */
+    double loadedBitsPerWeight() const;
+
+    std::string settingName() const;
+    HwSetting setting = HwSetting::EWS_CMS;
+};
+
+/**
+ * Factory for the paper's six settings at a given square array size.
+ * L1 is 128 KB for 16x16 arrays and 256 KB for 32x32 / 64x64 (paper
+ * Section 7.2); EWS-C uses k=1024, d=8; EWS-CM/CMS use k=512, d=16 with
+ * 4:16 pruning (Section 7.1).
+ */
+AccelConfig makeHwSetting(HwSetting setting, std::int64_t array_size);
+
+/** Printable name matching the paper's labels. */
+std::string hwSettingName(HwSetting setting);
+
+} // namespace mvq::sim
+
+#endif // MVQ_SIM_ACCEL_CONFIG_HPP

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Event counters shared by the functional simulator and the analytic
+ * performance model. Each field counts one class of hardware event; the
+ * energy model (src/energy) multiplies them by the per-access costs of
+ * the paper's Table 8.
+ */
+
+#ifndef MVQ_SIM_COUNTERS_HPP
+#define MVQ_SIM_COUNTERS_HPP
+
+#include <cstdint>
+
+namespace mvq::sim {
+
+/** Hardware event counts for one layer or one whole network. */
+struct Counters
+{
+    // Timing.
+    std::int64_t compute_cycles = 0; //!< array busy cycles
+    std::int64_t stall_cycles = 0;   //!< weight-load limited cycles
+    std::int64_t total_cycles = 0;   //!< max(compute, load) summed
+
+    // Work.
+    std::int64_t macs = 0;        //!< useful multiply-accumulates
+    std::int64_t gated_macs = 0;  //!< MACs suppressed by zero gating
+
+    // DRAM traffic in bytes.
+    std::int64_t dram_read_bytes = 0;
+    std::int64_t dram_write_bytes = 0;
+
+    // L2 SRAM accesses in bytes.
+    std::int64_t l2_read_bytes = 0;
+    std::int64_t l2_write_bytes = 0;
+
+    // L1 (global buffer) accesses in bytes.
+    std::int64_t l1_read_bytes = 0;
+    std::int64_t l1_write_bytes = 0;
+
+    // Register file accesses in words.
+    std::int64_t wrf_reads = 0;
+    std::int64_t wrf_writes = 0;
+    std::int64_t arf_reads = 0;
+    std::int64_t arf_writes = 0;
+    std::int64_t prf_reads = 0;
+    std::int64_t prf_writes = 0;
+    std::int64_t crf_reads = 0;
+    std::int64_t crf_writes = 0;
+    std::int64_t mrf_reads = 0;
+    std::int64_t mrf_writes = 0;
+
+    Counters &
+    operator+=(const Counters &o)
+    {
+        compute_cycles += o.compute_cycles;
+        stall_cycles += o.stall_cycles;
+        total_cycles += o.total_cycles;
+        macs += o.macs;
+        gated_macs += o.gated_macs;
+        dram_read_bytes += o.dram_read_bytes;
+        dram_write_bytes += o.dram_write_bytes;
+        l2_read_bytes += o.l2_read_bytes;
+        l2_write_bytes += o.l2_write_bytes;
+        l1_read_bytes += o.l1_read_bytes;
+        l1_write_bytes += o.l1_write_bytes;
+        wrf_reads += o.wrf_reads;
+        wrf_writes += o.wrf_writes;
+        arf_reads += o.arf_reads;
+        arf_writes += o.arf_writes;
+        prf_reads += o.prf_reads;
+        prf_writes += o.prf_writes;
+        crf_reads += o.crf_reads;
+        crf_writes += o.crf_writes;
+        mrf_reads += o.mrf_reads;
+        mrf_writes += o.mrf_writes;
+        return *this;
+    }
+};
+
+} // namespace mvq::sim
+
+#endif // MVQ_SIM_COUNTERS_HPP

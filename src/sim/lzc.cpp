@@ -1,0 +1,50 @@
+#include "sim/lzc.hpp"
+
+#include "common/logging.hpp"
+#include "common/math_util.hpp"
+
+namespace mvq::sim {
+
+int
+lzcFirstSet(std::uint64_t word)
+{
+    if (word == 0)
+        return -1;
+    int pos = 0;
+    while (!(word & 1ull)) {
+        word >>= 1;
+        ++pos;
+    }
+    return pos;
+}
+
+std::vector<int>
+lzcEncode(const std::vector<std::uint8_t> &mask_bits, int q)
+{
+    fatalIf(mask_bits.size() > 64, "LZC model supports d <= 64");
+    std::uint64_t word = 0;
+    for (std::size_t i = 0; i < mask_bits.size(); ++i) {
+        if (mask_bits[i])
+            word |= (1ull << i);
+    }
+
+    std::vector<int> positions(static_cast<std::size_t>(q), -1);
+    for (int stage = 0; stage < q; ++stage) {
+        const int pos = lzcFirstSet(word);
+        positions[static_cast<std::size_t>(stage)] = pos;
+        if (pos >= 0)
+            word ^= (1ull << pos); // one-hot XOR into the next stage
+    }
+    return positions;
+}
+
+LzcCost
+lzcCascadeCost(std::int64_t d, std::int64_t q)
+{
+    LzcCost cost;
+    cost.units = static_cast<int>(q);
+    cost.bits_per_unit = log2Ceil(static_cast<std::uint64_t>(d));
+    return cost;
+}
+
+} // namespace mvq::sim

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Cascaded leading-zero-count encoder (paper Section 5.3, Fig. 8). A
+ * d-bit N:M sparsity mask with Q set bits cannot be encoded by a single
+ * one-hot encoder; the hardware cascades Q LZC stages, each emitting the
+ * position of the lowest remaining set bit and XOR-ing it out of the mask
+ * passed to the next stage. The outputs become the MRF position
+ * encodings that steer the sparse tile's DEMUXes.
+ */
+
+#ifndef MVQ_SIM_LZC_HPP
+#define MVQ_SIM_LZC_HPP
+
+#include <cstdint>
+#include <vector>
+
+namespace mvq::sim {
+
+/**
+ * Functional model of the cascaded encoder.
+ *
+ * @param mask_bits d mask bits (1 = weight kept), LSB-first order.
+ * @param q         Number of cascade stages (set-bit budget).
+ * @return q positions in ascending order. When the mask has fewer than q
+ *         set bits the tail entries are -1 (stage outputs invalid).
+ */
+std::vector<int> lzcEncode(const std::vector<std::uint8_t> &mask_bits,
+                           int q);
+
+/** Single leading-zero count: index of lowest set bit, or -1 when zero. */
+int lzcFirstSet(std::uint64_t word);
+
+/**
+ * Hardware cost of one cascade: q LZC units of ceil(log2 d) output bits.
+ * Used by the area model (Table 2 row "LZC").
+ */
+struct LzcCost
+{
+    int units = 0;
+    int bits_per_unit = 0;
+};
+
+LzcCost lzcCascadeCost(std::int64_t d, std::int64_t q);
+
+} // namespace mvq::sim
+
+#endif // MVQ_SIM_LZC_HPP

@@ -1,0 +1,311 @@
+#include "sim/systolic_array.hpp"
+
+#include <limits>
+
+#include "common/logging.hpp"
+#include "common/math_util.hpp"
+#include "sim/lzc.hpp"
+
+namespace mvq::sim {
+
+Extensions
+chooseExtensions(const AccelConfig &cfg, std::int64_t out_c,
+                 std::int64_t in_c, std::int64_t rr)
+{
+    if (cfg.dataflow == Dataflow::WS)
+        return Extensions{1, 1, 1};
+
+    const std::int64_t max_a =
+        std::max<std::int64_t>(1, ceilDiv(out_c, cfg.array_l));
+    const std::int64_t max_b =
+        std::max<std::int64_t>(1, ceilDiv(in_c, cfg.array_h));
+
+    Extensions best;
+    double best_score = std::numeric_limits<double>::max();
+    std::int64_t best_volume = 0;
+    for (std::int64_t d = 1; d <= std::min(rr, cfg.wrf_depth); ++d) {
+        if (rr % d != 0)
+            continue;
+        for (std::int64_t a = 1;
+             a <= std::min<std::int64_t>(max_a, cfg.wrf_depth); ++a) {
+            for (std::int64_t b = 1;
+                 b <= std::min<std::int64_t>(max_b, cfg.wrf_depth); ++b) {
+                if (a * b * d > cfg.wrf_depth)
+                    continue;
+                // Per-cycle L1 pressure: activations H/(A*D), psums
+                // L/(B*D) (paper Section 5.1).
+                const double score =
+                    static_cast<double>(cfg.array_h)
+                        / static_cast<double>(a * d)
+                    + static_cast<double>(cfg.array_l)
+                        / static_cast<double>(b * d);
+                const std::int64_t volume = a * b * d;
+                if (score < best_score
+                    || (score == best_score && volume > best_volume)) {
+                    best_score = score;
+                    best_volume = volume;
+                    best = Extensions{a, b, d};
+                }
+            }
+        }
+    }
+    return best;
+}
+
+SystolicArray::SystolicArray(AccelConfig cfg) : cfg_(std::move(cfg))
+{
+    fatalIf(cfg_.array_h < 1 || cfg_.array_l < 1, "bad array size");
+    if (cfg_.tile == TileStyle::Sparse) {
+        fatalIf(cfg_.array_l % cfg_.vq_d != 0,
+                "sparse tile needs d | L: d = ", cfg_.vq_d, ", L = ",
+                cfg_.array_l);
+    }
+}
+
+LayerRun
+SystolicArray::runConv(const Tensor &ifmap, const DecodedWeights &weights,
+                       std::int64_t stride, std::int64_t pad) const
+{
+    fatalIf(ifmap.rank() != 3, "runConv expects a [C, H, W] ifmap");
+    const Tensor &w4 = weights.weights;
+    fatalIf(w4.rank() != 4, "runConv expects a [K, C, R, S] kernel");
+    const std::int64_t k_total = w4.dim(0);
+    const std::int64_t c_total = w4.dim(1);
+    const std::int64_t r = w4.dim(2);
+    fatalIf(w4.dim(3) != r, "square kernels only");
+    fatalIf(ifmap.dim(0) != c_total, "channel mismatch");
+
+    const std::int64_t in_h = ifmap.dim(1);
+    const std::int64_t in_w = ifmap.dim(2);
+    const std::int64_t e_h = (in_h + 2 * pad - r) / stride + 1;
+    const std::int64_t e_w = (in_w + 2 * pad - r) / stride + 1;
+    fatalIf(e_h <= 0 || e_w <= 0, "empty output feature map");
+    const std::int64_t rr = r * r;
+    const std::int64_t ep = e_h * e_w;
+
+    const std::int64_t hh = cfg_.array_h;
+    const std::int64_t ll = cfg_.array_l;
+    const bool sparse = cfg_.tile == TileStyle::Sparse;
+    const std::int64_t d = sparse ? cfg_.vq_d : 1;
+
+    fatalIf(sparse && weights.d != cfg_.vq_d,
+            "sparse tile expects weights grouped with d = ", cfg_.vq_d,
+            ", got ", weights.d);
+
+    LayerRun run;
+    run.ext = chooseExtensions(cfg_, k_total, c_total, rr);
+    const std::int64_t ca = run.ext.a;
+    const std::int64_t cb = run.ext.b;
+    const std::int64_t cd = run.ext.d;
+
+    run.ofmap = Tensor(Shape({k_total, e_h, e_w}));
+    Counters &cnt = run.counters;
+
+    // Precompute the LZC position encodings of every grouped subvector;
+    // the hardware does this once per WRF load through the cascade.
+    std::vector<std::vector<int>> positions;
+    if (sparse) {
+        const std::int64_t ng =
+            static_cast<std::int64_t>(weights.grouped_mask.size()) / d;
+        positions.resize(static_cast<std::size_t>(ng));
+        const int q = static_cast<int>(cfg_.sparseQ());
+        for (std::int64_t j = 0; j < ng; ++j) {
+            std::vector<std::uint8_t> bits(
+                weights.grouped_mask.begin() + j * d,
+                weights.grouped_mask.begin() + (j + 1) * d);
+            positions[static_cast<std::size_t>(j)] = lzcEncode(bits, q);
+        }
+    }
+
+    // Grouped-row index of subvector (ko block, c, kernel coord) under
+    // output-channel grouping.
+    auto grouped_row = [&](std::int64_t ko, std::int64_t c,
+                           std::int64_t kc) {
+        return ((ko / d) * c_total + c) * rr + kc;
+    };
+
+    const std::int64_t n_i = ceilDiv(k_total, ca * ll);
+    const std::int64_t n_j = ceilDiv(c_total, cb * hh);
+    const std::int64_t n_k = ceilDiv(rr, cd);
+
+    const std::int64_t psum_bytes = cfg_.psum_bits / 8;
+
+    std::int64_t pending_load_cycles = 0; // block being prefetched
+
+    for (std::int64_t i = 0; i < n_i; ++i) {
+        for (std::int64_t j = 0; j < n_j; ++j) {
+            for (std::int64_t kk = 0; kk < n_k; ++kk) {
+                // ---- Weight loading for this block ------------------
+                std::int64_t block_weights = 0;
+                {
+                    const std::int64_t kos = std::min(ca * ll,
+                        k_total - i * ca * ll);
+                    const std::int64_t cs = std::min(cb * hh,
+                        c_total - j * cb * hh);
+                    const std::int64_t kcs = std::min(cd, rr - kk * cd);
+                    block_weights = kos * cs * kcs;
+                }
+                const std::int64_t block_bits =
+                    streamBits(cfg_, block_weights);
+                const std::int64_t block_load =
+                    ceilDiv(block_bits, cfg_.dma_bits);
+                cnt.l2_read_bytes += ceilDiv(block_bits, 8);
+                if (cfg_.weight_stream != WeightStream::Dense8b)
+                    cnt.crf_reads += ceilDiv(block_weights, cfg_.vq_d);
+                if (sparse) {
+                    cnt.wrf_writes += block_weights * cfg_.sparseQ() / d;
+                    cnt.mrf_writes += block_weights * cfg_.sparseQ() / d;
+                } else {
+                    cnt.wrf_writes += block_weights;
+                }
+
+                // ---- Compute (p, q, r, s loop of Fig. 7) --------------
+                // The block occupies the array for E^2*A*B*D cycles, or
+                // longer when its L1 traffic exceeds the banked L1
+                // bandwidth (the WS bottleneck).
+                const std::int64_t arith_cycles = ep * ca * cb * cd;
+                const std::int64_t l1_block_bytes = ep * cb * hh
+                    + ep * ca * ll * (cfg_.psum_bits / 8)
+                    * ((j == 0 && kk == 0) ? 1 : 2);
+                const std::int64_t block_compute = std::max(
+                    arith_cycles,
+                    ceilDiv(l1_block_bytes, cfg_.l1_bw_bytes));
+                cnt.compute_cycles += block_compute;
+                // Double-buffered WRF: this block's load overlapped the
+                // previous block's compute.
+                const bool first_block = i == 0 && j == 0 && kk == 0;
+                if (first_block) {
+                    cnt.total_cycles += block_load + block_compute;
+                    cnt.stall_cycles += block_load;
+                    pending_load_cycles = 0;
+                } else {
+                    const std::int64_t slot =
+                        std::max(block_compute, pending_load_cycles);
+                    cnt.stall_cycles +=
+                        std::max<std::int64_t>(0, pending_load_cycles
+                                                      - block_compute);
+                    cnt.total_cycles += slot;
+                }
+                pending_load_cycles = block_load;
+
+                // L1 activation fetches for this block: the ARF reuse
+                // reduces them to E^2 * B * H values (1/(A*D) rule).
+                {
+                    const std::int64_t fetches = ep * cb * hh;
+                    cnt.l1_read_bytes += fetches; // int8 activations
+                    cnt.arf_writes += fetches;
+                }
+                // L1 psum traffic: A*L psums per ofmap position, written
+                // per block, re-read on every block but the first (j,kk).
+                {
+                    const std::int64_t psums = ep * ca * ll;
+                    cnt.l1_write_bytes += psums * psum_bytes;
+                    if (!(j == 0 && kk == 0))
+                        cnt.l1_read_bytes += psums * psum_bytes;
+                }
+
+                for (std::int64_t p = 0; p < ep; ++p) {
+                    const std::int64_t ey = p / e_w;
+                    const std::int64_t ex = p % e_w;
+                    for (std::int64_t q = 0; q < cd; ++q) {
+                        const std::int64_t kc = kk * cd + q;
+                        if (kc >= rr) {
+                            // Idle tail cycles of a ragged kernel plane.
+                            continue;
+                        }
+                        const std::int64_t ry = kc / r;
+                        const std::int64_t rx = kc % r;
+                        const std::int64_t iy = ey * stride - pad + ry;
+                        const std::int64_t ix = ex * stride - pad + rx;
+                        const bool in_bounds = iy >= 0 && iy < in_h
+                            && ix >= 0 && ix < in_w;
+
+                        for (std::int64_t rb = 0; rb < cb; ++rb) {
+                            for (std::int64_t sb = 0; sb < ca; ++sb) {
+                                // ---- One array cycle ----------------
+                                cnt.arf_reads += hh;
+                                cnt.prf_reads += ll;
+                                cnt.prf_writes += ll;
+
+                                for (std::int64_t h = 0; h < hh; ++h) {
+                                    const std::int64_t c =
+                                        (j * cb + rb) * hh + h;
+                                    if (c >= c_total)
+                                        continue;
+                                    const float act = in_bounds
+                                        ? ifmap.data()[(c * in_h + iy)
+                                                       * in_w + ix]
+                                        : 0.0f;
+
+                                    if (!sparse) {
+                                        for (std::int64_t l = 0; l < ll;
+                                             ++l) {
+                                            const std::int64_t ko =
+                                                (i * ca + sb) * ll + l;
+                                            if (ko >= k_total)
+                                                continue;
+                                            const float w = w4.at(
+                                                ko, c, ry, rx);
+                                            cnt.wrf_reads += 1;
+                                            if (cfg_.zero_gating
+                                                && (w == 0.0f
+                                                    || act == 0.0f)) {
+                                                ++cnt.gated_macs;
+                                            } else {
+                                                ++cnt.macs;
+                                            }
+                                            run.ofmap.data()[
+                                                (ko * e_h + ey) * e_w
+                                                + ex] += w * act;
+                                        }
+                                        continue;
+                                    }
+
+                                    // Sparse tile: L/d groups of Q PEs,
+                                    // products scattered through the MRF
+                                    // position encodings.
+                                    for (std::int64_t g = 0; g < ll / d;
+                                         ++g) {
+                                        const std::int64_t ko0 =
+                                            (i * ca + sb) * ll + g * d;
+                                        if (ko0 >= k_total)
+                                            continue;
+                                        const auto &pos = positions[
+                                            static_cast<std::size_t>(
+                                                grouped_row(ko0, c,
+                                                            kc))];
+                                        for (int t :
+                                             pos) {
+                                            if (t < 0)
+                                                continue;
+                                            const std::int64_t ko =
+                                                ko0 + t;
+                                            const float w = w4.at(
+                                                ko, c, ry, rx);
+                                            cnt.wrf_reads += 1;
+                                            cnt.mrf_reads += 1;
+                                            if (cfg_.zero_gating
+                                                && (w == 0.0f
+                                                    || act == 0.0f)) {
+                                                ++cnt.gated_macs;
+                                            } else {
+                                                ++cnt.macs;
+                                            }
+                                            run.ofmap.data()[
+                                                (ko * e_h + ey) * e_w
+                                                + ex] += w * act;
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    return run;
+}
+
+} // namespace mvq::sim

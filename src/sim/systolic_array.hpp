@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Cycle-level functional simulator of the EWS/WS systolic array (paper
+ * Sections 5.1-5.3). Executes the exact loop nest of Fig. 7 — output
+ * channel blocks (A), input channel blocks (B), kernel-plane subsets (D)
+ * with the inner (p, q, r, s) cycle order — computing real convolutions
+ * through the modeled datapath:
+ *
+ *  - weights enter via the assignment-aware loader (decoded subvectors),
+ *  - the sparse tile multiplies only the Q = N/M*d kept weights and
+ *    scatters products through the LZC-encoded positions,
+ *  - zero-value gating suppresses MAC energy when either operand is 0.
+ *
+ * Every L1/RF access follows the EWS reuse rules (activation fetches
+ * 1/(A*D), psum traffic 1/(B*D)), so the counters this simulator produces
+ * are the ground truth that the analytic model in src/perf must match.
+ */
+
+#ifndef MVQ_SIM_SYSTOLIC_ARRAY_HPP
+#define MVQ_SIM_SYSTOLIC_ARRAY_HPP
+
+#include "sim/accel_config.hpp"
+#include "sim/counters.hpp"
+#include "sim/weight_loader.hpp"
+
+namespace mvq::sim {
+
+/** Chosen loop extensions for one layer (A = B = D = 1 under WS). */
+struct Extensions
+{
+    std::int64_t a = 1;
+    std::int64_t b = 1;
+    std::int64_t d = 1;
+};
+
+/** Result of simulating one conv layer. */
+struct LayerRun
+{
+    Tensor ofmap; //!< [K, E, F]
+    Counters counters;
+    Extensions ext;
+};
+
+/**
+ * Pick the layerwise A/B/D extensions: enumerate all combinations with
+ * A*B*D <= wrf_depth, D dividing R*R, A <= ceil(K / L), B <= ceil(C / H),
+ * minimizing the per-cycle L1 traffic H/(A*D) + L/(B*D).
+ */
+Extensions chooseExtensions(const AccelConfig &cfg, std::int64_t out_c,
+                            std::int64_t in_c, std::int64_t rr);
+
+/** Functional EWS/WS array. */
+class SystolicArray
+{
+  public:
+    explicit SystolicArray(AccelConfig cfg);
+
+    const AccelConfig &config() const { return cfg_; }
+
+    /**
+     * Run one convolution (batchless, groups = 1).
+     *
+     * @param ifmap   [C, H, W] input feature map.
+     * @param weights Decoded weights + keep mask (from the weight loader
+     *                or wrapDenseWeights).
+     * @param stride  Convolution stride.
+     * @param pad     Symmetric zero padding.
+     */
+    LayerRun runConv(const Tensor &ifmap, const DecodedWeights &weights,
+                     std::int64_t stride, std::int64_t pad) const;
+
+  private:
+    AccelConfig cfg_;
+};
+
+} // namespace mvq::sim
+
+#endif // MVQ_SIM_SYSTOLIC_ARRAY_HPP

@@ -1,0 +1,76 @@
+#include "sim/weight_loader.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/math_util.hpp"
+
+namespace mvq::sim {
+
+DecodedWeights
+decodeCompressedLayer(const AccelConfig &cfg,
+                      const core::CompressedLayer &layer,
+                      const core::Codebook &codebook, Counters &counters)
+{
+    const std::int64_t d = layer.cfg.d;
+    const std::int64_t ng = layer.ng();
+    const core::MaskCodec codec(layer.cfg.pattern);
+
+    // The hardware reads one (index, mask-code) tuple per subvector and
+    // one CRF word per tuple.
+    counters.crf_reads += ng;
+    counters.l2_read_bytes += streamBits(cfg, ng * d) / 8;
+
+    // LUT mask decode + AND-gate reconstruction, subvector by subvector.
+    core::Mask mask;
+    mask.reserve(static_cast<std::size_t>(ng * d));
+    Tensor wr(Shape({ng, d}));
+    const std::int64_t groups = d / layer.cfg.pattern.m;
+    for (std::int64_t j = 0; j < ng; ++j) {
+        const std::int32_t index =
+            layer.assignments[static_cast<std::size_t>(j)];
+        std::vector<std::uint32_t> codes(
+            layer.mask_codes.begin() + j * groups,
+            layer.mask_codes.begin() + (j + 1) * groups);
+        const auto bits = codec.decodeSubvector(codes);
+        for (std::int64_t t = 0; t < d; ++t) {
+            const bool keep = bits[static_cast<std::size_t>(t)] != 0;
+            mask.push_back(keep ? 1 : 0);
+            wr.at(j, t) = keep ? codebook.codewords.at(index, t) : 0.0f;
+        }
+    }
+
+    DecodedWeights out;
+    out.weights = core::ungroupWeights(wr, layer.weight_shape, d,
+                                       layer.cfg.grouping);
+    out.grouped_mask = std::move(mask);
+    out.d = d;
+    return out;
+}
+
+DecodedWeights
+wrapDenseWeights(const Tensor &weights4, std::int64_t d)
+{
+    DecodedWeights out;
+    out.weights = weights4;
+    out.grouped_mask.assign(
+        static_cast<std::size_t>(weights4.numel()), 1);
+    out.d = d;
+    return out;
+}
+
+std::int64_t
+streamBits(const AccelConfig &cfg, std::int64_t weight_count)
+{
+    return static_cast<std::int64_t>(
+        std::ceil(cfg.loadedBitsPerWeight()
+                  * static_cast<double>(weight_count)));
+}
+
+std::int64_t
+loadCycles(const AccelConfig &cfg, std::int64_t weight_count)
+{
+    return ceilDiv(streamBits(cfg, weight_count), cfg.dma_bits);
+}
+
+} // namespace mvq::sim

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Assignment-aware weight loader (paper Section 5.2). For VQ streams the
+ * loader reads (index, mask-code) pairs from L2, expands the mask through
+ * the combinatorial LUT, reads the codeword from the codebook register
+ * file (CRF), and reconstructs the sparse weight subvector with AND
+ * gates. For the dense baseline it streams plain 8-bit weights.
+ *
+ * The functional decode produces the full reconstructed kernel once; the
+ * traffic helpers account for the per-block loading the hardware performs.
+ */
+
+#ifndef MVQ_SIM_WEIGHT_LOADER_HPP
+#define MVQ_SIM_WEIGHT_LOADER_HPP
+
+#include "core/compressed_layer.hpp"
+#include "sim/accel_config.hpp"
+#include "sim/counters.hpp"
+
+namespace mvq::sim {
+
+/** Decoded weights plus the grouped keep-mask for the sparse tile. */
+struct DecodedWeights
+{
+    Tensor weights;          //!< [K, C, R, S]
+    core::Mask grouped_mask; //!< N_G*d bits under the layer's grouping
+    std::int64_t d = 1;      //!< subvector length of the grouping
+};
+
+/**
+ * Functionally decode a compressed layer exactly as the hardware does:
+ * per subvector, LUT-decode the mask codes, CRF-read the codeword, apply
+ * the AND gates. Counts CRF reads and L2 assignment-stream traffic into
+ * `counters`.
+ */
+DecodedWeights decodeCompressedLayer(const AccelConfig &cfg,
+                                     const core::CompressedLayer &layer,
+                                     const core::Codebook &codebook,
+                                     Counters &counters);
+
+/** Wrap a dense kernel in the DecodedWeights interface (all-ones mask). */
+DecodedWeights wrapDenseWeights(const Tensor &weights4,
+                                std::int64_t d);
+
+/** Bits on the L2->loader stream for `weight_count` weights. */
+std::int64_t streamBits(const AccelConfig &cfg, std::int64_t weight_count);
+
+/** Loader cycles for a block of weights at the DMA datawidth. */
+std::int64_t loadCycles(const AccelConfig &cfg, std::int64_t weight_count);
+
+} // namespace mvq::sim
+
+#endif // MVQ_SIM_WEIGHT_LOADER_HPP

@@ -1,0 +1,222 @@
+#include "tensor/ops.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace mvq {
+
+namespace {
+
+void
+checkRank2(const Tensor &t, const char *name)
+{
+    fatalIf(t.rank() != 2, name, " must be rank-2, got ", t.shape().str());
+}
+
+} // namespace
+
+void
+gemm(const Tensor &a, bool trans_a, const Tensor &b, bool trans_b,
+     Tensor &c, float alpha, float beta)
+{
+    checkRank2(a, "gemm A");
+    checkRank2(b, "gemm B");
+    checkRank2(c, "gemm C");
+
+    const std::int64_t m = trans_a ? a.dim(1) : a.dim(0);
+    const std::int64_t k = trans_a ? a.dim(0) : a.dim(1);
+    const std::int64_t kb = trans_b ? b.dim(1) : b.dim(0);
+    const std::int64_t n = trans_b ? b.dim(0) : b.dim(1);
+    fatalIf(k != kb, "gemm inner dims mismatch: ", k, " vs ", kb);
+    fatalIf(c.dim(0) != m || c.dim(1) != n,
+            "gemm output shape mismatch: ", c.shape().str());
+
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float *pc = c.data();
+    const std::int64_t lda = a.dim(1);
+    const std::int64_t ldb = b.dim(1);
+
+    if (beta == 0.0f) {
+        for (std::int64_t i = 0; i < m * n; ++i)
+            pc[i] = 0.0f;
+    } else if (beta != 1.0f) {
+        for (std::int64_t i = 0; i < m * n; ++i)
+            pc[i] *= beta;
+    }
+
+    // i-k-j loop order keeps the inner loop contiguous on B and C for the
+    // common non-transposed case.
+    if (!trans_a && !trans_b) {
+        for (std::int64_t i = 0; i < m; ++i) {
+            for (std::int64_t kk = 0; kk < k; ++kk) {
+                const float av = alpha * pa[i * lda + kk];
+                if (av == 0.0f)
+                    continue;
+                const float *brow = pb + kk * ldb;
+                float *crow = pc + i * n;
+                for (std::int64_t j = 0; j < n; ++j)
+                    crow[j] += av * brow[j];
+            }
+        }
+        return;
+    }
+
+    auto a_at = [&](std::int64_t i, std::int64_t kk) {
+        return trans_a ? pa[kk * lda + i] : pa[i * lda + kk];
+    };
+    auto b_at = [&](std::int64_t kk, std::int64_t j) {
+        return trans_b ? pb[j * ldb + kk] : pb[kk * ldb + j];
+    };
+    for (std::int64_t i = 0; i < m; ++i) {
+        for (std::int64_t j = 0; j < n; ++j) {
+            float acc = 0.0f;
+            for (std::int64_t kk = 0; kk < k; ++kk)
+                acc += a_at(i, kk) * b_at(kk, j);
+            pc[i * n + j] += alpha * acc;
+        }
+    }
+}
+
+Tensor
+matmul(const Tensor &a, const Tensor &b, bool trans_a, bool trans_b)
+{
+    const std::int64_t m = trans_a ? a.dim(1) : a.dim(0);
+    const std::int64_t n = trans_b ? b.dim(0) : b.dim(1);
+    Tensor c(Shape({m, n}));
+    gemm(a, trans_a, b, trans_b, c);
+    return c;
+}
+
+Tensor
+im2col(const Tensor &input, std::int64_t n, const ConvGeom &g)
+{
+    fatalIf(input.rank() != 4, "im2col expects NCHW input");
+    fatalIf(input.dim(1) != g.in_c || input.dim(2) != g.in_h
+                || input.dim(3) != g.in_w,
+            "im2col geometry mismatch with input ", input.shape().str());
+
+    const std::int64_t oh = g.outH();
+    const std::int64_t ow = g.outW();
+    Tensor cols(Shape({g.in_c * g.k_h * g.k_w, oh * ow}));
+    float *pc = cols.data();
+
+    std::int64_t row = 0;
+    for (std::int64_t c = 0; c < g.in_c; ++c) {
+        for (std::int64_t kh = 0; kh < g.k_h; ++kh) {
+            for (std::int64_t kw = 0; kw < g.k_w; ++kw, ++row) {
+                float *dst = pc + row * oh * ow;
+                for (std::int64_t y = 0; y < oh; ++y) {
+                    const std::int64_t ih = y * g.stride - g.pad + kh;
+                    for (std::int64_t x = 0; x < ow; ++x) {
+                        const std::int64_t iw = x * g.stride - g.pad + kw;
+                        float v = 0.0f;
+                        if (ih >= 0 && ih < g.in_h && iw >= 0 && iw < g.in_w)
+                            v = input.at(n, c, ih, iw);
+                        dst[y * ow + x] = v;
+                    }
+                }
+            }
+        }
+    }
+    return cols;
+}
+
+void
+col2im(const Tensor &cols, Tensor &grad, std::int64_t n, const ConvGeom &g)
+{
+    fatalIf(grad.rank() != 4, "col2im expects NCHW grad");
+    const std::int64_t oh = g.outH();
+    const std::int64_t ow = g.outW();
+    fatalIf(cols.dim(0) != g.in_c * g.k_h * g.k_w || cols.dim(1) != oh * ow,
+            "col2im column shape mismatch: ", cols.shape().str());
+
+    const float *pc = cols.data();
+    std::int64_t row = 0;
+    for (std::int64_t c = 0; c < g.in_c; ++c) {
+        for (std::int64_t kh = 0; kh < g.k_h; ++kh) {
+            for (std::int64_t kw = 0; kw < g.k_w; ++kw, ++row) {
+                const float *src = pc + row * oh * ow;
+                for (std::int64_t y = 0; y < oh; ++y) {
+                    const std::int64_t ih = y * g.stride - g.pad + kh;
+                    if (ih < 0 || ih >= g.in_h)
+                        continue;
+                    for (std::int64_t x = 0; x < ow; ++x) {
+                        const std::int64_t iw = x * g.stride - g.pad + kw;
+                        if (iw < 0 || iw >= g.in_w)
+                            continue;
+                        grad.at(n, c, ih, iw) += src[y * ow + x];
+                    }
+                }
+            }
+        }
+    }
+}
+
+Tensor
+add(const Tensor &a, const Tensor &b)
+{
+    fatalIf(a.shape() != b.shape(), "add shape mismatch");
+    Tensor out(a.shape());
+    for (std::int64_t i = 0; i < a.numel(); ++i)
+        out[i] = a[i] + b[i];
+    return out;
+}
+
+void
+addInPlace(Tensor &a, const Tensor &b)
+{
+    fatalIf(a.shape() != b.shape(), "addInPlace shape mismatch");
+    for (std::int64_t i = 0; i < a.numel(); ++i)
+        a[i] += b[i];
+}
+
+void
+axpy(Tensor &a, float alpha, const Tensor &b)
+{
+    fatalIf(a.shape() != b.shape(), "axpy shape mismatch");
+    for (std::int64_t i = 0; i < a.numel(); ++i)
+        a[i] += alpha * b[i];
+}
+
+Tensor
+mul(const Tensor &a, const Tensor &b)
+{
+    fatalIf(a.shape() != b.shape(), "mul shape mismatch");
+    Tensor out(a.shape());
+    for (std::int64_t i = 0; i < a.numel(); ++i)
+        out[i] = a[i] * b[i];
+    return out;
+}
+
+void
+scaleInPlace(Tensor &a, float s)
+{
+    for (std::int64_t i = 0; i < a.numel(); ++i)
+        a[i] *= s;
+}
+
+double
+sse(const Tensor &a, const Tensor &b)
+{
+    fatalIf(a.shape() != b.shape(), "sse shape mismatch");
+    double s = 0.0;
+    for (std::int64_t i = 0; i < a.numel(); ++i) {
+        const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+        s += d * d;
+    }
+    return s;
+}
+
+float
+maxAbsDiff(const Tensor &a, const Tensor &b)
+{
+    fatalIf(a.shape() != b.shape(), "maxAbsDiff shape mismatch");
+    float m = 0.0f;
+    for (std::int64_t i = 0; i < a.numel(); ++i)
+        m = std::max(m, std::fabs(a[i] - b[i]));
+    return m;
+}
+
+} // namespace mvq

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Tensor kernels: GEMM, im2col/col2im, elementwise arithmetic, reductions.
+ * These back both the NN layers and the compression algorithms.
+ */
+
+#ifndef MVQ_TENSOR_OPS_HPP
+#define MVQ_TENSOR_OPS_HPP
+
+#include "tensor/tensor.hpp"
+
+namespace mvq {
+
+/**
+ * C = alpha * op(A) * op(B) + beta * C for rank-2 tensors.
+ *
+ * @param trans_a Use A transposed.
+ * @param trans_b Use B transposed.
+ */
+void gemm(const Tensor &a, bool trans_a, const Tensor &b, bool trans_b,
+          Tensor &c, float alpha = 1.0f, float beta = 0.0f);
+
+/** Convenience: returns op(A) * op(B) as a fresh tensor. */
+Tensor matmul(const Tensor &a, const Tensor &b,
+              bool trans_a = false, bool trans_b = false);
+
+/** Convolution geometry used by im2col and the conv layer. */
+struct ConvGeom
+{
+    std::int64_t in_c = 1;   //!< input channels
+    std::int64_t in_h = 1;   //!< input height
+    std::int64_t in_w = 1;   //!< input width
+    std::int64_t k_h = 1;    //!< kernel height
+    std::int64_t k_w = 1;    //!< kernel width
+    std::int64_t stride = 1;
+    std::int64_t pad = 0;
+
+    std::int64_t outH() const { return (in_h + 2 * pad - k_h) / stride + 1; }
+    std::int64_t outW() const { return (in_w + 2 * pad - k_w) / stride + 1; }
+};
+
+/**
+ * Expand one image (C,H,W slice of a rank-4 tensor at batch n) into a
+ * [C*kh*kw, outH*outW] column matrix.
+ */
+Tensor im2col(const Tensor &input, std::int64_t n, const ConvGeom &g);
+
+/**
+ * Scatter-add a column matrix back into an image gradient (inverse of
+ * im2col for backprop). Accumulates into grad at batch n.
+ */
+void col2im(const Tensor &cols, Tensor &grad, std::int64_t n,
+            const ConvGeom &g);
+
+/** out = a + b (same shape). */
+Tensor add(const Tensor &a, const Tensor &b);
+
+/** a += b (same shape). */
+void addInPlace(Tensor &a, const Tensor &b);
+
+/** a += alpha * b (same shape). */
+void axpy(Tensor &a, float alpha, const Tensor &b);
+
+/** out = a * b elementwise (same shape). */
+Tensor mul(const Tensor &a, const Tensor &b);
+
+/** Scale all elements in place. */
+void scaleInPlace(Tensor &a, float s);
+
+/** Sum of squared differences between two same-shaped tensors. */
+double sse(const Tensor &a, const Tensor &b);
+
+/** Max |a - b| over all elements. */
+float maxAbsDiff(const Tensor &a, const Tensor &b);
+
+} // namespace mvq
+
+#endif // MVQ_TENSOR_OPS_HPP

@@ -1,0 +1,69 @@
+#include "tensor/shape.hpp"
+
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace mvq {
+
+Shape::Shape(std::initializer_list<std::int64_t> dims)
+{
+    fatalIf(dims.size() == 0 || dims.size() > 4,
+            "shape rank must be 1..4, got ", dims.size());
+    rank_ = static_cast<int>(dims.size());
+    int i = 0;
+    for (std::int64_t d : dims) {
+        fatalIf(d <= 0, "shape dims must be positive, got ", d);
+        dims_[static_cast<std::size_t>(i++)] = d;
+    }
+    for (; i < 4; ++i)
+        dims_[static_cast<std::size_t>(i)] = 1;
+}
+
+std::int64_t
+Shape::dim(int i) const
+{
+    fatalIf(i < 0 || i >= rank_, "shape dim ", i, " out of rank ", rank_);
+    return dims_[static_cast<std::size_t>(i)];
+}
+
+std::int64_t
+Shape::numel() const
+{
+    if (rank_ == 0)
+        return 0;
+    std::int64_t n = 1;
+    for (int i = 0; i < rank_; ++i)
+        n *= dims_[static_cast<std::size_t>(i)];
+    return n;
+}
+
+bool
+Shape::operator==(const Shape &other) const
+{
+    if (rank_ != other.rank_)
+        return false;
+    for (int i = 0; i < rank_; ++i) {
+        if (dims_[static_cast<std::size_t>(i)]
+                != other.dims_[static_cast<std::size_t>(i)]) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::string
+Shape::str() const
+{
+    std::ostringstream os;
+    os << "[";
+    for (int i = 0; i < rank_; ++i) {
+        if (i)
+            os << ", ";
+        os << dims_[static_cast<std::size_t>(i)];
+    }
+    os << "]";
+    return os.str();
+}
+
+} // namespace mvq

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shape descriptor for dense tensors of rank 1..4.
+ */
+
+#ifndef MVQ_TENSOR_SHAPE_HPP
+#define MVQ_TENSOR_SHAPE_HPP
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+namespace mvq {
+
+/**
+ * A dense row-major shape of rank 1 to 4. Rank-4 tensors use the NCHW
+ * convention throughout the repository (batch, channels, height, width).
+ */
+class Shape
+{
+  public:
+    Shape() = default;
+
+    /** Construct from an explicit dimension list, e.g. Shape({n, c, h, w}). */
+    Shape(std::initializer_list<std::int64_t> dims);
+
+    int rank() const { return rank_; }
+
+    /** Size along dimension i (0-based); fatal on out-of-range. */
+    std::int64_t dim(int i) const;
+
+    /** Total number of elements. */
+    std::int64_t numel() const;
+
+    /** Linear offset of a rank-2 coordinate. */
+    std::int64_t
+    at(std::int64_t i0, std::int64_t i1) const
+    {
+        return i0 * dims_[1] + i1;
+    }
+
+    /** Linear offset of a rank-4 coordinate (NCHW). */
+    std::int64_t
+    at(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) const
+    {
+        return ((n * dims_[1] + c) * dims_[2] + h) * dims_[3] + w;
+    }
+
+    bool operator==(const Shape &other) const;
+    bool operator!=(const Shape &other) const { return !(*this == other); }
+
+    /** Human-readable form like [2, 3, 8, 8]. */
+    std::string str() const;
+
+  private:
+    std::array<std::int64_t, 4> dims_{1, 1, 1, 1};
+    int rank_ = 0;
+};
+
+} // namespace mvq
+
+#endif // MVQ_TENSOR_SHAPE_HPP

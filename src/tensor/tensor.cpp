@@ -1,0 +1,91 @@
+#include "tensor/tensor.hpp"
+
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace mvq {
+
+Tensor::Tensor(Shape shape)
+    : shape_(shape),
+      data_(static_cast<std::size_t>(shape.numel()), 0.0f)
+{
+}
+
+Tensor::Tensor(Shape shape, float fill)
+    : shape_(shape),
+      data_(static_cast<std::size_t>(shape.numel()), fill)
+{
+}
+
+void
+Tensor::fill(float v)
+{
+    for (auto &x : data_)
+        x = v;
+}
+
+void
+Tensor::fillNormal(Rng &rng, float mean, float stddev)
+{
+    for (auto &x : data_)
+        x = rng.normal(mean, stddev);
+}
+
+void
+Tensor::fillUniform(Rng &rng, float lo, float hi)
+{
+    for (auto &x : data_)
+        x = rng.uniform(lo, hi);
+}
+
+Tensor
+Tensor::reshaped(Shape new_shape) const
+{
+    fatalIf(new_shape.numel() != numel(),
+            "reshape ", shape_.str(), " -> ", new_shape.str(),
+            " changes element count");
+    Tensor out(new_shape);
+    out.data_ = data_;
+    return out;
+}
+
+double
+Tensor::sumSquares() const
+{
+    double s = 0.0;
+    for (float x : data_)
+        s += static_cast<double>(x) * static_cast<double>(x);
+    return s;
+}
+
+double
+Tensor::sum() const
+{
+    double s = 0.0;
+    for (float x : data_)
+        s += static_cast<double>(x);
+    return s;
+}
+
+float
+Tensor::absMax() const
+{
+    float m = 0.0f;
+    for (float x : data_)
+        m = std::max(m, std::fabs(x));
+    return m;
+}
+
+std::int64_t
+Tensor::countZeros() const
+{
+    std::int64_t n = 0;
+    for (float x : data_) {
+        if (x == 0.0f)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace mvq

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Dense float32 tensor with value semantics. This is the numeric substrate
+ * for the NN library, the compression pipeline, and the simulator's
+ * functional reference.
+ */
+
+#ifndef MVQ_TENSOR_TENSOR_HPP
+#define MVQ_TENSOR_TENSOR_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.hpp"
+#include "tensor/shape.hpp"
+
+namespace mvq {
+
+/**
+ * Contiguous row-major float tensor of rank 1..4. Copying copies the data;
+ * the class is intentionally simple (no views, no strides) so that every
+ * consumer can reason about layout directly.
+ */
+class Tensor
+{
+  public:
+    Tensor() = default;
+
+    /** Zero-initialized tensor of the given shape. */
+    explicit Tensor(Shape shape);
+
+    /** Tensor of the given shape, filled with a constant. */
+    Tensor(Shape shape, float fill);
+
+    const Shape &shape() const { return shape_; }
+    std::int64_t numel() const { return shape_.numel(); }
+    int rank() const { return shape_.rank(); }
+    std::int64_t dim(int i) const { return shape_.dim(i); }
+
+    float *data() { return data_.data(); }
+    const float *data() const { return data_.data(); }
+
+    float &operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+    float operator[](std::int64_t i) const { return data_[static_cast<std::size_t>(i)]; }
+
+    /** Rank-2 element access. */
+    float &at(std::int64_t i, std::int64_t j) { return data_[static_cast<std::size_t>(shape_.at(i, j))]; }
+    float at(std::int64_t i, std::int64_t j) const { return data_[static_cast<std::size_t>(shape_.at(i, j))]; }
+
+    /** Rank-4 (NCHW) element access. */
+    float &
+    at(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w)
+    {
+        return data_[static_cast<std::size_t>(shape_.at(n, c, h, w))];
+    }
+    float
+    at(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) const
+    {
+        return data_[static_cast<std::size_t>(shape_.at(n, c, h, w))];
+    }
+
+    /** Set all elements to a constant. */
+    void fill(float v);
+
+    /** Fill with i.i.d. N(mean, stddev) draws. */
+    void fillNormal(Rng &rng, float mean, float stddev);
+
+    /** Fill with i.i.d. U[lo, hi) draws. */
+    void fillUniform(Rng &rng, float lo, float hi);
+
+    /**
+     * Return a tensor with the same data re-interpreted under a new shape.
+     * The element count must match.
+     */
+    Tensor reshaped(Shape new_shape) const;
+
+    /** Sum of squared elements. */
+    double sumSquares() const;
+
+    /** Sum of elements. */
+    double sum() const;
+
+    /** Largest |element|. */
+    float absMax() const;
+
+    /** Number of exactly-zero elements. */
+    std::int64_t countZeros() const;
+
+  private:
+    Shape shape_;
+    std::vector<float> data_;
+};
+
+} // namespace mvq
+
+#endif // MVQ_TENSOR_TENSOR_HPP

@@ -1,0 +1,201 @@
+#include "vq/bgd.hpp"
+
+#include <limits>
+
+#include "common/logging.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/network.hpp"
+
+namespace mvq::vq {
+
+std::vector<std::vector<double>>
+collectInputEnergies(nn::Layer &model,
+                     const std::vector<nn::Conv2d *> &targets,
+                     const nn::ClassificationDataset &data,
+                     const BgdOptions &opts)
+{
+    std::vector<std::vector<double>> energies(targets.size());
+    std::vector<std::int64_t> counts(targets.size(), 0);
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+        energies[i].assign(static_cast<std::size_t>(
+            targets[i]->config().in_channels), 0.0);
+    }
+
+    Rng rng(opts.seed);
+    const auto &train_set = data.trainSet();
+    for (int b = 0; b < opts.energy_batches; ++b) {
+        std::vector<int> batch;
+        for (int j = 0; j < 32; ++j) {
+            batch.push_back(static_cast<int>(
+                rng.index(train_set.size())));
+        }
+        Tensor images = data.batchImages(train_set, batch);
+        // train=true so conv layers cache their inputs.
+        model.forward(images, /*train=*/true);
+        for (std::size_t i = 0; i < targets.size(); ++i) {
+            const Tensor &x = targets[i]->lastInput();
+            panicIf(x.numel() == 0, "conv cached no input");
+            const std::int64_t n = x.dim(0);
+            const std::int64_t c = x.dim(1);
+            const std::int64_t hw = x.dim(2) * x.dim(3);
+            for (std::int64_t bb = 0; bb < n; ++bb) {
+                for (std::int64_t ch = 0; ch < c; ++ch) {
+                    const float *p = x.data() + (bb * c + ch) * hw;
+                    double s = 0.0;
+                    for (std::int64_t t = 0; t < hw; ++t)
+                        s += static_cast<double>(p[t]) * p[t];
+                    energies[i][static_cast<std::size_t>(ch)] += s
+                        / static_cast<double>(hw);
+                }
+            }
+            counts[i] += n;
+        }
+    }
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+        for (auto &e : energies[i])
+            e = counts[i] ? e / static_cast<double>(counts[i]) : 1.0;
+    }
+    return energies;
+}
+
+core::KmeansResult
+weightedKmeans(const Tensor &wr, const std::vector<double> &row_weights,
+               const core::KmeansConfig &cfg)
+{
+    const std::int64_t ng = wr.dim(0);
+    const std::int64_t d = wr.dim(1);
+    fatalIf(static_cast<std::int64_t>(row_weights.size()) != ng,
+            "row weight count mismatch");
+
+    Rng rng(cfg.seed);
+    const std::int64_t k = std::min<std::int64_t>(cfg.k, ng);
+
+    core::KmeansResult res;
+    res.codebook = Tensor(Shape({k, d}));
+    {
+        std::vector<std::int64_t> order(static_cast<std::size_t>(ng));
+        for (std::int64_t i = 0; i < ng; ++i)
+            order[static_cast<std::size_t>(i)] = i;
+        rng.shuffle(order);
+        for (std::int64_t i = 0; i < k; ++i) {
+            for (std::int64_t t = 0; t < d; ++t) {
+                res.codebook.at(i, t) =
+                    wr.at(order[static_cast<std::size_t>(i)], t);
+            }
+        }
+    }
+    res.assignments.assign(static_cast<std::size_t>(ng), 0);
+
+    for (int iter = 0; iter < cfg.max_iters; ++iter) {
+        std::int64_t changed = 0;
+        for (std::int64_t j = 0; j < ng; ++j) {
+            float best = std::numeric_limits<float>::max();
+            std::int32_t best_i = 0;
+            for (std::int64_t i = 0; i < k; ++i) {
+                float s = 0.0f;
+                for (std::int64_t t = 0; t < d; ++t) {
+                    const float diff = wr.at(j, t) - res.codebook.at(i, t);
+                    s += diff * diff;
+                }
+                if (s < best) {
+                    best = s;
+                    best_i = static_cast<std::int32_t>(i);
+                }
+            }
+            if (res.assignments[static_cast<std::size_t>(j)] != best_i)
+                ++changed;
+            res.assignments[static_cast<std::size_t>(j)] = best_i;
+        }
+
+        Tensor sums(Shape({k, d}));
+        std::vector<double> wsum(static_cast<std::size_t>(k), 0.0);
+        for (std::int64_t j = 0; j < ng; ++j) {
+            const std::int32_t a =
+                res.assignments[static_cast<std::size_t>(j)];
+            const double u = row_weights[static_cast<std::size_t>(j)];
+            for (std::int64_t t = 0; t < d; ++t)
+                sums.at(a, t) += static_cast<float>(u) * wr.at(j, t);
+            wsum[static_cast<std::size_t>(a)] += u;
+        }
+        for (std::int64_t i = 0; i < k; ++i) {
+            if (wsum[static_cast<std::size_t>(i)] > 0.0) {
+                for (std::int64_t t = 0; t < d; ++t) {
+                    res.codebook.at(i, t) = static_cast<float>(
+                        sums.at(i, t)
+                        / wsum[static_cast<std::size_t>(i)]);
+                }
+            } else {
+                const std::int64_t row = static_cast<std::int64_t>(
+                    rng.index(static_cast<std::size_t>(ng)));
+                for (std::int64_t t = 0; t < d; ++t)
+                    res.codebook.at(i, t) = wr.at(row, t);
+            }
+        }
+        res.iterations = iter + 1;
+        const double frac = static_cast<double>(changed)
+            / static_cast<double>(ng);
+        if (iter > 0 && frac < cfg.change_threshold)
+            break;
+    }
+
+    const core::Mask ones(static_cast<std::size_t>(ng * d), 1);
+    res.sse = core::maskedSse(wr, ones, res.codebook, res.assignments);
+    return res;
+}
+
+core::CompressedModel
+bgdCompress(const std::vector<nn::Conv2d *> &targets,
+            const core::MvqLayerConfig &cfg, const BgdOptions &opts,
+            const std::vector<std::vector<double>> &energies)
+{
+    fatalIf(cfg.grouping != core::Grouping::OutputChannelWise,
+            "BGD baseline implemented for output-channel grouping");
+    fatalIf(energies.size() != targets.size(),
+            "energy vector count mismatch");
+
+    core::CompressedModel cm;
+    cm.dense_reconstruct = true;
+    core::MvqLayerConfig layer_cfg = cfg;
+    layer_cfg.pattern = core::NmPattern{1, 1};
+
+    core::KmeansConfig km = opts.kmeans;
+    km.k = cfg.k;
+
+    for (std::size_t li = 0; li < targets.size(); ++li) {
+        nn::Conv2d *conv = targets[li];
+        const Tensor &w4 = conv->weight().value;
+        Tensor wr = groupWeights(w4, cfg.d, cfg.grouping);
+
+        // Row j of the output-channel grouping corresponds to input
+        // channel c = (j / (R*S)) % C.
+        const std::int64_t rs = w4.dim(2) * w4.dim(3);
+        const std::int64_t c_total = w4.dim(1);
+        std::vector<double> row_weights(
+            static_cast<std::size_t>(wr.dim(0)));
+        for (std::int64_t j = 0; j < wr.dim(0); ++j) {
+            const std::int64_t c = (j / rs) % c_total;
+            const double e = energies[li][static_cast<std::size_t>(c)];
+            row_weights[static_cast<std::size_t>(j)] = e + 1e-8;
+        }
+
+        core::KmeansConfig layer_km = km;
+        layer_km.seed = km.seed + li;
+        core::KmeansResult res = weightedKmeans(wr, row_weights, layer_km);
+
+        core::Codebook cb;
+        cb.codewords = res.codebook;
+        if (cfg.codebook_bits > 0)
+            core::quantizeCodebook(cb, cfg.codebook_bits);
+        cm.codebooks.push_back(std::move(cb));
+
+        const core::Mask ones(static_cast<std::size_t>(wr.numel()), 1);
+        core::CompressedLayer layer = core::makeCompressedLayer(
+            conv->name(), w4.shape(), layer_cfg, ones, res,
+            static_cast<int>(li));
+        layer.dense_flops = conv->flops();
+        cm.layers.push_back(std::move(layer));
+    }
+    return cm;
+}
+
+} // namespace mvq::vq

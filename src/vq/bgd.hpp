@@ -1,0 +1,58 @@
+/**
+ * @file
+ * BGD baseline ("And the bit goes down", Stock et al., ICLR 2020),
+ * adapted to this repository: clustering is weighted by input-activation
+ * energy so that subvectors multiplying strong activations are
+ * approximated more carefully, followed by unmasked codebook fine-tuning
+ * on the task (standing in for the original's layerwise distillation —
+ * documented in DESIGN.md).
+ */
+
+#ifndef MVQ_VQ_BGD_HPP
+#define MVQ_VQ_BGD_HPP
+
+#include "core/pipeline.hpp"
+#include "nn/dataset.hpp"
+
+namespace mvq::vq {
+
+/** Options for BGD compression. */
+struct BgdOptions
+{
+    int energy_batches = 4; //!< batches used to estimate E[x_c^2]
+    core::KmeansConfig kmeans;
+    std::uint64_t seed = 61;
+};
+
+/**
+ * Estimate per-input-channel activation second moments E[x_c^2] for each
+ * target layer by running a few training batches forward.
+ *
+ * @return one vector per target, of length C (input channels).
+ */
+std::vector<std::vector<double>> collectInputEnergies(
+    nn::Layer &model, const std::vector<nn::Conv2d *> &targets,
+    const nn::ClassificationDataset &data, const BgdOptions &opts);
+
+/**
+ * Compress with activation-weighted k-means (dense weights, dense
+ * reconstruct, pattern 1:1).
+ */
+core::CompressedModel bgdCompress(
+    const std::vector<nn::Conv2d *> &targets,
+    const core::MvqLayerConfig &cfg, const BgdOptions &opts,
+    const std::vector<std::vector<double>> &energies);
+
+/**
+ * Weighted k-means over rows: standard nearest-codeword assignment, and
+ * the update uses the weighted mean of assigned rows. Exposed for tests.
+ *
+ * @param row_weights one non-negative weight per subvector.
+ */
+core::KmeansResult weightedKmeans(const Tensor &wr,
+                                  const std::vector<double> &row_weights,
+                                  const core::KmeansConfig &cfg);
+
+} // namespace mvq::vq
+
+#endif // MVQ_VQ_BGD_HPP

@@ -1,0 +1,302 @@
+#include "vq/pqf.hpp"
+
+#include <numeric>
+
+#include "common/logging.hpp"
+#include "common/random.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/loss.hpp"
+#include "nn/network.hpp"
+#include "nn/optimizer.hpp"
+
+namespace mvq::vq {
+
+namespace {
+
+/** Apply an output-channel permutation: out[i] = w4[perm[i]]. */
+Tensor
+permuteOutputChannels(const Tensor &w4, const std::vector<std::int64_t> &perm)
+{
+    Tensor out(w4.shape());
+    const std::int64_t per_chan = w4.numel() / w4.dim(0);
+    for (std::int64_t i = 0; i < w4.dim(0); ++i) {
+        const std::int64_t src = perm[static_cast<std::size_t>(i)];
+        std::copy(w4.data() + src * per_chan,
+                  w4.data() + (src + 1) * per_chan,
+                  out.data() + i * per_chan);
+    }
+    return out;
+}
+
+/** Undo the permutation: out[perm[i]] = w4[i]. */
+Tensor
+unpermuteOutputChannels(const Tensor &w4,
+                        const std::vector<std::int64_t> &perm)
+{
+    Tensor out(w4.shape());
+    const std::int64_t per_chan = w4.numel() / w4.dim(0);
+    for (std::int64_t i = 0; i < w4.dim(0); ++i) {
+        const std::int64_t dst = perm[static_cast<std::size_t>(i)];
+        std::copy(w4.data() + i * per_chan,
+                  w4.data() + (i + 1) * per_chan,
+                  out.data() + dst * per_chan);
+    }
+    return out;
+}
+
+/** Cost of one bucket of channels (variance around the bucket mean). */
+double
+bucketCost(const Tensor &w4, const std::vector<std::int64_t> &perm,
+           std::int64_t bucket, std::int64_t d)
+{
+    const std::int64_t per_chan = w4.numel() / w4.dim(0);
+    std::vector<double> mean(static_cast<std::size_t>(per_chan), 0.0);
+    for (std::int64_t j = 0; j < d; ++j) {
+        const std::int64_t ch = perm[static_cast<std::size_t>(
+            bucket * d + j)];
+        const float *p = w4.data() + ch * per_chan;
+        for (std::int64_t t = 0; t < per_chan; ++t)
+            mean[static_cast<std::size_t>(t)] += p[t];
+    }
+    for (auto &m : mean)
+        m /= static_cast<double>(d);
+    double cost = 0.0;
+    for (std::int64_t j = 0; j < d; ++j) {
+        const std::int64_t ch = perm[static_cast<std::size_t>(
+            bucket * d + j)];
+        const float *p = w4.data() + ch * per_chan;
+        for (std::int64_t t = 0; t < per_chan; ++t) {
+            const double diff = p[t] - mean[static_cast<std::size_t>(t)];
+            cost += diff * diff;
+        }
+    }
+    return cost;
+}
+
+} // namespace
+
+double
+permutationCost(const Tensor &w4, const std::vector<std::int64_t> &perm,
+                std::int64_t d)
+{
+    fatalIf(w4.dim(0) % d != 0, "permutationCost: d must divide K");
+    const std::int64_t buckets = w4.dim(0) / d;
+    double cost = 0.0;
+    for (std::int64_t b = 0; b < buckets; ++b)
+        cost += bucketCost(w4, perm, b, d);
+    return cost;
+}
+
+Tensor
+PqfModel::reconstructLayer(std::size_t i) const
+{
+    Tensor permuted = compressed.reconstructLayer(i);
+    return unpermuteOutputChannels(permuted, permutations[i]);
+}
+
+void
+PqfModel::applyTo(nn::Layer &model) const
+{
+    auto convs = nn::convLayers(model);
+    for (std::size_t i = 0; i < compressed.layers.size(); ++i) {
+        nn::Conv2d *target = nullptr;
+        for (nn::Conv2d *conv : convs) {
+            if (conv->name() == compressed.layers[i].name) {
+                target = conv;
+                break;
+            }
+        }
+        fatalIf(target == nullptr,
+                "no conv named ", compressed.layers[i].name);
+        target->setWeight(reconstructLayer(i));
+    }
+}
+
+PqfModel
+pqfCompress(const std::vector<nn::Conv2d *> &targets,
+            const core::MvqLayerConfig &cfg, const PqfOptions &opts)
+{
+    fatalIf(cfg.grouping != core::Grouping::OutputChannelWise,
+            "PQF baseline implemented for output-channel grouping");
+    PqfModel model;
+    model.compressed.dense_reconstruct = true;
+
+    core::MvqLayerConfig layer_cfg = cfg;
+    layer_cfg.pattern = core::NmPattern{1, 1};
+
+    Rng rng(opts.seed);
+    core::KmeansConfig km = opts.kmeans;
+    km.k = cfg.k;
+
+    for (std::size_t li = 0; li < targets.size(); ++li) {
+        nn::Conv2d *conv = targets[li];
+        const Tensor &w4 = conv->weight().value;
+        const std::int64_t kk = w4.dim(0);
+
+        // --- Permutation search (hill climbing over channel swaps) ----
+        std::vector<std::int64_t> perm(static_cast<std::size_t>(kk));
+        std::iota(perm.begin(), perm.end(), 0);
+        const std::int64_t buckets = kk / cfg.d;
+        std::vector<double> costs(static_cast<std::size_t>(buckets));
+        for (std::int64_t b = 0; b < buckets; ++b)
+            costs[static_cast<std::size_t>(b)] = bucketCost(w4, perm, b,
+                                                            cfg.d);
+        if (buckets > 1) {
+            for (int step = 0; step < opts.search_steps; ++step) {
+                const std::int64_t i =
+                    static_cast<std::int64_t>(rng.index(
+                        static_cast<std::size_t>(kk)));
+                std::int64_t j = static_cast<std::int64_t>(rng.index(
+                    static_cast<std::size_t>(kk)));
+                if (i / cfg.d == j / cfg.d)
+                    continue; // same bucket, no effect
+                std::swap(perm[static_cast<std::size_t>(i)],
+                          perm[static_cast<std::size_t>(j)]);
+                const double ci = bucketCost(w4, perm, i / cfg.d, cfg.d);
+                const double cj = bucketCost(w4, perm, j / cfg.d, cfg.d);
+                const double before =
+                    costs[static_cast<std::size_t>(i / cfg.d)]
+                    + costs[static_cast<std::size_t>(j / cfg.d)];
+                if (ci + cj < before) {
+                    costs[static_cast<std::size_t>(i / cfg.d)] = ci;
+                    costs[static_cast<std::size_t>(j / cfg.d)] = cj;
+                } else {
+                    std::swap(perm[static_cast<std::size_t>(i)],
+                              perm[static_cast<std::size_t>(j)]);
+                }
+            }
+        }
+
+        // --- Quantize: plain k-means on the permuted grouping ----------
+        Tensor permuted = permuteOutputChannels(w4, perm);
+        Tensor wr = groupWeights(permuted, cfg.d, cfg.grouping);
+        core::Mask ones(static_cast<std::size_t>(wr.numel()), 1);
+        core::KmeansConfig layer_km = km;
+        layer_km.seed = km.seed + li;
+        core::KmeansResult res = core::maskedKmeans(wr, ones, layer_km);
+
+        core::Codebook cb;
+        cb.codewords = res.codebook;
+        if (cfg.codebook_bits > 0)
+            core::quantizeCodebook(cb, cfg.codebook_bits);
+        model.compressed.codebooks.push_back(std::move(cb));
+
+        core::CompressedLayer layer = core::makeCompressedLayer(
+            conv->name(), w4.shape(), layer_cfg, ones, res,
+            static_cast<int>(li));
+        layer.dense_flops = conv->flops();
+        model.compressed.layers.push_back(std::move(layer));
+        model.permutations.push_back(std::move(perm));
+    }
+    return model;
+}
+
+double
+pqfFinetune(PqfModel &model, nn::Layer &net,
+            const nn::ClassificationDataset &data,
+            const core::FinetuneConfig &cfg)
+{
+    // Custom tuner: like core::CodebookTrainer but the weights applied to
+    // the network are un-permuted, and the gradients are permuted before
+    // codeword aggregation.
+    auto convs = nn::convLayers(net);
+    std::vector<nn::Conv2d *> targets;
+    for (const auto &layer : model.compressed.layers) {
+        nn::Conv2d *target = nullptr;
+        for (nn::Conv2d *conv : convs) {
+            if (conv->name() == layer.name) {
+                target = conv;
+                break;
+            }
+        }
+        fatalIf(target == nullptr, "no conv named ", layer.name);
+        targets.push_back(target);
+    }
+
+    std::vector<nn::Parameter> latent;
+    for (auto &cb : model.compressed.codebooks)
+        latent.emplace_back("codebook", cb.codewords);
+
+    std::vector<nn::Parameter *> other_params;
+    for (nn::Parameter *p : net.allParameters()) {
+        bool compressed = false;
+        for (nn::Conv2d *conv : targets) {
+            if (p == &conv->weight()) {
+                compressed = true;
+                break;
+            }
+        }
+        if (!compressed)
+            other_params.push_back(p);
+    }
+
+    nn::Adam cb_opt(cfg.codebook_lr);
+    nn::Sgd other_opt(cfg.other_lr, cfg.momentum, 0.0f);
+
+    auto apply = [&]() {
+        for (std::size_t i = 0; i < model.compressed.codebooks.size();
+             ++i) {
+            model.compressed.codebooks[i].codewords = latent[i].value;
+            core::requantizeCodebook(model.compressed.codebooks[i]);
+        }
+        for (std::size_t i = 0; i < model.compressed.layers.size(); ++i)
+            targets[i]->setWeight(model.reconstructLayer(i));
+    };
+    apply();
+
+    Rng rng(cfg.seed);
+    const auto &train_set = data.trainSet();
+    for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+        std::vector<int> order(train_set.size());
+        std::iota(order.begin(), order.end(), 0);
+        rng.shuffle(order);
+        for (std::size_t start = 0; start < order.size();
+             start += static_cast<std::size_t>(cfg.batch_size)) {
+            const std::size_t end = std::min(order.size(),
+                start + static_cast<std::size_t>(cfg.batch_size));
+            std::vector<int> batch(order.begin()
+                + static_cast<std::ptrdiff_t>(start),
+                order.begin() + static_cast<std::ptrdiff_t>(end));
+
+            net.zeroGrad();
+            Tensor images = data.batchImages(train_set, batch);
+            std::vector<int> labels = data.batchLabels(train_set, batch);
+            Tensor logits = net.forward(images, /*train=*/true);
+            nn::LossResult lr = nn::softmaxCrossEntropy(logits, labels);
+            net.backward(lr.grad);
+
+            for (auto &p : latent)
+                p.grad.fill(0.0f);
+            for (std::size_t i = 0; i < model.compressed.layers.size();
+                 ++i) {
+                const auto &layer = model.compressed.layers[i];
+                Tensor g_perm = permuteOutputChannels(
+                    targets[i]->weight().grad, model.permutations[i]);
+                Tensor grad_wr = groupWeights(g_perm, layer.cfg.d,
+                                              layer.cfg.grouping);
+                const core::Mask ones(
+                    static_cast<std::size_t>(grad_wr.numel()), 1);
+                Tensor g = core::aggregateCodewordGrad(
+                    grad_wr, ones, layer.assignments,
+                    model.compressed
+                        .codebooks[static_cast<std::size_t>(
+                            layer.codebook_id)]
+                        .k(),
+                    /*masked=*/false);
+                addInPlace(latent[static_cast<std::size_t>(
+                               layer.codebook_id)].grad,
+                           g);
+            }
+
+            std::vector<nn::Parameter *> cb_params;
+            for (auto &p : latent)
+                cb_params.push_back(&p);
+            cb_opt.step(cb_params);
+            other_opt.step(other_params);
+            apply();
+        }
+    }
+    return nn::evalClassifier(net, data, data.testSet());
+}
+
+} // namespace mvq::vq

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * PQF baseline ("Permute, Quantize, and Fine-tune", Martinez et al.,
+ * CVPR 2021), adapted to this repository's output-channel grouping:
+ * a per-layer permutation of output channels is hill-climbed to minimize
+ * within-bucket variance (buckets = the d channels sharing a subvector),
+ * then plain k-means clusters the permuted groups, and the codebook is
+ * fine-tuned on the task with unmasked gradient aggregation.
+ *
+ * Like the original, permutation storage is not charged against the
+ * compression ratio (it can be folded into adjacent layers).
+ */
+
+#ifndef MVQ_VQ_PQF_HPP
+#define MVQ_VQ_PQF_HPP
+
+#include "core/pipeline.hpp"
+
+namespace mvq::vq {
+
+/** Options for the permutation search. */
+struct PqfOptions
+{
+    int search_steps = 1500;   //!< hill-climbing proposals per layer
+    std::uint64_t seed = 51;
+    core::KmeansConfig kmeans;
+};
+
+/** Compressed PQF model: per-layer channel permutations + VQ container. */
+struct PqfModel
+{
+    core::CompressedModel compressed;
+    /** Per layer, perm[i] = original output channel placed at slot i. */
+    std::vector<std::vector<std::int64_t>> permutations;
+
+    /** Reconstruct layer i and undo the permutation. */
+    Tensor reconstructLayer(std::size_t i) const;
+
+    /** Write un-permuted reconstructed kernels into the model's convs. */
+    void applyTo(nn::Layer &model) const;
+
+    double
+    compressionRatio(int bf = 32) const
+    {
+        return compressed.compressionRatio(bf);
+    }
+};
+
+/**
+ * Compress targets with PQF (dense weights; no pruning).
+ *
+ * @param cfg k/d/grouping settings; the pattern is forced to 1:1.
+ */
+PqfModel pqfCompress(const std::vector<nn::Conv2d *> &targets,
+                     const core::MvqLayerConfig &cfg,
+                     const PqfOptions &opts);
+
+/**
+ * Fine-tune a PQF model's codebooks on the classification task with
+ * unmasked aggregation, then re-apply. Returns final test accuracy.
+ */
+double pqfFinetune(PqfModel &model, nn::Layer &net,
+                   const nn::ClassificationDataset &data,
+                   const core::FinetuneConfig &cfg);
+
+/**
+ * Within-bucket variance cost of a permutation (exposed for tests):
+ * sum over buckets of d channels of the variance of the channels' weight
+ * vectors around the bucket mean.
+ */
+double permutationCost(const Tensor &w4, const std::vector<std::int64_t> &perm,
+                       std::int64_t d);
+
+} // namespace mvq::vq
+
+#endif // MVQ_VQ_PQF_HPP

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * PvQ baseline (Kuzmin et al., "Pruning vs Quantization"): uniform b-bit
+ * symmetric scalar quantization of conv kernels with straight-through
+ * latent fine-tuning. At 2 bits this collapses, reproducing the paper's
+ * Table 4 / Table 6 comparison rows.
+ */
+
+#ifndef MVQ_VQ_UNIFORM_QUANT_HPP
+#define MVQ_VQ_UNIFORM_QUANT_HPP
+
+#include "nn/conv2d.hpp"
+#include "nn/dataset.hpp"
+#include "nn/trainer.hpp"
+
+namespace mvq::vq {
+
+/** Options for the PvQ baseline. */
+struct PvqOptions
+{
+    int bits = 2;
+    int finetune_epochs = 2;
+    int batch_size = 32;
+    float latent_lr = 0.01f;
+    float other_lr = 0.01f;
+    float momentum = 0.9f;
+    std::uint64_t seed = 71;
+};
+
+/** Result of a PvQ run. */
+struct PvqResult
+{
+    double accuracy = 0.0;          //!< final test accuracy
+    double compression_ratio = 0.0; //!< 32 / bits (scales not charged)
+};
+
+/**
+ * Quantize a tensor to b-bit symmetric uniform levels in place, with the
+ * MSE-optimal scale from a grid search. Returns the scale.
+ */
+float uniformQuantize(Tensor &w, int bits);
+
+/**
+ * Quantize the target kernels and fine-tune with STE (latent
+ * full-precision weights, quantized forward). Returns final accuracy.
+ */
+PvqResult pvqCompressClassifier(nn::Layer &model,
+                                const std::vector<nn::Conv2d *> &targets,
+                                const nn::ClassificationDataset &data,
+                                const PvqOptions &opts);
+
+/** Segmentation variant; PvqResult.accuracy holds the test mIoU. */
+PvqResult pvqCompressSegmenter(nn::Layer &model,
+                               const std::vector<nn::Conv2d *> &targets,
+                               const nn::SegmentationDataset &data,
+                               const PvqOptions &opts);
+
+} // namespace mvq::vq
+
+#endif // MVQ_VQ_UNIFORM_QUANT_HPP

@@ -1,0 +1,50 @@
+#include "vq/vanilla_vq.hpp"
+
+namespace mvq::vq {
+
+std::string
+ablationCaseName(AblationCase c)
+{
+    switch (c) {
+      case AblationCase::A_DenseCommonDense:
+        return "A (DW+CK+DR)";
+      case AblationCase::B_SparseCommonDense:
+        return "B (SW+CK+DR)";
+      case AblationCase::C_SparseCommonSparse:
+        return "C (SW+CK+SR)";
+      case AblationCase::D_SparseMaskedSparse:
+        return "Ours (SW+MK+SR)";
+    }
+    return "?";
+}
+
+core::CompressedModel
+runAblationCase(AblationCase which,
+                const std::vector<nn::Conv2d *> &targets,
+                const core::MvqLayerConfig &cfg,
+                const core::ClusterOptions &opts)
+{
+    core::MvqLayerConfig layer_cfg = cfg;
+    core::ClusterOptions cluster_opts = opts;
+
+    switch (which) {
+      case AblationCase::A_DenseCommonDense:
+      case AblationCase::B_SparseCommonDense:
+        // No mask stored; dense reconstruction, common k-means.
+        layer_cfg.pattern = core::NmPattern{1, 1};
+        cluster_opts.masked_kmeans = false;
+        cluster_opts.sparse_reconstruct = false;
+        break;
+      case AblationCase::C_SparseCommonSparse:
+        cluster_opts.masked_kmeans = false;
+        cluster_opts.sparse_reconstruct = true;
+        break;
+      case AblationCase::D_SparseMaskedSparse:
+        cluster_opts.masked_kmeans = true;
+        cluster_opts.sparse_reconstruct = true;
+        break;
+    }
+    return core::clusterLayers(targets, layer_cfg, cluster_opts);
+}
+
+} // namespace mvq::vq

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Conventional (unmasked) vector quantization pipelines — the ablation
+ * cases A, B, C of the paper's Fig. 12 and the basis of the PQF/BGD
+ * baselines. All cases reuse core::clusterLayers with the masking and
+ * reconstruction switches:
+ *
+ *   A: dense weights,  common k-means, dense reconstruct;
+ *   B: sparse weights, common k-means, dense reconstruct;
+ *   C: sparse weights, common k-means, sparse reconstruct;
+ *   D: sparse weights, masked k-means, sparse reconstruct (MVQ itself).
+ */
+
+#ifndef MVQ_VQ_VANILLA_VQ_HPP
+#define MVQ_VQ_VANILLA_VQ_HPP
+
+#include "core/pipeline.hpp"
+
+namespace mvq::vq {
+
+/** The four ablation pipelines of paper Fig. 12. */
+enum class AblationCase
+{
+    A_DenseCommonDense,
+    B_SparseCommonDense,
+    C_SparseCommonSparse,
+    D_SparseMaskedSparse,
+};
+
+/** Human-readable case label matching the paper (A/B/C/Ours). */
+std::string ablationCaseName(AblationCase c);
+
+/**
+ * Run one ablation case on an already-trained classifier. For the sparse
+ * cases the model must already be N:M-pruned (sparse-trained); for case A
+ * it must be dense. The pattern in cfg is used for the mask where the
+ * case stores one, and replaced by 1:1 where it does not.
+ *
+ * @return the compressed model; caller applies/fine-tunes/evaluates.
+ */
+core::CompressedModel runAblationCase(AblationCase which,
+                                      const std::vector<nn::Conv2d *> &targets,
+                                      const core::MvqLayerConfig &cfg,
+                                      const core::ClusterOptions &opts);
+
+} // namespace mvq::vq
+
+#endif // MVQ_VQ_VANILLA_VQ_HPP

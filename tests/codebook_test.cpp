@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Codebook quantization tests: grid snapping, MSE-optimal scale search,
+ * idempotent requantization, and storage accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/logging.hpp"
+#include "core/codebook.hpp"
+
+namespace mvq::core {
+namespace {
+
+TEST(Codebook, QuantizeValueClampsAndRounds)
+{
+    // 8-bit: levels -128..127 times scale.
+    EXPECT_FLOAT_EQ(quantizeValue(0.24f, 0.1f, 8), 0.2f);
+    EXPECT_FLOAT_EQ(quantizeValue(0.25f, 0.1f, 8), 0.3f);
+    EXPECT_FLOAT_EQ(quantizeValue(-100.0f, 0.1f, 8), -12.8f);
+    EXPECT_FLOAT_EQ(quantizeValue(100.0f, 0.1f, 8), 12.7f);
+}
+
+TEST(Codebook, QuantizationBoundsError)
+{
+    Rng rng(101);
+    Codebook cb;
+    cb.codewords = Tensor(Shape({64, 8}));
+    cb.codewords.fillNormal(rng, 0.0f, 0.1f);
+    Tensor original = cb.codewords;
+    const float scale = quantizeCodebook(cb, 8);
+    EXPECT_GT(scale, 0.0f);
+    EXPECT_EQ(cb.qbits, 8);
+    // Max error bounded by scale/2 inside the clamp range.
+    for (std::int64_t i = 0; i < original.numel(); ++i) {
+        EXPECT_LE(std::fabs(original[i] - cb.codewords[i]),
+                  scale * 0.5f + 1e-6f);
+    }
+}
+
+TEST(Codebook, ValuesLandOnGrid)
+{
+    Rng rng(102);
+    Codebook cb;
+    cb.codewords = Tensor(Shape({32, 4}));
+    cb.codewords.fillNormal(rng, 0.0f, 1.0f);
+    quantizeCodebook(cb, 4);
+    // At 4 bits there are at most 16 distinct levels.
+    std::set<float> levels;
+    for (std::int64_t i = 0; i < cb.codewords.numel(); ++i)
+        levels.insert(cb.codewords[i]);
+    EXPECT_LE(levels.size(), 16u);
+    // And each is an integer multiple of the scale.
+    for (float v : levels) {
+        const float q = v / cb.scale;
+        EXPECT_NEAR(q, std::round(q), 1e-4f);
+    }
+}
+
+TEST(Codebook, RequantizeIdempotent)
+{
+    Rng rng(103);
+    Codebook cb;
+    cb.codewords = Tensor(Shape({16, 8}));
+    cb.codewords.fillNormal(rng, 0.0f, 0.5f);
+    quantizeCodebook(cb, 8);
+    Tensor once = cb.codewords;
+    requantizeCodebook(cb);
+    for (std::int64_t i = 0; i < once.numel(); ++i)
+        EXPECT_FLOAT_EQ(once[i], cb.codewords[i]);
+}
+
+TEST(Codebook, ScaleSearchBeatsNaiveAbsmax)
+{
+    // Heavy-tailed values: the MSE-optimal scale clips outliers and must
+    // do no worse than absmax/qmax.
+    Rng rng(104);
+    Codebook cb;
+    cb.codewords = Tensor(Shape({256, 4}));
+    cb.codewords.fillNormal(rng, 0.0f, 0.1f);
+    cb.codewords[0] = 5.0f; // outlier
+    Tensor original = cb.codewords;
+
+    Codebook naive;
+    naive.codewords = original;
+    const float naive_scale = original.absMax() / 127.0f;
+    naive.scale = naive_scale;
+    naive.qbits = 8;
+    requantizeCodebook(naive);
+    double naive_err = 0.0;
+    for (std::int64_t i = 0; i < original.numel(); ++i) {
+        const double diff = original[i] - naive.codewords[i];
+        naive_err += diff * diff;
+    }
+
+    quantizeCodebook(cb, 8);
+    double fitted_err = 0.0;
+    for (std::int64_t i = 0; i < original.numel(); ++i) {
+        const double diff = original[i] - cb.codewords[i];
+        fitted_err += diff * diff;
+    }
+    EXPECT_LE(fitted_err, naive_err);
+}
+
+TEST(Codebook, StorageBits)
+{
+    Codebook cb;
+    cb.codewords = Tensor(Shape({512, 16}));
+    EXPECT_EQ(cb.storageBits(), 512 * 16 * 32); // unquantized fp32
+    cb.qbits = 8;
+    EXPECT_EQ(cb.storageBits(), 512 * 16 * 8);
+}
+
+TEST(Codebook, ZeroCodebookHandled)
+{
+    Codebook cb;
+    cb.codewords = Tensor(Shape({4, 4}));
+    EXPECT_NO_THROW(quantizeCodebook(cb, 8));
+    EXPECT_EQ(cb.codewords.countZeros(), 16);
+}
+
+TEST(Codebook, RejectsBadBitWidths)
+{
+    Codebook cb;
+    cb.codewords = Tensor(Shape({4, 4}), 1.0f);
+    EXPECT_THROW(quantizeCodebook(cb, 1), FatalError);
+    EXPECT_THROW(quantizeCodebook(cb, 17), FatalError);
+}
+
+} // namespace
+} // namespace mvq::core

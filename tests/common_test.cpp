@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for the common substrate: logging semantics (fatal vs panic),
+ * the deterministic RNG, and the table renderer used by every bench.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "common/random.hpp"
+#include "common/table.hpp"
+
+namespace mvq {
+namespace {
+
+TEST(Logging, FatalThrowsRuntimeFlavor)
+{
+    EXPECT_THROW(fatal("bad config ", 42), FatalError);
+    try {
+        fatal("value = ", 7, ", name = ", "x");
+    } catch (const FatalError &e) {
+        EXPECT_STREQ(e.what(), "value = 7, name = x");
+    }
+}
+
+TEST(Logging, PanicThrowsLogicFlavor)
+{
+    EXPECT_THROW(panic("invariant"), PanicError);
+    // PanicError is a logic_error, FatalError a runtime_error.
+    EXPECT_THROW(panic("x"), std::logic_error);
+    EXPECT_THROW(fatal("x"), std::runtime_error);
+}
+
+TEST(Logging, ConditionalHelpers)
+{
+    EXPECT_NO_THROW(fatalIf(false, "fine"));
+    EXPECT_THROW(fatalIf(true, "nope"), FatalError);
+    EXPECT_NO_THROW(panicIf(false, "fine"));
+    EXPECT_THROW(panicIf(true, "nope"), PanicError);
+}
+
+TEST(Logging, QuietFlag)
+{
+    setLogQuiet(true);
+    EXPECT_TRUE(logQuiet());
+    inform("this should not print");
+    warn("nor this");
+    setLogQuiet(false);
+    EXPECT_FALSE(logQuiet());
+}
+
+TEST(Rng, DeterministicStreams)
+{
+    Rng a(99), b(99);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FLOAT_EQ(a.uniform(0.0f, 1.0f), b.uniform(0.0f, 1.0f));
+        EXPECT_EQ(a.intIn(0, 1000), b.intIn(0, 1000));
+    }
+}
+
+TEST(Rng, IntInBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.intIn(-3, 5);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 5);
+    }
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(8);
+    std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7};
+    std::vector<int> orig = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, ForkProducesIndependentSeeds)
+{
+    Rng rng(9);
+    EXPECT_NE(rng.fork(), rng.fork());
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    TextTable t({"A", "Long header"});
+    t.addRow({"x", "1"});
+    t.addRow({"yyyy", "2"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("| A    | Long header |"), std::string::npos);
+    EXPECT_NE(out.find("| yyyy | 2           |"), std::string::npos);
+}
+
+TEST(Table, SeparatorAndWidthCheck)
+{
+    TextTable t({"A", "B"});
+    t.addRow({"1", "2"});
+    t.addSeparator();
+    t.addRow({"3", "4"});
+    EXPECT_NO_THROW(t.render());
+    EXPECT_THROW(t.addRow({"only one"}), FatalError);
+}
+
+TEST(Table, NumberFormatting)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(2.0, 0), "2");
+    EXPECT_EQ(TextTable::count(1234567), "1,234,567");
+    EXPECT_EQ(TextTable::count(-42), "-42");
+    EXPECT_EQ(TextTable::count(7), "7");
+}
+
+} // namespace
+} // namespace mvq

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Compressed-container tests: mask round trips through the codec,
+ * reconstruction equivalence, Eq. 7 compression-ratio accounting against
+ * hand-computed bit counts, and applyTo() name matching.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "core/compressed_layer.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/network.hpp"
+#include "tensor/ops.hpp"
+
+namespace mvq::core {
+namespace {
+
+/** Build a compressed layer by actually clustering a random kernel. */
+struct Fixture
+{
+    Shape shape{Shape({32, 4, 3, 3})};
+    MvqLayerConfig cfg;
+    Tensor w4;
+    Mask mask;
+    KmeansResult km;
+    CompressedLayer layer;
+    Codebook cb;
+
+    Fixture()
+    {
+        cfg.k = 16;
+        cfg.d = 16;
+        cfg.pattern = NmPattern{4, 16};
+        cfg.codebook_bits = 8;
+
+        Rng rng(131);
+        w4 = Tensor(shape);
+        w4.fillNormal(rng, 0.0f, 1.0f);
+        Tensor wr = groupWeights(w4, cfg.d, cfg.grouping);
+        mask = nmMask(wr, cfg.pattern);
+        applyMask(wr, mask);
+
+        KmeansConfig kc;
+        kc.k = cfg.k;
+        km = maskedKmeans(wr, mask, kc);
+        cb.codewords = km.codebook;
+        quantizeCodebook(cb, cfg.codebook_bits);
+
+        layer = makeCompressedLayer("conv", shape, cfg, mask, km, 0);
+    }
+};
+
+TEST(CompressedLayer, MaskDecodeRoundTrip)
+{
+    Fixture f;
+    EXPECT_EQ(f.layer.decodeMask(), f.mask);
+}
+
+TEST(CompressedLayer, ReconstructMatchesGroupedReconstruction)
+{
+    Fixture f;
+    Tensor via_layer = f.layer.reconstruct(f.cb);
+    Tensor wr = reconstructGrouped(f.cb.codewords, f.km.assignments,
+                                   f.mask);
+    Tensor direct = ungroupWeights(wr, f.shape, f.cfg.d, f.cfg.grouping);
+    EXPECT_FLOAT_EQ(maxAbsDiff(via_layer, direct), 0.0f);
+}
+
+TEST(CompressedLayer, DenseReconstructIgnoresMask)
+{
+    Fixture f;
+    Tensor dense = f.layer.reconstructDense(f.cb);
+    Tensor sparse = f.layer.reconstruct(f.cb);
+    EXPECT_GE(sparse.countZeros(), dense.countZeros());
+}
+
+TEST(CompressedLayer, StorageAccountingMatchesHandComputation)
+{
+    Fixture f;
+    const std::int64_t ng = f.shape.numel() / f.cfg.d; // 72
+    StorageCost cost = f.layer.assignmentStorage();
+    EXPECT_EQ(cost.weight_count, f.shape.numel());
+    EXPECT_EQ(cost.assignment_bits, ng * 4);  // log2(16) = 4
+    EXPECT_EQ(cost.mask_bits, ng * 11);       // C(16,4) -> 11 bits
+    EXPECT_EQ(cost.codebook_bits, 0);         // counted at model level
+}
+
+TEST(CompressedLayer, Eq7CompressionRatio)
+{
+    Fixture f;
+    CompressedModel cm;
+    cm.layers.push_back(f.layer);
+    cm.codebooks.push_back(f.cb);
+
+    const std::int64_t ng = f.shape.numel() / f.cfg.d;
+    const std::int64_t ba = ng * 4;
+    const std::int64_t bm = ng * 11;
+    const std::int64_t bc = f.cfg.k * f.cfg.d * 8;
+    const double expected = static_cast<double>(f.shape.numel()) * 32.0
+        / static_cast<double>(ba + bm + bc);
+    EXPECT_NEAR(cm.compressionRatio(32), expected, 1e-9);
+
+    StorageCost total = cm.storage();
+    EXPECT_EQ(total.codebook_bits, bc);
+    EXPECT_NEAR(total.bitsPerWeight(),
+                static_cast<double>(ba + bm + bc)
+                    / static_cast<double>(f.shape.numel()),
+                1e-12);
+}
+
+TEST(CompressedLayer, DenseReconstructDropsMaskStorage)
+{
+    Fixture f;
+    CompressedModel cm;
+    cm.layers.push_back(f.layer);
+    cm.codebooks.push_back(f.cb);
+    cm.dense_reconstruct = true;
+    EXPECT_EQ(cm.storage().mask_bits, 0);
+}
+
+TEST(CompressedLayer, SparseFlopsScaleWithPattern)
+{
+    Fixture f;
+    CompressedLayer layer = f.layer;
+    layer.dense_flops = 1000;
+    EXPECT_EQ(layer.sparseFlops(), 250); // 4:16 keeps 1/4
+}
+
+TEST(CompressedModel, ApplyToMatchesByName)
+{
+    Fixture f;
+    CompressedModel cm;
+    cm.layers.push_back(f.layer);
+    cm.codebooks.push_back(f.cb);
+
+    Rng rng(132);
+    nn::Sequential net("net");
+    nn::Conv2dConfig cc{4, 32, 3, 1, 1, 1, false};
+    net.add<nn::Conv2d>("conv", cc, rng);
+    cm.applyTo(net);
+    Tensor expected = cm.reconstructLayer(0);
+    EXPECT_FLOAT_EQ(
+        maxAbsDiff(nn::convLayers(net)[0]->weight().value, expected),
+        0.0f);
+
+    nn::Sequential other("other");
+    other.add<nn::Conv2d>("different", cc, rng);
+    EXPECT_THROW(cm.applyTo(other), FatalError);
+}
+
+TEST(CompressedModel, CrosslayerCodebookCountedOnce)
+{
+    Fixture f;
+    CompressedModel cm;
+    cm.layers.push_back(f.layer);
+    CompressedLayer second = f.layer;
+    second.name = "conv2";
+    cm.layers.push_back(second);
+    cm.codebooks.push_back(f.cb); // shared: both layers use id 0
+
+    const StorageCost cost = cm.storage();
+    EXPECT_EQ(cost.codebook_bits, f.cb.storageBits());
+    EXPECT_EQ(cost.weight_count, 2 * f.shape.numel());
+}
+
+TEST(CompressedLayer, MismatchedInputsRejected)
+{
+    Fixture f;
+    KmeansResult bad = f.km;
+    bad.assignments.pop_back();
+    EXPECT_THROW(
+        makeCompressedLayer("x", f.shape, f.cfg, f.mask, bad, 0),
+        FatalError);
+}
+
+} // namespace
+} // namespace mvq::core

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Synthetic dataset tests: determinism, label ranges, batch assembly,
+ * and detection/segmentation ground-truth consistency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/dataset.hpp"
+#include "tensor/ops.hpp"
+
+namespace mvq::nn {
+namespace {
+
+TEST(ClassificationData, DeterministicAcrossInstances)
+{
+    ClassificationConfig cfg;
+    cfg.train_count = 40;
+    cfg.test_count = 10;
+    ClassificationDataset a(cfg);
+    ClassificationDataset b(cfg);
+    ASSERT_EQ(a.trainSet().size(), 40u);
+    for (std::size_t i = 0; i < 5; ++i) {
+        EXPECT_EQ(a.trainSet()[i].label, b.trainSet()[i].label);
+        EXPECT_FLOAT_EQ(
+            maxAbsDiff(a.trainSet()[i].image, b.trainSet()[i].image),
+            0.0f);
+    }
+}
+
+TEST(ClassificationData, SeedChangesData)
+{
+    ClassificationConfig cfg;
+    cfg.train_count = 10;
+    cfg.test_count = 5;
+    ClassificationDataset a(cfg);
+    cfg.seed = 12345;
+    ClassificationDataset b(cfg);
+    EXPECT_GT(maxAbsDiff(a.trainSet()[0].image, b.trainSet()[0].image),
+              0.0f);
+}
+
+TEST(ClassificationData, LabelsCoverAllClasses)
+{
+    ClassificationConfig cfg;
+    cfg.classes = 7;
+    cfg.train_count = 70;
+    cfg.test_count = 14;
+    ClassificationDataset data(cfg);
+    std::vector<int> counts(7, 0);
+    for (const auto &s : data.trainSet()) {
+        ASSERT_GE(s.label, 0);
+        ASSERT_LT(s.label, 7);
+        ++counts[static_cast<std::size_t>(s.label)];
+    }
+    for (int c : counts)
+        EXPECT_EQ(c, 10);
+}
+
+TEST(ClassificationData, BatchAssembly)
+{
+    ClassificationConfig cfg;
+    cfg.train_count = 8;
+    cfg.test_count = 4;
+    ClassificationDataset data(cfg);
+    Tensor batch = data.batchImages(data.trainSet(), {0, 3, 5});
+    EXPECT_EQ(batch.dim(0), 3);
+    EXPECT_EQ(batch.dim(1), cfg.channels);
+    auto labels = data.batchLabels(data.trainSet(), {0, 3, 5});
+    EXPECT_EQ(labels.size(), 3u);
+    // Row 1 of the batch equals sample 3.
+    const auto &img = data.trainSet()[3].image;
+    const std::int64_t chw = img.numel();
+    for (std::int64_t i = 0; i < chw; ++i)
+        EXPECT_FLOAT_EQ(batch[chw + i], img[i]);
+}
+
+TEST(SegmentationData, LabelsMatchGeometry)
+{
+    SegmentationConfig cfg;
+    cfg.train_count = 20;
+    cfg.test_count = 5;
+    SegmentationDataset data(cfg);
+    for (const auto &s : data.trainSet()) {
+        ASSERT_EQ(s.labels.size(),
+                  static_cast<std::size_t>(cfg.size * cfg.size));
+        bool has_fg = false;
+        for (int l : s.labels) {
+            ASSERT_GE(l, 0);
+            ASSERT_LT(l, cfg.classes);
+            has_fg |= l > 0;
+        }
+        EXPECT_TRUE(has_fg) << "every image contains an object";
+    }
+}
+
+TEST(DetectionData, BoxAndMaskConsistent)
+{
+    DetectionConfig cfg;
+    cfg.train_count = 20;
+    cfg.test_count = 5;
+    DetectionDataset data(cfg);
+    for (const auto &s : data.trainSet()) {
+        EXPECT_GT(s.box.area(), 0.0f);
+        // Mask pixel count equals the box area.
+        std::int64_t mask_px = 0;
+        for (int m : s.mask)
+            mask_px += m;
+        EXPECT_FLOAT_EQ(static_cast<float>(mask_px), s.box.area());
+    }
+}
+
+TEST(DetectionData, BoxIou)
+{
+    Box a{0, 0, 4, 4};
+    Box b{2, 2, 6, 6};
+    // Intersection 2x2 = 4; union 16 + 16 - 4 = 28.
+    EXPECT_NEAR(boxIou(a, b), 4.0f / 28.0f, 1e-6f);
+    EXPECT_FLOAT_EQ(boxIou(a, a), 1.0f);
+    Box c{10, 10, 12, 12};
+    EXPECT_FLOAT_EQ(boxIou(a, c), 0.0f);
+}
+
+TEST(SmoothField, ShapeAndDeterminism)
+{
+    Rng r1(5), r2(5);
+    Tensor a = smoothField(r1, 3, 16);
+    Tensor b = smoothField(r2, 3, 16);
+    EXPECT_EQ(a.shape(), Shape({3, 16, 16}));
+    EXPECT_FLOAT_EQ(maxAbsDiff(a, b), 0.0f);
+}
+
+} // namespace
+} // namespace mvq::nn

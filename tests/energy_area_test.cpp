@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Energy/area/scaling tests: Table 8 cost application, Table 2 resource
+ * counts, Table 7 area calibration (within tolerance), Stillmaker
+ * normalization against the paper's own Table 9 row, and directional
+ * energy-efficiency claims.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "energy/area_model.hpp"
+#include "energy/competitors.hpp"
+#include "energy/energy_model.hpp"
+#include "energy/tech_scaling.hpp"
+
+namespace mvq::energy {
+namespace {
+
+using sim::HwSetting;
+using sim::makeHwSetting;
+
+TEST(EnergyModel, CountersMapToCosts)
+{
+    sim::Counters c;
+    c.macs = 100;
+    c.gated_macs = 50;
+    c.dram_read_bytes = 2;
+    c.l2_read_bytes = 3;
+    c.l1_write_bytes = 4;
+    c.wrf_reads = 10;
+    c.prf_writes = 5;
+
+    EnergyCosts costs;
+    EnergyBreakdown e = energyFromCounters(c, costs);
+    EXPECT_DOUBLE_EQ(e.mac, 100.0 + 50.0 * 0.1);
+    EXPECT_DOUBLE_EQ(e.dram, 2.0 * 200.0);
+    EXPECT_DOUBLE_EQ(e.l2, 3.0 * 15.0);
+    EXPECT_DOUBLE_EQ(e.l1, 4.0 * 6.0);
+    EXPECT_DOUBLE_EQ(e.rf, 10.0 * 0.02 + 5.0 * 0.22);
+    EXPECT_DOUBLE_EQ(e.total(), e.onChip() + e.dram);
+}
+
+TEST(AreaModel, Table2ResourceCounts)
+{
+    // H x d tile with H = 16, d = 16, Q = 4, 16-deep 8-bit WRF.
+    TileResources dense = denseTileResources(16, 16, 16, 8, 24);
+    EXPECT_EQ(dense.multipliers, 256);
+    EXPECT_EQ(dense.adders, 256);
+    EXPECT_EQ(dense.rf_bits, 16 * 16 * 16 * 8);
+    EXPECT_EQ(dense.parallelism, 2 * 16 * 16);
+
+    TileResources sparse = sparseTileResources(16, 16, 4, 16, 8, 24);
+    EXPECT_EQ(sparse.multipliers, 64);  // H * Q
+    EXPECT_EQ(sparse.adders, 256);      // still H * d
+    // WRF bits H*Q*16*8 plus MRF bits H*Q*16*log2(16).
+    EXPECT_EQ(sparse.rf_bits, 16 * 4 * 16 * 8 + 16 * 4 * 16 * 4);
+    EXPECT_EQ(sparse.lzc_units, 64);
+    EXPECT_EQ(sparse.demux_bits, 16 * 4 * 24);
+    EXPECT_EQ(sparse.mux_bits, 16 * 4 * 8);
+    EXPECT_EQ(sparse.parallelism, dense.parallelism);
+}
+
+/** Paper Table 7 array areas (mm^2) for calibration checks. */
+struct AreaCase
+{
+    HwSetting setting;
+    std::int64_t size;
+    double paper_mm2;
+    double tol; // relative
+};
+
+class AreaCalibration : public ::testing::TestWithParam<AreaCase>
+{
+};
+
+TEST_P(AreaCalibration, ArrayAreaNearPaper)
+{
+    const AreaCase ac = GetParam();
+    AreaBreakdown area = accelArea(makeHwSetting(ac.setting, ac.size));
+    EXPECT_NEAR(area.accel_mm2(), ac.paper_mm2,
+                ac.paper_mm2 * ac.tol)
+        << sim::hwSettingName(ac.setting) << " size " << ac.size;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table7, AreaCalibration,
+    ::testing::Values(AreaCase{HwSetting::WS_Base, 16, 0.188, 0.35},
+                      AreaCase{HwSetting::WS_Base, 32, 0.734, 0.35},
+                      AreaCase{HwSetting::WS_Base, 64, 2.812, 0.35},
+                      AreaCase{HwSetting::EWS_Base, 16, 0.36, 0.35},
+                      AreaCase{HwSetting::EWS_Base, 32, 1.14, 0.35},
+                      AreaCase{HwSetting::EWS_Base, 64, 4.236, 0.35},
+                      AreaCase{HwSetting::EWS_C, 16, 0.650, 0.35},
+                      AreaCase{HwSetting::EWS_CMS, 16, 0.469, 0.35},
+                      AreaCase{HwSetting::EWS_CMS, 32, 0.828, 0.35},
+                      AreaCase{HwSetting::EWS_CMS, 64, 2.129, 0.35}));
+
+TEST(AreaModel, SparseTileCutsArrayArea)
+{
+    // Paper headline: EWS-CMS reduces the 64x64 array by 50-60%.
+    AreaBreakdown base = accelArea(makeHwSetting(HwSetting::EWS_Base, 64));
+    AreaBreakdown cms = accelArea(makeHwSetting(HwSetting::EWS_CMS, 64));
+    const double reduction = 1.0 - cms.array_mm2 / base.array_mm2;
+    EXPECT_GT(reduction, 0.40);
+    EXPECT_LT(reduction, 0.70);
+}
+
+TEST(AreaModel, SramAreasMatchTable7)
+{
+    AreaBreakdown a16 = accelArea(makeHwSetting(HwSetting::EWS_Base, 16));
+    EXPECT_NEAR(a16.l1_mm2, 0.484, 1e-9);
+    EXPECT_NEAR(a16.l2_mm2, 6.924, 1e-9);
+    AreaBreakdown a64 = accelArea(makeHwSetting(HwSetting::EWS_Base, 64));
+    EXPECT_NEAR(a64.l1_mm2, 0.968, 1e-9);
+    EXPECT_NEAR(a64.other_mm2, 1.659, 1e-9);
+}
+
+TEST(TechScaling, MatchesPaperNormalization)
+{
+    // Table 9: efficiency -> N-efficiency pairs.
+    EXPECT_NEAR(0.68 * efficiencyTo40nm(45), 0.97, 0.02);
+    EXPECT_NEAR(4.5 * efficiencyTo40nm(28), 2.43, 0.02);
+    EXPECT_NEAR(0.47 * efficiencyTo40nm(45), 0.67, 0.02);
+    EXPECT_NEAR(14.0 * efficiencyTo40nm(16), 1.64, 0.02);
+    EXPECT_NEAR(1.1 * efficiencyTo40nm(65), 2.19, 0.02);
+    EXPECT_DOUBLE_EQ(efficiencyTo40nm(40), 1.0);
+    EXPECT_THROW(efficiencyTo40nm(7), FatalError);
+    EXPECT_DOUBLE_EQ(energyRatioVs40nm(40), 1.0);
+}
+
+TEST(Competitors, SpecsAndNormalization)
+{
+    auto specs = priorWorkSpecs();
+    ASSERT_EQ(specs.size(), 5u);
+    normalizeEfficiencies(specs);
+    EXPECT_EQ(specs[0].name, "SparTen");
+    EXPECT_NEAR(specs[0].normalized_tops_w, 0.97, 0.02);
+    EXPECT_EQ(specs[1].name, "CGNet");
+    EXPECT_NEAR(specs[1].normalized_tops_w, 2.43, 0.02);
+    EXPECT_NEAR(specs[3].normalized_tops_w, 1.64, 0.02); // S2TA 16nm
+}
+
+TEST(Efficiency, CmsBeatsBaselineOnResNet18)
+{
+    perf::WorkloadStats stats;
+    models::ModelSpec spec = models::resnet18Spec();
+    EnergyCosts costs;
+
+    auto tops_w = [&](HwSetting s, std::int64_t size) {
+        sim::AccelConfig cfg = makeHwSetting(s, size);
+        perf::NetworkPerf np = perf::analyzeNetwork(cfg, spec, stats);
+        return topsPerWatt(np, cfg, costs);
+    };
+
+    for (std::int64_t size : {16, 32, 64}) {
+        EXPECT_GT(tops_w(HwSetting::EWS_CMS, size),
+                  tops_w(HwSetting::EWS_Base, size))
+            << "size " << size;
+        EXPECT_GT(tops_w(HwSetting::WS_CMS, size),
+                  tops_w(HwSetting::WS_Base, size))
+            << "size " << size;
+    }
+
+    // Paper headline: EWS-CMS 64x64 is ~2.3x the EWS baseline.
+    const double gain = tops_w(HwSetting::EWS_CMS, 64)
+        / tops_w(HwSetting::EWS_Base, 64);
+    EXPECT_GT(gain, 1.5);
+    EXPECT_LT(gain, 3.5);
+}
+
+TEST(Efficiency, PowerBreakdownPositive)
+{
+    perf::WorkloadStats stats;
+    sim::AccelConfig cfg = makeHwSetting(HwSetting::EWS_Base, 32);
+    perf::NetworkPerf np =
+        perf::analyzeNetwork(cfg, models::resnet18Spec(), stats);
+    EnergyCosts costs;
+    PowerBreakdown p = powerBreakdown(np, cfg, costs);
+    EXPECT_GT(p.accel_mw, 0.0);
+    EXPECT_GT(p.l1_mw, 0.0);
+    EXPECT_GT(p.l2_mw, 0.0);
+    EXPECT_GT(p.other_mw, 0.0);
+    EXPECT_NEAR(p.total_mw(),
+                p.accel_mw + p.l1_mw + p.l2_mw + p.other_mw, 1e-12);
+}
+
+TEST(Efficiency, DataAccessReductionFromCompression)
+{
+    // Fig. 15's quantity: total data-access energy ratio, dominated by
+    // DRAM weight traffic.
+    perf::WorkloadStats stats;
+    EnergyCosts costs;
+    models::ModelSpec spec = models::resnet18Spec();
+    perf::NetworkPerf base = perf::analyzeNetwork(
+        makeHwSetting(HwSetting::EWS_Base, 32), spec, stats);
+    perf::NetworkPerf cms = perf::analyzeNetwork(
+        makeHwSetting(HwSetting::EWS_CMS, 32), spec, stats);
+    const double reduction = dataAccessEnergy(base, costs)
+        / dataAccessEnergy(cms, costs);
+    EXPECT_GT(reduction, 1.5);
+    EXPECT_LT(reduction, 6.0);
+}
+
+} // namespace
+} // namespace mvq::energy

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Codebook fine-tuning tests: the masked gradient aggregation of Eq. 6
+ * on a hand example, and end-to-end accuracy recovery on a compressed
+ * classifier.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/finetune.hpp"
+#include "core/pipeline.hpp"
+#include "models/mini_models.hpp"
+#include "nn/network.hpp"
+
+namespace mvq::core {
+namespace {
+
+TEST(AggregateGrad, MaskedHandExample)
+{
+    // Two subvectors assigned to codeword 0; masks as in paper Fig. 5.
+    Tensor grad(Shape({2, 4}));
+    grad.at(0, 0) = 0.3f;
+    grad.at(0, 1) = -0.1f;
+    grad.at(0, 2) = 9.0f; // pruned: must be ignored
+    grad.at(0, 3) = 9.0f; // pruned: must be ignored
+    grad.at(1, 0) = 9.0f; // pruned
+    grad.at(1, 1) = 0.1f;
+    grad.at(1, 2) = 0.2f;
+    grad.at(1, 3) = -0.4f;
+    Mask mask = {1, 1, 0, 0, 0, 1, 1, 1};
+    std::vector<std::int32_t> assign = {0, 0};
+
+    Tensor g = aggregateCodewordGrad(grad, mask, assign, 2, true);
+    EXPECT_FLOAT_EQ(g.at(0, 0), 0.3f);                  // only sub 0
+    EXPECT_FLOAT_EQ(g.at(0, 1), (-0.1f + 0.1f) / 2.0f); // both
+    EXPECT_FLOAT_EQ(g.at(0, 2), 0.2f);                  // only sub 1
+    EXPECT_FLOAT_EQ(g.at(0, 3), -0.4f);
+    // Codeword 1 received nothing.
+    for (std::int64_t t = 0; t < 4; ++t)
+        EXPECT_FLOAT_EQ(g.at(1, t), 0.0f);
+}
+
+TEST(AggregateGrad, UnmaskedAveragesEverything)
+{
+    Tensor grad(Shape({2, 2}));
+    grad.at(0, 0) = 1.0f;
+    grad.at(0, 1) = 2.0f;
+    grad.at(1, 0) = 3.0f;
+    grad.at(1, 1) = 4.0f;
+    Mask mask = {1, 0, 0, 1}; // ignored when masked = false
+    std::vector<std::int32_t> assign = {0, 0};
+    Tensor g = aggregateCodewordGrad(grad, mask, assign, 1, false);
+    EXPECT_FLOAT_EQ(g.at(0, 0), 2.0f);
+    EXPECT_FLOAT_EQ(g.at(0, 1), 3.0f);
+}
+
+TEST(Finetune, RecoversAccuracyAfterClustering)
+{
+    nn::ClassificationConfig dc;
+    dc.classes = 6;
+    dc.size = 12;
+    dc.train_count = 360;
+    dc.test_count = 120;
+    nn::ClassificationDataset data(dc);
+
+    models::MiniConfig mc;
+    mc.classes = 6;
+    mc.width = 8;
+    auto net = models::miniResNet18(mc);
+    nn::TrainConfig tc;
+    tc.epochs = 3;
+    nn::trainClassifier(*net, data, tc);
+
+    MvqLayerConfig lc;
+    lc.k = 64;
+    lc.d = 8;
+    lc.pattern = NmPattern{2, 8};
+    auto targets = compressibleConvs(*net, lc, true);
+    SrSteConfig sc;
+    sc.pattern = lc.pattern;
+    sc.d = lc.d;
+    sc.train.epochs = 1;
+    srSteTrain(*net, targets, data, sc);
+
+    ClusterOptions opts;
+    CompressedModel cm = clusterLayers(targets, lc, opts);
+    cm.applyTo(*net);
+    const double acc_before =
+        nn::evalClassifier(*net, data, data.testSet());
+
+    FinetuneConfig fc;
+    fc.epochs = 2;
+    const double acc_after =
+        finetuneCompressedClassifier(cm, *net, data, fc);
+
+    EXPECT_GT(acc_after, acc_before - 1e-9)
+        << "fine-tuning should not hurt";
+    EXPECT_GT(acc_after, 50.0);
+
+    // Codebooks stayed on the int8 grid.
+    for (const auto &cb : cm.codebooks) {
+        ASSERT_EQ(cb.qbits, 8);
+        for (std::int64_t i = 0; i < cb.codewords.numel(); ++i) {
+            const float q = cb.codewords[i] / cb.scale;
+            EXPECT_NEAR(q, std::round(q), 1e-3f);
+        }
+    }
+
+    // Model weights equal the reconstruction of the tuned codebooks.
+    for (std::size_t i = 0; i < cm.layers.size(); ++i) {
+        Tensor recon = cm.reconstructLayer(i);
+        EXPECT_FLOAT_EQ(maxAbsDiff(recon, targets[i]->weight().value),
+                        0.0f);
+    }
+}
+
+TEST(Finetune, MaskedGradientsPreserveSparsity)
+{
+    nn::ClassificationConfig dc;
+    dc.classes = 4;
+    dc.size = 12;
+    dc.train_count = 120;
+    dc.test_count = 40;
+    nn::ClassificationDataset data(dc);
+
+    models::MiniConfig mc;
+    mc.classes = 4;
+    mc.width = 8;
+    auto net = models::miniResNet18(mc);
+
+    MvqLayerConfig lc;
+    lc.k = 32;
+    lc.d = 16;
+    lc.pattern = NmPattern{4, 16};
+    auto targets = compressibleConvs(*net, lc, true);
+    oneShotPrune(targets, lc.pattern, lc.d, lc.grouping);
+    ClusterOptions opts;
+    CompressedModel cm = clusterLayers(targets, lc, opts);
+
+    FinetuneConfig fc;
+    fc.epochs = 1;
+    finetuneCompressedClassifier(cm, *net, data, fc);
+
+    // Pruned positions stay exactly zero after fine-tuning.
+    for (std::size_t i = 0; i < cm.layers.size(); ++i) {
+        const Mask mask = cm.layers[i].decodeMask();
+        Tensor wr = groupWeights(targets[i]->weight().value, lc.d,
+                                 lc.grouping);
+        for (std::int64_t j = 0; j < wr.numel(); ++j) {
+            if (!mask[static_cast<std::size_t>(j)]) {
+                EXPECT_FLOAT_EQ(wr[j], 0.0f);
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace mvq::core

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Grouping strategy tests: exact round trips for all three strategies
+ * and the hardware-relevant layout property of output-channel grouping
+ * (a subvector spans d consecutive output channels).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "core/grouping.hpp"
+#include "tensor/ops.hpp"
+
+namespace mvq::core {
+namespace {
+
+Tensor
+randomKernel(Shape shape, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Tensor w(shape);
+    w.fillNormal(rng, 0.0f, 1.0f);
+    return w;
+}
+
+struct GroupCase
+{
+    Shape shape;
+    std::int64_t d;
+    Grouping g;
+};
+
+class GroupRoundTrip : public ::testing::TestWithParam<GroupCase>
+{
+};
+
+TEST_P(GroupRoundTrip, UngroupInvertsGroup)
+{
+    const GroupCase gc = GetParam();
+    Tensor w = randomKernel(gc.shape, 77);
+    Tensor wr = groupWeights(w, gc.d, gc.g);
+    EXPECT_EQ(wr.dim(0), groupCount(gc.shape, gc.d, gc.g));
+    EXPECT_EQ(wr.dim(1), gc.d);
+    Tensor back = ungroupWeights(wr, gc.shape, gc.d, gc.g);
+    EXPECT_FLOAT_EQ(maxAbsDiff(w, back), 0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, GroupRoundTrip,
+    ::testing::Values(
+        GroupCase{Shape({16, 4, 3, 3}), 9, Grouping::KernelWise},
+        GroupCase{Shape({16, 4, 3, 3}), 8, Grouping::OutputChannelWise},
+        GroupCase{Shape({32, 8, 3, 3}), 16, Grouping::OutputChannelWise},
+        GroupCase{Shape({16, 8, 3, 3}), 8, Grouping::InputChannelWise},
+        GroupCase{Shape({8, 16, 1, 1}), 8, Grouping::OutputChannelWise},
+        GroupCase{Shape({24, 6, 5, 5}), 8, Grouping::OutputChannelWise}));
+
+TEST(Grouping, OutputChannelSubvectorLayout)
+{
+    // Element t of subvector row ((k/d)*C + c)*R*S + r*S + s must be
+    // W[k0 + t, c, r, s] — d consecutive output channels (this is what
+    // lets one CRF read feed d output channels of a tile).
+    const Shape shape({16, 3, 3, 3});
+    const std::int64_t d = 8;
+    Tensor w = randomKernel(shape, 78);
+    Tensor wr = groupWeights(w, d, Grouping::OutputChannelWise);
+    for (std::int64_t k0 = 0; k0 < 16; k0 += d) {
+        for (std::int64_t c = 0; c < 3; ++c) {
+            for (std::int64_t r = 0; r < 3; ++r) {
+                for (std::int64_t s = 0; s < 3; ++s) {
+                    const std::int64_t row =
+                        ((k0 / d) * 3 + c) * 9 + r * 3 + s;
+                    for (std::int64_t t = 0; t < d; ++t) {
+                        EXPECT_FLOAT_EQ(wr.at(row, t),
+                                        w.at(k0 + t, c, r, s));
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(Grouping, KernelWiseLayout)
+{
+    const Shape shape({4, 2, 3, 3});
+    Tensor w = randomKernel(shape, 79);
+    Tensor wr = groupWeights(w, 9, Grouping::KernelWise);
+    // Row k*C + c, column r*S + s.
+    EXPECT_FLOAT_EQ(wr.at(3 * 2 + 1, 4), w.at(3, 1, 1, 1));
+}
+
+TEST(Grouping, DivisibilityChecks)
+{
+    Tensor w = randomKernel(Shape({10, 4, 3, 3}), 80);
+    EXPECT_THROW(groupWeights(w, 8, Grouping::OutputChannelWise),
+                 FatalError);
+    EXPECT_THROW(groupWeights(w, 8, Grouping::KernelWise), FatalError);
+    EXPECT_THROW(groupWeights(w, 8, Grouping::InputChannelWise),
+                 FatalError);
+}
+
+TEST(Grouping, Names)
+{
+    EXPECT_EQ(groupingName(Grouping::KernelWise), "kernel-wise");
+    EXPECT_EQ(groupingName(Grouping::OutputChannelWise),
+              "output-channel-wise");
+    EXPECT_EQ(groupingName(Grouping::InputChannelWise),
+              "input-channel-wise");
+}
+
+} // namespace
+} // namespace mvq::core

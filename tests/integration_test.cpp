@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Cross-stack integration tests: the trained-compressed-simulated loop.
+ * These assert the paper's *orderings* end to end — masked VQ preserves
+ * accuracy better than unmasked VQ at matched compression, and the
+ * co-designed accelerator wins on energy efficiency — using the same
+ * APIs the benches use.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "energy/energy_model.hpp"
+#include "models/mini_models.hpp"
+#include "nn/network.hpp"
+#include "vq/vanilla_vq.hpp"
+
+namespace mvq {
+namespace {
+
+TEST(Integration, MaskedVqBeatsUnmaskedAtMatchedCompression)
+{
+    nn::ClassificationConfig dc;
+    dc.classes = 6;
+    dc.size = 12;
+    dc.train_count = 480;
+    dc.test_count = 160;
+    nn::ClassificationDataset data(dc);
+
+    models::MiniConfig mc;
+    mc.classes = 6;
+    mc.width = 12; // 12 channels groupable at d = 4/8? use d = 4
+    mc.width = 16;
+    auto net = models::miniResNet18(mc);
+    nn::TrainConfig tc;
+    tc.epochs = 3;
+    nn::trainClassifier(*net, data, tc);
+    auto dense_snapshot = nn::snapshotParameters(*net);
+
+    // --- Case D (MVQ): prune + masked k-means + sparse reconstruct ----
+    core::MvqLayerConfig lc_d;
+    lc_d.k = 32;
+    lc_d.d = 16;
+    lc_d.pattern = core::NmPattern{4, 16};
+    auto targets = core::compressibleConvs(*net, lc_d, true);
+    core::SrSteConfig sc;
+    sc.pattern = lc_d.pattern;
+    sc.d = lc_d.d;
+    sc.train.epochs = 1;
+    core::srSteTrain(*net, targets, data, sc);
+
+    core::ClusterOptions opts;
+    auto cm_d = vq::runAblationCase(
+        vq::AblationCase::D_SparseMaskedSparse, targets, lc_d, opts);
+    cm_d.applyTo(*net);
+    core::FinetuneConfig fc;
+    fc.epochs = 1;
+    const double acc_d =
+        core::finetuneCompressedClassifier(cm_d, *net, data, fc);
+
+    // --- Case A (vanilla VQ) at a comparable ratio: k = 64, d = 8 ----
+    nn::restoreParameters(*net, dense_snapshot);
+    core::MvqLayerConfig lc_a;
+    lc_a.k = 64;
+    lc_a.d = 8;
+    auto targets_a = core::compressibleConvs(*net, lc_a, true);
+    auto cm_a = vq::runAblationCase(
+        vq::AblationCase::A_DenseCommonDense, targets_a, lc_a, opts);
+    cm_a.applyTo(*net);
+    core::FinetuneConfig fc_a = fc;
+    fc_a.masked_gradients = false;
+    const double acc_a =
+        core::finetuneCompressedClassifier(cm_a, *net, data, fc_a);
+
+    // Matched compression ratios (within 35%).
+    const double cr_d = cm_d.compressionRatio();
+    const double cr_a = cm_a.compressionRatio();
+    EXPECT_NEAR(cr_d / cr_a, 1.0, 0.35)
+        << "cr_d = " << cr_d << " cr_a = " << cr_a;
+
+    // The paper's Table 3 ordering: MVQ wins, and also cuts FLOPs.
+    EXPECT_GE(acc_d, acc_a - 3.0)
+        << "MVQ should be at least competitive (acc_d = " << acc_d
+        << ", acc_a = " << acc_a << ")";
+    EXPECT_LT(cm_d.compressedFlops(), cm_a.compressedFlops());
+}
+
+TEST(Integration, AcceleratorOrderingsAcrossSettings)
+{
+    perf::WorkloadStats stats;
+    energy::EnergyCosts costs;
+    models::ModelSpec spec = models::resnet18Spec();
+
+    auto eff = [&](sim::HwSetting s) {
+        sim::AccelConfig cfg = sim::makeHwSetting(s, 64);
+        perf::NetworkPerf np = perf::analyzeNetwork(cfg, spec, stats);
+        return energy::topsPerWatt(np, cfg, costs);
+    };
+
+    // Paper Fig. 19 ordering at 64x64:
+    // WS < WS-CMS, EWS < EWS-C <= EWS-CM <= EWS-CMS.
+    EXPECT_LT(eff(sim::HwSetting::WS_Base),
+              eff(sim::HwSetting::WS_CMS));
+    EXPECT_LT(eff(sim::HwSetting::EWS_Base),
+              eff(sim::HwSetting::EWS_C));
+    EXPECT_LE(eff(sim::HwSetting::EWS_C),
+              eff(sim::HwSetting::EWS_CM) * 1.05);
+    EXPECT_LT(eff(sim::HwSetting::EWS_CM),
+              eff(sim::HwSetting::EWS_CMS));
+    // WS suffers from L1 traffic: EWS beats WS.
+    EXPECT_LT(eff(sim::HwSetting::WS_Base),
+              eff(sim::HwSetting::EWS_Base));
+}
+
+TEST(Integration, EfficiencyGrowsWithArraySize)
+{
+    // Paper Fig. 19: efficiency improves with array size for EWS-CMS.
+    perf::WorkloadStats stats;
+    energy::EnergyCosts costs;
+    models::ModelSpec spec = models::resnet18Spec();
+    double prev = 0.0;
+    for (std::int64_t size : {16, 32, 64}) {
+        sim::AccelConfig cfg =
+            sim::makeHwSetting(sim::HwSetting::EWS_CMS, size);
+        perf::NetworkPerf np = perf::analyzeNetwork(cfg, spec, stats);
+        const double e = energy::topsPerWatt(np, cfg, costs);
+        EXPECT_GT(e, prev) << "size " << size;
+        prev = e;
+    }
+}
+
+TEST(Integration, CompressedModelRunsOnFunctionalArray)
+{
+    // Compress a real trained layer, push it through the weight loader
+    // and the sparse-tile array, and compare with the nn-layer output.
+    nn::ClassificationConfig dc;
+    dc.classes = 4;
+    dc.size = 12;
+    dc.train_count = 96;
+    dc.test_count = 32;
+    nn::ClassificationDataset data(dc);
+
+    models::MiniConfig mc;
+    mc.classes = 4;
+    mc.width = 16;
+    auto net = models::miniResNet18(mc);
+
+    core::MvqLayerConfig lc;
+    lc.k = 64;
+    lc.d = 16;
+    lc.pattern = core::NmPattern{4, 16};
+    auto targets = core::compressibleConvs(*net, lc, true);
+    core::oneShotPrune(targets, lc.pattern, lc.d, lc.grouping);
+    core::ClusterOptions opts;
+    core::CompressedModel cm = core::clusterLayers(targets, lc, opts);
+    cm.applyTo(*net);
+
+    // Pick the first compressed conv and run it both ways.
+    nn::Conv2d *conv = targets[0];
+    const auto &ccfg = conv->config();
+    Rng rng(211);
+    Tensor x(Shape({1, ccfg.in_channels, 8, 8}));
+    x.fillNormal(rng, 0.0f, 1.0f);
+    Tensor ref = conv->forward(x, false);
+
+    sim::AccelConfig acfg =
+        sim::makeHwSetting(sim::HwSetting::EWS_CMS, 16);
+    sim::Counters counters;
+    sim::DecodedWeights dec = sim::decodeCompressedLayer(
+        acfg, cm.layers[0], cm.codebooks[0], counters);
+    Tensor ifmap = x.reshaped(Shape({ccfg.in_channels, 8, 8}));
+    sim::LayerRun run = sim::SystolicArray(acfg).runConv(
+        ifmap, dec, ccfg.stride, ccfg.pad);
+
+    Tensor ref3 = ref.reshaped(run.ofmap.shape());
+    EXPECT_LT(maxAbsDiff(run.ofmap, ref3), 1e-3f);
+}
+
+} // namespace
+} // namespace mvq

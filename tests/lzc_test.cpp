@@ -1,0 +1,73 @@
+/**
+ * @file
+ * LZC cascade tests: exhaustive agreement with sorted set-bit positions
+ * for all 8-bit masks, N:M mask behaviour, and cascade cost accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.hpp"
+#include "sim/lzc.hpp"
+
+namespace mvq::sim {
+namespace {
+
+TEST(Lzc, FirstSetBit)
+{
+    EXPECT_EQ(lzcFirstSet(0), -1);
+    EXPECT_EQ(lzcFirstSet(1), 0);
+    EXPECT_EQ(lzcFirstSet(0b1000), 3);
+    EXPECT_EQ(lzcFirstSet(0b1010), 1);
+}
+
+TEST(Lzc, ExhaustiveEightBitMasks)
+{
+    // For every 8-bit mask, the cascade must emit the set-bit positions
+    // in ascending order, padded with -1.
+    for (int m = 0; m < 256; ++m) {
+        std::vector<std::uint8_t> bits(8);
+        std::vector<int> expected;
+        for (int i = 0; i < 8; ++i) {
+            bits[static_cast<std::size_t>(i)] =
+                static_cast<std::uint8_t>((m >> i) & 1);
+            if ((m >> i) & 1)
+                expected.push_back(i);
+        }
+        const auto out = lzcEncode(bits, 8);
+        ASSERT_EQ(out.size(), 8u);
+        for (std::size_t i = 0; i < 8; ++i) {
+            if (i < expected.size())
+                EXPECT_EQ(out[i], expected[i]) << "mask " << m;
+            else
+                EXPECT_EQ(out[i], -1) << "mask " << m;
+        }
+    }
+}
+
+TEST(Lzc, CascadeDepthLimitsOutputs)
+{
+    std::vector<std::uint8_t> bits = {1, 1, 1, 1, 0, 0, 0, 0};
+    const auto out = lzcEncode(bits, 2);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], 0);
+    EXPECT_EQ(out[1], 1);
+}
+
+TEST(Lzc, SixteenBitNmMask)
+{
+    // A 4:16 mask: the hardware uses Q = 4 cascade stages.
+    std::vector<std::uint8_t> bits(16, 0);
+    bits[2] = bits[7] = bits[9] = bits[15] = 1;
+    const auto out = lzcEncode(bits, 4);
+    EXPECT_EQ(out, (std::vector<int>{2, 7, 9, 15}));
+}
+
+TEST(Lzc, CascadeCost)
+{
+    const LzcCost cost = lzcCascadeCost(16, 4);
+    EXPECT_EQ(cost.units, 4);
+    EXPECT_EQ(cost.bits_per_unit, 4); // log2(16)
+}
+
+} // namespace
+} // namespace mvq::sim

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Mask codec tests: encode/decode bijection over every legal mask and
+ * the storage-cost arithmetic the paper's Section 5 relies on
+ * (4:16 -> 11 bits per 16 weights, 1:2 -> 1 per 2, 2:4 -> 3 per 4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "common/math_util.hpp"
+#include "core/mask_codec.hpp"
+
+namespace mvq::core {
+namespace {
+
+class CodecSweep : public ::testing::TestWithParam<NmPattern>
+{
+};
+
+TEST_P(CodecSweep, RoundTripAllCodes)
+{
+    const MaskCodec codec(GetParam());
+    for (std::uint32_t code = 0; code < codec.codeCount(); ++code) {
+        const auto bits = codec.decodeGroup(code);
+        ASSERT_EQ(bits.size(),
+                  static_cast<std::size_t>(GetParam().m));
+        int set = 0;
+        for (auto b : bits)
+            set += b;
+        ASSERT_EQ(set, GetParam().n);
+        EXPECT_EQ(codec.encodeGroup(bits.data()), code);
+    }
+}
+
+TEST_P(CodecSweep, LutMatchesDecode)
+{
+    const MaskCodec codec(GetParam());
+    ASSERT_EQ(codec.lut().size(), codec.codeCount());
+    for (std::uint32_t code = 0; code < codec.codeCount(); ++code) {
+        const auto bits = codec.decodeGroup(code);
+        std::uint32_t word = 0;
+        for (int i = 0; i < GetParam().m; ++i) {
+            if (bits[static_cast<std::size_t>(i)])
+                word |= 1u << i;
+        }
+        EXPECT_EQ(codec.lut()[code], word);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, CodecSweep,
+    ::testing::Values(NmPattern{1, 2}, NmPattern{2, 4}, NmPattern{4, 16},
+                      NmPattern{1, 4}, NmPattern{3, 16}, NmPattern{2, 8},
+                      NmPattern{6, 16}));
+
+TEST(MaskCodec, PaperStorageCosts)
+{
+    // Section 5 / Section 6.2 numbers.
+    EXPECT_EQ(MaskCodec(NmPattern{4, 16}).bitsPerGroup(), 11);
+    EXPECT_NEAR(MaskCodec(NmPattern{4, 16}).bitsPerWeight(), 11.0 / 16.0,
+                1e-12);
+    EXPECT_EQ(MaskCodec(NmPattern{1, 2}).bitsPerGroup(), 1);
+    EXPECT_NEAR(MaskCodec(NmPattern{1, 2}).bitsPerWeight(), 0.5, 1e-12);
+    EXPECT_EQ(MaskCodec(NmPattern{2, 4}).bitsPerGroup(), 3);
+    EXPECT_NEAR(MaskCodec(NmPattern{2, 4}).bitsPerWeight(), 0.75, 1e-12);
+    // The 2:4-vs-1:2 gap quoted in Section 6.2: 0.25 bit/weight.
+    EXPECT_NEAR(MaskCodec(NmPattern{2, 4}).bitsPerWeight()
+                    - MaskCodec(NmPattern{1, 2}).bitsPerWeight(),
+                0.25, 1e-12);
+}
+
+TEST(MaskCodec, DegeneratePatternCostsZero)
+{
+    // 1:1 = vanilla VQ (no pruning): C(1,1) = 1 -> 0 bits.
+    const MaskCodec codec(NmPattern{1, 1});
+    EXPECT_EQ(codec.codeCount(), 1u);
+    EXPECT_EQ(codec.bitsPerGroup(), 0);
+    EXPECT_DOUBLE_EQ(codec.bitsPerWeight(), 0.0);
+    const auto bits = codec.decodeGroup(0);
+    EXPECT_EQ(bits.size(), 1u);
+    EXPECT_EQ(bits[0], 1);
+}
+
+TEST(MaskCodec, SubvectorRoundTrip)
+{
+    const NmPattern p{2, 4};
+    const MaskCodec codec(p);
+    const std::int64_t d = 16;
+    // A legal 2:4 mask over d = 16: 4 groups.
+    std::vector<std::uint8_t> mask = {1, 0, 1, 0,  0, 1, 1, 0,
+                                      0, 0, 1, 1,  1, 1, 0, 0};
+    const auto codes = codec.encodeSubvector(mask.data(), d);
+    EXPECT_EQ(codes.size(), 4u);
+    EXPECT_EQ(codec.decodeSubvector(codes), mask);
+}
+
+TEST(MaskCodec, RejectsIllegalGroups)
+{
+    const MaskCodec codec(NmPattern{2, 4});
+    std::vector<std::uint8_t> wrong = {1, 1, 1, 0}; // 3 set bits
+    EXPECT_THROW(codec.encodeGroup(wrong.data()), FatalError);
+    EXPECT_THROW(codec.decodeGroup(6), FatalError); // C(4,2) = 6 codes
+}
+
+} // namespace
+} // namespace mvq::core

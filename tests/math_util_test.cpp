@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Unit and property tests for the combinatorial helpers that back the
+ * mask codec and the storage accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "common/math_util.hpp"
+
+namespace mvq {
+namespace {
+
+TEST(MathUtil, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(10, 5), 2);
+    EXPECT_EQ(ceilDiv(11, 5), 3);
+    EXPECT_EQ(ceilDiv(1, 64), 1);
+    EXPECT_EQ(ceilDiv(64, 64), 1);
+    EXPECT_EQ(ceilDiv(65, 64), 2);
+}
+
+TEST(MathUtil, Log2Ceil)
+{
+    EXPECT_EQ(log2Ceil(1), 0);
+    EXPECT_EQ(log2Ceil(2), 1);
+    EXPECT_EQ(log2Ceil(3), 2);
+    EXPECT_EQ(log2Ceil(512), 9);
+    EXPECT_EQ(log2Ceil(513), 10);
+    EXPECT_EQ(log2Ceil(1820), 11); // C(16,4): the 4:16 mask code width
+    EXPECT_THROW(log2Ceil(0), FatalError);
+}
+
+TEST(MathUtil, IsPow2)
+{
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(64));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_FALSE(isPow2(63));
+}
+
+TEST(MathUtil, BinomialKnownValues)
+{
+    EXPECT_EQ(binomial(2, 1), 2u);
+    EXPECT_EQ(binomial(4, 2), 6u);
+    EXPECT_EQ(binomial(16, 4), 1820u);
+    EXPECT_EQ(binomial(16, 8), 12870u);
+    EXPECT_EQ(binomial(16, 0), 1u);
+    EXPECT_EQ(binomial(3, 5), 0u);
+}
+
+TEST(MathUtil, BinomialPascalIdentity)
+{
+    for (int n = 1; n <= 20; ++n) {
+        for (int k = 1; k < n; ++k) {
+            EXPECT_EQ(binomial(n, k),
+                      binomial(n - 1, k - 1) + binomial(n - 1, k))
+                << "n=" << n << " k=" << k;
+        }
+    }
+}
+
+/** Rank/unrank must be a bijection over all C(n,k) combinations. */
+class CombinationRoundTrip
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(CombinationRoundTrip, Bijection)
+{
+    const auto [n, k] = GetParam();
+    const std::uint64_t count = binomial(n, k);
+    std::vector<bool> seen(count, false);
+    for (std::uint64_t rank = 0; rank < count; ++rank) {
+        const auto members = combinationUnrank(n, k, rank);
+        ASSERT_EQ(members.size(), static_cast<std::size_t>(k));
+        for (std::size_t i = 1; i < members.size(); ++i)
+            ASSERT_LT(members[i - 1], members[i]);
+        ASSERT_GE(members.front(), 0);
+        ASSERT_LT(members.back(), n);
+        const std::uint64_t back = combinationRank(n, members);
+        EXPECT_EQ(back, rank);
+        ASSERT_FALSE(seen[back]);
+        seen[back] = true;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, CombinationRoundTrip,
+    ::testing::Values(std::make_pair(2, 1), std::make_pair(4, 2),
+                      std::make_pair(8, 2), std::make_pair(8, 4),
+                      std::make_pair(16, 4), std::make_pair(16, 2),
+                      std::make_pair(16, 6), std::make_pair(12, 3)));
+
+TEST(MathUtil, CombinationUnrankRejectsOutOfRange)
+{
+    EXPECT_THROW(combinationUnrank(4, 2, 6), FatalError);
+}
+
+TEST(MathUtil, Mean)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({2.0, 4.0}), 3.0);
+}
+
+} // namespace
+} // namespace mvq

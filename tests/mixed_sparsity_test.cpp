@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Mixed layerwise N:M search tests: budget attainment, the guarantee of
+ * removing no more magnitude than uniform pruning at the same budget,
+ * and bound handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "core/mixed_sparsity.hpp"
+#include "nn/network.hpp"
+
+namespace mvq::core {
+namespace {
+
+/** Two conv layers with very different magnitude scales. */
+struct Fixture
+{
+    nn::Sequential net{"net"};
+    std::vector<nn::Conv2d *> targets;
+
+    Fixture()
+    {
+        Rng rng(231);
+        nn::Conv2dConfig c1{8, 32, 3, 1, 1, 1, false};
+        auto *a = net.add<nn::Conv2d>("a", c1, rng);
+        nn::Conv2dConfig c2{8, 32, 3, 1, 1, 1, false};
+        auto *b = net.add<nn::Conv2d>("b", c2, rng);
+        // Layer b has 10x smaller weights: it should absorb sparsity.
+        Tensor wb = b->weight().value;
+        scaleInPlace(wb, 0.1f);
+        b->setWeight(wb);
+        targets = {a, b};
+    }
+};
+
+TEST(MixedSparsity, HitsGlobalBudget)
+{
+    Fixture f;
+    const auto res = chooseLayerwisePatterns(f.targets, 16, 0.75, 16,
+                                             Grouping::OutputChannelWise);
+    ASSERT_EQ(res.patterns.size(), 2u);
+    EXPECT_NEAR(res.achieved_sparsity, 0.75, 0.05);
+    for (const auto &p : res.patterns) {
+        EXPECT_GE(p.n, 1);
+        EXPECT_LE(p.n, 16);
+    }
+}
+
+TEST(MixedSparsity, SmallMagnitudeLayerPrunedHarder)
+{
+    Fixture f;
+    const auto res = chooseLayerwisePatterns(f.targets, 16, 0.5, 16,
+                                             Grouping::OutputChannelWise);
+    // Layer b (10x smaller weights) must end up at least as sparse.
+    EXPECT_LE(res.patterns[1].n, res.patterns[0].n);
+}
+
+TEST(MixedSparsity, BeatsUniformOnRemovedMagnitude)
+{
+    Fixture f;
+    const double target = 0.75;
+    const auto mixed = chooseLayerwisePatterns(
+        f.targets, 16, target, 16, Grouping::OutputChannelWise);
+    const double uniform = uniformPrunedMagnitude(
+        f.targets, NmPattern{4, 16}, 16, Grouping::OutputChannelWise);
+    // Same global budget (4:16 == 75%), less magnitude removed.
+    EXPECT_NEAR(mixed.achieved_sparsity, target, 0.05);
+    EXPECT_LE(mixed.pruned_magnitude, uniform + 1e-6);
+}
+
+TEST(MixedSparsity, UniformWeightsGiveUniformPatterns)
+{
+    // When both layers have identical scale the greedy search should
+    // land near the uniform solution.
+    Rng rng(232);
+    nn::Sequential net("net");
+    nn::Conv2dConfig cc{8, 32, 3, 1, 1, 1, false};
+    auto *a = net.add<nn::Conv2d>("a", cc, rng);
+    auto *b = net.add<nn::Conv2d>("b", cc, rng);
+    const auto res = chooseLayerwisePatterns(
+        {a, b}, 16, 0.75, 16, Grouping::OutputChannelWise);
+    EXPECT_NEAR(res.patterns[0].n, res.patterns[1].n, 1);
+}
+
+TEST(MixedSparsity, MinNFloorRespected)
+{
+    Fixture f;
+    const auto res = chooseLayerwisePatterns(
+        f.targets, 16, 0.95, 16, Grouping::OutputChannelWise, 2);
+    for (const auto &p : res.patterns)
+        EXPECT_GE(p.n, 2);
+}
+
+TEST(MixedSparsity, RejectsBadInputs)
+{
+    Fixture f;
+    EXPECT_THROW(chooseLayerwisePatterns(
+                     {}, 16, 0.5, 16, Grouping::OutputChannelWise),
+                 FatalError);
+    EXPECT_THROW(chooseLayerwisePatterns(
+                     f.targets, 16, 1.5, 16,
+                     Grouping::OutputChannelWise),
+                 FatalError);
+}
+
+} // namespace
+} // namespace mvq::core

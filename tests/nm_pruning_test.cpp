@@ -1,0 +1,98 @@
+/**
+ * @file
+ * N:M pruning tests: the keep-N-of-M invariant, magnitude selection,
+ * and sparsity accounting across patterns.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "core/nm_pruning.hpp"
+
+namespace mvq::core {
+namespace {
+
+class NmPatternSweep : public ::testing::TestWithParam<NmPattern>
+{
+};
+
+TEST_P(NmPatternSweep, MaskKeepsExactlyNPerGroup)
+{
+    const NmPattern p = GetParam();
+    const std::int64_t d = 16;
+    ASSERT_EQ(d % p.m, 0);
+    Rng rng(91);
+    Tensor wr(Shape({64, d}));
+    wr.fillNormal(rng, 0.0f, 1.0f);
+    Mask mask = nmMask(wr, p);
+    EXPECT_NO_THROW(checkNmInvariant(mask, d, p));
+    EXPECT_NEAR(maskSparsity(mask), p.sparsity(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, NmPatternSweep,
+    ::testing::Values(NmPattern{1, 2}, NmPattern{2, 4}, NmPattern{4, 16},
+                      NmPattern{3, 16}, NmPattern{6, 16}, NmPattern{8, 16},
+                      NmPattern{1, 1}, NmPattern{2, 8}, NmPattern{1, 4}));
+
+TEST(NmPruning, KeepsLargestMagnitudes)
+{
+    Tensor wr(Shape({1, 8}));
+    const float vals[8] = {0.1f, -0.9f, 0.2f, 0.05f,
+                           -0.3f, 0.8f, -0.02f, 0.4f};
+    for (int i = 0; i < 8; ++i)
+        wr[i] = vals[i];
+    // 2:4 within groups {0..3} and {4..7}.
+    Mask mask = nmMask(wr, NmPattern{2, 4});
+    // Group 1: keep |-0.9| and |0.2|.
+    EXPECT_EQ(mask[0], 0);
+    EXPECT_EQ(mask[1], 1);
+    EXPECT_EQ(mask[2], 1);
+    EXPECT_EQ(mask[3], 0);
+    // Group 2: keep |0.8| and |0.4|.
+    EXPECT_EQ(mask[4], 0);
+    EXPECT_EQ(mask[5], 1);
+    EXPECT_EQ(mask[6], 0);
+    EXPECT_EQ(mask[7], 1);
+}
+
+TEST(NmPruning, ApplyMaskZeroesPruned)
+{
+    Rng rng(92);
+    Tensor wr(Shape({32, 16}));
+    wr.fillNormal(rng, 0.5f, 1.0f);
+    Mask mask = nmMask(wr, NmPattern{4, 16});
+    applyMask(wr, mask);
+    EXPECT_EQ(wr.countZeros(), 32 * 12);
+    // Surviving weights untouched: re-deriving the mask keeps them.
+    Mask again = nmMask(wr, NmPattern{4, 16});
+    EXPECT_EQ(mask, again);
+}
+
+TEST(NmPruning, PatternHelpers)
+{
+    NmPattern p{4, 16};
+    EXPECT_DOUBLE_EQ(p.keepFraction(), 0.25);
+    EXPECT_DOUBLE_EQ(p.sparsity(), 0.75);
+    EXPECT_EQ(p.str(), "4:16");
+}
+
+TEST(NmPruning, RejectsBadInputs)
+{
+    Tensor wr(Shape({4, 6}));
+    EXPECT_THROW(nmMask(wr, NmPattern{2, 4}), FatalError); // 6 % 4 != 0
+    EXPECT_THROW(nmMask(wr, NmPattern{5, 3}), FatalError); // N > M
+    Tensor bad(Shape({4, 6, 1, 1}));
+    EXPECT_THROW(nmMask(bad, NmPattern{1, 2}), FatalError); // rank
+}
+
+TEST(NmPruning, InvariantDetectsViolations)
+{
+    Mask mask(16, 0);
+    mask[0] = 1; // only 1 kept in a 4:16 group
+    EXPECT_THROW(checkNmInvariant(mask, 16, NmPattern{4, 16}),
+                 PanicError);
+}
+
+} // namespace
+} // namespace mvq::core

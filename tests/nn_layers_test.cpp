@@ -1,0 +1,375 @@
+/**
+ * @file
+ * Layer-level tests: convolution against a naive reference and numerical
+ * gradient checks for every differentiable layer — the foundation the
+ * masked-gradient fine-tuning correctness rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "nn/network.hpp"
+#include "nn/pooling.hpp"
+#include "nn/reshape.hpp"
+#include "nn/residual.hpp"
+#include "nn/upsample.hpp"
+
+namespace mvq::nn {
+namespace {
+
+/** Naive direct convolution reference. */
+Tensor
+convReference(const Tensor &x, const Tensor &w, std::int64_t stride,
+              std::int64_t pad, std::int64_t groups)
+{
+    const std::int64_t n = x.dim(0);
+    const std::int64_t c = x.dim(1);
+    const std::int64_t k = w.dim(0);
+    const std::int64_t cg = w.dim(1);
+    const std::int64_t r = w.dim(2);
+    const std::int64_t oh = (x.dim(2) + 2 * pad - r) / stride + 1;
+    const std::int64_t ow = (x.dim(3) + 2 * pad - r) / stride + 1;
+    const std::int64_t kg = k / groups;
+    Tensor out(Shape({n, k, oh, ow}));
+    for (std::int64_t b = 0; b < n; ++b) {
+        for (std::int64_t ko = 0; ko < k; ++ko) {
+            const std::int64_t g = ko / kg;
+            for (std::int64_t y = 0; y < oh; ++y) {
+                for (std::int64_t xx = 0; xx < ow; ++xx) {
+                    float acc = 0.0f;
+                    for (std::int64_t ci = 0; ci < cg; ++ci) {
+                        const std::int64_t cin = g * cg + ci;
+                        if (cin >= c)
+                            continue;
+                        for (std::int64_t ry = 0; ry < r; ++ry) {
+                            const std::int64_t iy =
+                                y * stride - pad + ry;
+                            if (iy < 0 || iy >= x.dim(2))
+                                continue;
+                            for (std::int64_t rx = 0; rx < r; ++rx) {
+                                const std::int64_t ix =
+                                    xx * stride - pad + rx;
+                                if (ix < 0 || ix >= x.dim(3))
+                                    continue;
+                                acc += x.at(b, cin, iy, ix)
+                                    * w.at(ko, ci, ry, rx);
+                            }
+                        }
+                    }
+                    out.at(b, ko, y, xx) = acc;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+struct ConvCase
+{
+    std::int64_t in_c, out_c, kernel, stride, pad, groups, hw;
+};
+
+class ConvForward : public ::testing::TestWithParam<ConvCase>
+{
+};
+
+TEST_P(ConvForward, MatchesNaiveReference)
+{
+    const ConvCase cc = GetParam();
+    Rng rng(21);
+    Conv2dConfig cfg{cc.in_c, cc.out_c, cc.kernel, cc.stride, cc.pad,
+                     cc.groups, false};
+    Conv2d conv("conv", cfg, rng);
+    Tensor x(Shape({2, cc.in_c, cc.hw, cc.hw}));
+    x.fillNormal(rng, 0.0f, 1.0f);
+    Tensor out = conv.forward(x, false);
+    Tensor ref = convReference(x, conv.weight().value, cc.stride, cc.pad,
+                               cc.groups);
+    EXPECT_EQ(out.shape(), ref.shape());
+    EXPECT_LT(maxAbsDiff(out, ref), 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ConvForward,
+    ::testing::Values(ConvCase{3, 8, 3, 1, 1, 1, 6},
+                      ConvCase{4, 8, 3, 2, 1, 1, 7},
+                      ConvCase{8, 16, 1, 1, 0, 1, 5},
+                      ConvCase{6, 6, 3, 1, 1, 6, 6},  // depthwise
+                      ConvCase{8, 12, 3, 1, 1, 2, 6}, // grouped
+                      ConvCase{3, 4, 5, 2, 2, 1, 9}));
+
+/**
+ * Central-difference gradient check of a scalar function of the layer
+ * output w.r.t. inputs and parameters.
+ */
+void
+checkGradients(Layer &layer, Tensor x, float tol = 2e-2f)
+{
+    Rng rng(33);
+    // Random projection makes a scalar loss: L = <out, v>.
+    Tensor out = layer.forward(x, true);
+    Tensor v(out.shape());
+    v.fillNormal(rng, 0.0f, 1.0f);
+
+    layer.zeroGrad();
+    layer.forward(x, true);
+    Tensor gin = layer.backward(v);
+
+    const float eps = 1e-2f;
+    auto loss_at = [&](const Tensor &xx) {
+        Tensor o = layer.forward(xx, true);
+        double s = 0.0;
+        for (std::int64_t i = 0; i < o.numel(); ++i)
+            s += static_cast<double>(o[i]) * v[i];
+        return s;
+    };
+
+    // Input gradient at a sample of positions.
+    for (std::int64_t i = 0; i < std::min<std::int64_t>(x.numel(), 12);
+         ++i) {
+        const std::int64_t idx = (i * 7919) % x.numel();
+        Tensor xp = x;
+        Tensor xm = x;
+        xp[idx] += eps;
+        xm[idx] -= eps;
+        const double num = (loss_at(xp) - loss_at(xm)) / (2.0 * eps);
+        EXPECT_NEAR(gin[idx], num, tol * std::max(1.0, std::fabs(num)))
+            << "input grad at " << idx;
+    }
+
+    // Parameter gradients at a sample of positions.
+    for (Parameter *p : layer.parameters()) {
+        layer.zeroGrad();
+        layer.forward(x, true);
+        layer.backward(v);
+        Tensor analytic = p->grad;
+        for (std::int64_t i = 0;
+             i < std::min<std::int64_t>(p->value.numel(), 8); ++i) {
+            const std::int64_t idx = (i * 104729) % p->value.numel();
+            const float orig = p->value[idx];
+            p->value[idx] = orig + eps;
+            const double lp = loss_at(x);
+            p->value[idx] = orig - eps;
+            const double lm = loss_at(x);
+            p->value[idx] = orig;
+            const double num = (lp - lm) / (2.0 * eps);
+            EXPECT_NEAR(analytic[idx], num,
+                        tol * std::max(1.0, std::fabs(num)))
+                << p->name << " grad at " << idx;
+        }
+    }
+}
+
+TEST(Gradients, Conv2d)
+{
+    Rng rng(41);
+    Conv2dConfig cfg{3, 6, 3, 1, 1, 1, true};
+    Conv2d conv("c", cfg, rng);
+    Tensor x(Shape({2, 3, 5, 5}));
+    x.fillNormal(rng, 0.0f, 1.0f);
+    checkGradients(conv, x);
+}
+
+TEST(Gradients, Conv2dStridedGrouped)
+{
+    Rng rng(42);
+    Conv2dConfig cfg{4, 8, 3, 2, 1, 2, false};
+    Conv2d conv("c", cfg, rng);
+    Tensor x(Shape({2, 4, 7, 7}));
+    x.fillNormal(rng, 0.0f, 1.0f);
+    checkGradients(conv, x);
+}
+
+TEST(Gradients, Linear)
+{
+    Rng rng(43);
+    Linear lin("l", 10, 7, rng);
+    Tensor x(Shape({4, 10}));
+    x.fillNormal(rng, 0.0f, 1.0f);
+    checkGradients(lin, x);
+}
+
+TEST(Gradients, ReLUAndReLU6)
+{
+    Rng rng(44);
+    ReLU relu("r");
+    Tensor x(Shape({3, 4, 2, 2}));
+    x.fillNormal(rng, 0.0f, 2.0f);
+    checkGradients(relu, x);
+    ReLU relu6("r6", true);
+    checkGradients(relu6, x);
+}
+
+TEST(Gradients, MaxPoolAvgPoolGap)
+{
+    Rng rng(45);
+    Tensor x(Shape({2, 3, 6, 6}));
+    x.fillNormal(rng, 0.0f, 1.0f);
+    MaxPool2d mp("mp", 2, 2);
+    checkGradients(mp, x);
+    AvgPool2d ap("ap", 2, 2);
+    checkGradients(ap, x);
+    GlobalAvgPool gap("gap");
+    checkGradients(gap, x);
+}
+
+TEST(Gradients, Upsample)
+{
+    Rng rng(46);
+    Tensor x(Shape({2, 3, 3, 3}));
+    x.fillNormal(rng, 0.0f, 1.0f);
+    UpsampleNearest up("up", 2);
+    checkGradients(up, x);
+}
+
+TEST(Gradients, BatchNormParams)
+{
+    // BN's input gradient couples all batch elements; check parameter
+    // gradients only (the input check perturbs batch statistics).
+    Rng rng(47);
+    BatchNorm2d bn("bn", 3);
+    Tensor x(Shape({4, 3, 3, 3}));
+    x.fillNormal(rng, 0.5f, 1.5f);
+
+    Tensor out = bn.forward(x, true);
+    Tensor v(out.shape());
+    v.fillNormal(rng, 0.0f, 1.0f);
+    bn.zeroGrad();
+    bn.forward(x, true);
+    bn.backward(v);
+
+    const float eps = 1e-2f;
+    for (Parameter *p : bn.parameters()) {
+        Tensor analytic = p->grad;
+        for (std::int64_t i = 0; i < p->value.numel(); ++i) {
+            const float orig = p->value[i];
+            auto loss = [&]() {
+                Tensor o = bn.forward(x, true);
+                double s = 0.0;
+                for (std::int64_t j = 0; j < o.numel(); ++j)
+                    s += static_cast<double>(o[j]) * v[j];
+                return s;
+            };
+            p->value[i] = orig + eps;
+            const double lp = loss();
+            p->value[i] = orig - eps;
+            const double lm = loss();
+            p->value[i] = orig;
+            EXPECT_NEAR(analytic[i], (lp - lm) / (2.0 * eps), 5e-2)
+                << p->name << "[" << i << "]";
+        }
+    }
+}
+
+TEST(Gradients, BatchNormInputSumsToZero)
+{
+    // For gamma-scaled BN, the per-channel input gradients of a constant
+    // upstream gradient must sum to ~0 (mean subtraction).
+    Rng rng(48);
+    BatchNorm2d bn("bn", 2);
+    Tensor x(Shape({3, 2, 4, 4}));
+    x.fillNormal(rng, 0.0f, 1.0f);
+    bn.forward(x, true);
+    Tensor g(Shape({3, 2, 4, 4}), 1.0f);
+    Tensor gin = bn.backward(g);
+    double total = 0.0;
+    for (std::int64_t i = 0; i < gin.numel(); ++i)
+        total += gin[i];
+    EXPECT_NEAR(total, 0.0, 1e-3);
+}
+
+TEST(Gradients, ResidualWithDownsample)
+{
+    Rng rng(49);
+    auto main = std::make_unique<Sequential>("m");
+    Conv2dConfig c1{4, 4, 3, 1, 1, 1, false};
+    main->add<Conv2d>("m.conv", c1, rng);
+    auto skip = std::make_unique<Sequential>("s");
+    Conv2dConfig cs{4, 4, 1, 1, 0, 1, false};
+    skip->add<Conv2d>("s.conv", cs, rng);
+    Residual res("res", std::move(main), std::move(skip), true);
+    Tensor x(Shape({2, 4, 5, 5}));
+    x.fillNormal(rng, 0.0f, 1.0f);
+    checkGradients(res, x);
+}
+
+TEST(Gradients, SoftmaxCrossEntropy)
+{
+    Rng rng(50);
+    Tensor logits(Shape({3, 5}));
+    logits.fillNormal(rng, 0.0f, 2.0f);
+    std::vector<int> labels{1, 4, 0};
+    LossResult lr = softmaxCrossEntropy(logits, labels);
+    const float eps = 1e-3f;
+    for (std::int64_t i = 0; i < logits.numel(); ++i) {
+        Tensor lp = logits;
+        Tensor lm = logits;
+        lp[i] += eps;
+        lm[i] -= eps;
+        const double num = (softmaxCrossEntropy(lp, labels).loss
+                            - softmaxCrossEntropy(lm, labels).loss)
+            / (2.0 * eps);
+        EXPECT_NEAR(lr.grad[i], num, 1e-3);
+    }
+}
+
+TEST(Layers, FlattenRoundTrip)
+{
+    Flatten f("f");
+    Tensor x(Shape({2, 3, 4, 4}), 1.5f);
+    Tensor out = f.forward(x, true);
+    EXPECT_EQ(out.shape(), Shape({2, 48}));
+    Tensor back = f.backward(out);
+    EXPECT_EQ(back.shape(), x.shape());
+}
+
+TEST(Layers, NetworkTraversal)
+{
+    Rng rng(51);
+    Sequential net("net");
+    Conv2dConfig c{3, 8, 3, 1, 1, 1, false};
+    net.add<Conv2d>("conv", c, rng);
+    net.add<BatchNorm2d>("bn", 8);
+    net.add<ReLU>("relu");
+    net.add<GlobalAvgPool>("gap");
+    net.add<Linear>("fc", 8, 4, rng);
+
+    EXPECT_EQ(convLayers(net).size(), 1u);
+    // conv weight + bn gamma/beta + fc weight/bias.
+    EXPECT_EQ(net.allParameters().size(), 5u);
+    EXPECT_GT(parameterCount(net), 0);
+
+    Tensor x(Shape({2, 3, 6, 6}));
+    x.fillNormal(rng, 0.0f, 1.0f);
+    Tensor out = net.forward(x, false);
+    EXPECT_EQ(out.shape(), Shape({2, 4}));
+    EXPECT_GT(networkFlops(net), 0);
+}
+
+TEST(Layers, SnapshotRestore)
+{
+    Rng rng(52);
+    Sequential net("net");
+    Conv2dConfig c{2, 4, 3, 1, 1, 1, false};
+    net.add<Conv2d>("conv", c, rng);
+    auto snap = snapshotParameters(net);
+    Conv2d *conv = convLayers(net)[0];
+    Tensor zeros(conv->weight().value.shape());
+    conv->setWeight(zeros);
+    EXPECT_EQ(conv->weight().value.countZeros(),
+              conv->weight().value.numel());
+    restoreParameters(net, snap);
+    EXPECT_GT(conv->weight().value.countZeros()
+                  < conv->weight().value.numel(),
+              0);
+}
+
+} // namespace
+} // namespace mvq::nn

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Training-loop tests: optimizers reduce a quadratic, a small CNN learns
+ * the synthetic classification task, and a dense-prediction net learns
+ * the segmentation task.
+ */
+
+#include <gtest/gtest.h>
+
+#include "models/mini_models.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/trainer.hpp"
+
+namespace mvq::nn {
+namespace {
+
+TEST(Optimizers, SgdMinimizesQuadratic)
+{
+    Parameter p("w", Tensor(Shape({4}), 5.0f));
+    Sgd opt(0.1f, 0.0f, 0.0f);
+    for (int i = 0; i < 200; ++i) {
+        for (std::int64_t j = 0; j < 4; ++j)
+            p.grad[j] = 2.0f * p.value[j]; // d/dw w^2
+        opt.step({&p});
+    }
+    EXPECT_LT(p.value.absMax(), 1e-3f);
+}
+
+TEST(Optimizers, AdamMinimizesQuadratic)
+{
+    Parameter p("w", Tensor(Shape({4}), 5.0f));
+    Adam opt(0.2f);
+    for (int i = 0; i < 300; ++i) {
+        for (std::int64_t j = 0; j < 4; ++j)
+            p.grad[j] = 2.0f * p.value[j];
+        opt.step({&p});
+    }
+    EXPECT_LT(p.value.absMax(), 1e-2f);
+}
+
+TEST(Optimizers, MomentumAcceleratesDescent)
+{
+    Parameter slow("a", Tensor(Shape({1}), 10.0f));
+    Parameter fast("b", Tensor(Shape({1}), 10.0f));
+    Sgd plain(0.01f, 0.0f, 0.0f);
+    Sgd heavy(0.01f, 0.9f, 0.0f);
+    for (int i = 0; i < 50; ++i) {
+        slow.grad[0] = 2.0f * slow.value[0];
+        fast.grad[0] = 2.0f * fast.value[0];
+        plain.step({&slow});
+        heavy.step({&fast});
+    }
+    EXPECT_LT(std::abs(fast.value[0]), std::abs(slow.value[0]));
+}
+
+TEST(Optimizers, WeightDecayShrinksWeights)
+{
+    Parameter p("w", Tensor(Shape({1}), 1.0f));
+    Sgd opt(0.1f, 0.0f, 0.5f);
+    for (int i = 0; i < 20; ++i) {
+        p.grad[0] = 0.0f;
+        opt.step({&p});
+    }
+    EXPECT_LT(p.value[0], 1.0f);
+    EXPECT_GT(p.value[0], 0.0f);
+}
+
+TEST(Training, MiniResNetLearnsSyntheticTask)
+{
+    ClassificationConfig dc;
+    dc.classes = 6;
+    dc.size = 12;
+    dc.train_count = 480;
+    dc.test_count = 120;
+    ClassificationDataset data(dc);
+
+    models::MiniConfig mc;
+    mc.classes = dc.classes;
+    mc.width = 8;
+    auto net = models::miniResNet18(mc);
+
+    const double before = evalClassifier(*net, data, data.testSet());
+
+    TrainConfig tc;
+    tc.epochs = 3;
+    tc.lr = 0.05f;
+    TrainStats stats = trainClassifier(*net, data, tc);
+
+    EXPECT_GT(stats.test_accuracy, before + 20.0)
+        << "training should improve well over the untrained baseline";
+    EXPECT_GT(stats.test_accuracy, 60.0);
+}
+
+TEST(Training, HooksAreInvoked)
+{
+    ClassificationConfig dc;
+    dc.classes = 3;
+    dc.size = 8;
+    dc.train_count = 60;
+    dc.test_count = 30;
+    ClassificationDataset data(dc);
+
+    models::MiniConfig mc;
+    mc.classes = dc.classes;
+    mc.width = 8;
+    auto net = models::miniVgg16(mc);
+    // miniVgg16 expects 12x12 (3x3 after two pools); use 8x8 -> 2x2:
+    // build a tiny custom head instead to match, so use resnet here.
+    auto net2 = models::miniResNet18(mc);
+
+    int before_calls = 0;
+    int after_calls = 0;
+    TrainConfig tc;
+    tc.epochs = 1;
+    tc.batch_size = 20;
+    tc.before_step = [&](Layer &) { ++before_calls; };
+    tc.after_step = [&](Layer &) { ++after_calls; };
+    trainClassifier(*net2, data, tc);
+    EXPECT_EQ(before_calls, 3); // 60 samples / batch 20
+    EXPECT_EQ(after_calls, 3);
+    (void)net;
+}
+
+TEST(Training, SegmenterLearnsSyntheticTask)
+{
+    SegmentationConfig sc;
+    sc.classes = 4;
+    sc.size = 12;
+    sc.train_count = 240;
+    sc.test_count = 60;
+    SegmentationDataset data(sc);
+
+    models::MiniConfig mc;
+    mc.classes = sc.classes;
+    mc.width = 8;
+    auto net = models::miniDeepLab(mc);
+
+    const double before =
+        evalSegmenterMiou(*net, data, data.testSet());
+
+    TrainConfig tc;
+    tc.epochs = 3;
+    tc.lr = 0.1f;
+    TrainStats stats = trainSegmenter(*net, data, tc);
+    EXPECT_GT(stats.test_accuracy, before);
+    EXPECT_GT(stats.test_accuracy, 40.0);
+}
+
+TEST(Metrics, Top1Accuracy)
+{
+    Tensor logits(Shape({3, 2}));
+    logits.at(0, 0) = 1.0f;
+    logits.at(0, 1) = 0.0f; // pred 0
+    logits.at(1, 0) = 0.0f;
+    logits.at(1, 1) = 1.0f; // pred 1
+    logits.at(2, 0) = 2.0f;
+    logits.at(2, 1) = 1.0f; // pred 0
+    EXPECT_DOUBLE_EQ(top1Accuracy(logits, {0, 1, 1}),
+                     100.0 * 2.0 / 3.0);
+}
+
+} // namespace
+} // namespace mvq::nn

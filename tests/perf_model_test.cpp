@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Cross-validation of the analytic performance model against the
+ * functional simulator: cycle counts and every traffic counter must
+ * match exactly on a grid of layer shapes. Plus network-level DRAM
+ * policy and roofline sanity.
+ */
+
+#include <gtest/gtest.h>
+
+#include "perf/network_perf.hpp"
+#include "sim/systolic_array.hpp"
+
+namespace mvq::perf {
+namespace {
+
+using sim::AccelConfig;
+using sim::HwSetting;
+using sim::makeHwSetting;
+
+struct XCase
+{
+    HwSetting setting;
+    std::int64_t array;
+    std::int64_t k, c, r, hw, stride, pad;
+};
+
+class CrossValidation : public ::testing::TestWithParam<XCase>
+{
+};
+
+TEST_P(CrossValidation, AnalyticMatchesFunctionalCounters)
+{
+    const XCase xc = GetParam();
+    AccelConfig cfg = makeHwSetting(xc.setting, 16);
+    cfg.array_h = xc.array;
+    cfg.array_l = xc.array;
+    cfg.zero_gating = false; // gating is statistical in the analytic model
+
+    Rng rng(191);
+    Tensor ifmap(Shape({xc.c, xc.hw, xc.hw}));
+    ifmap.fillNormal(rng, 0.5f, 0.2f); // no zeros
+    Tensor w(Shape({xc.k, xc.c, xc.r, xc.r}));
+    w.fillNormal(rng, 0.5f, 0.2f);
+
+    sim::LayerRun run = sim::SystolicArray(cfg).runConv(
+        ifmap, sim::wrapDenseWeights(w, 1), xc.stride, xc.pad);
+
+    models::ConvLayerSpec spec;
+    spec.name = "layer";
+    spec.out_c = xc.k;
+    spec.in_c = xc.c;
+    spec.kernel = xc.r;
+    spec.stride = xc.stride;
+    spec.pad = xc.pad;
+    spec.in_h = xc.hw;
+    spec.in_w = xc.hw;
+
+    WorkloadStats stats;
+    stats.act_zero_frac = 0.0;
+    stats.dense_weight_zero_frac = 0.0;
+    LayerPerf lp = analyzeConvLayer(cfg, spec, stats);
+
+    EXPECT_EQ(lp.ext.a, run.ext.a);
+    EXPECT_EQ(lp.ext.b, run.ext.b);
+    EXPECT_EQ(lp.ext.d, run.ext.d);
+
+    const auto &a = lp.counters;
+    const auto &f = run.counters;
+    EXPECT_EQ(a.compute_cycles, f.compute_cycles);
+    EXPECT_EQ(a.total_cycles, f.total_cycles);
+    EXPECT_EQ(a.stall_cycles, f.stall_cycles);
+    EXPECT_EQ(a.l2_read_bytes, f.l2_read_bytes);
+    EXPECT_EQ(a.l1_read_bytes, f.l1_read_bytes);
+    EXPECT_EQ(a.l1_write_bytes, f.l1_write_bytes);
+    EXPECT_EQ(a.arf_reads, f.arf_reads);
+    EXPECT_EQ(a.arf_writes, f.arf_writes);
+    EXPECT_EQ(a.prf_reads, f.prf_reads);
+    EXPECT_EQ(a.prf_writes, f.prf_writes);
+    EXPECT_EQ(a.wrf_reads, f.wrf_reads);
+    EXPECT_EQ(a.wrf_writes, f.wrf_writes);
+    EXPECT_EQ(a.crf_reads, f.crf_reads);
+    EXPECT_EQ(a.macs + a.gated_macs, f.macs + f.gated_macs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CrossValidation,
+    ::testing::Values(
+        XCase{HwSetting::EWS_Base, 8, 16, 8, 3, 6, 1, 1},
+        XCase{HwSetting::EWS_Base, 8, 32, 16, 3, 8, 2, 1},
+        XCase{HwSetting::EWS_Base, 16, 24, 12, 3, 6, 1, 1},
+        XCase{HwSetting::EWS_Base, 8, 8, 8, 1, 4, 1, 0},
+        XCase{HwSetting::EWS_Base, 8, 16, 8, 5, 9, 1, 2},
+        XCase{HwSetting::WS_Base, 8, 16, 8, 3, 6, 1, 1},
+        XCase{HwSetting::WS_Base, 16, 32, 8, 3, 6, 1, 1},
+        XCase{HwSetting::EWS_C, 8, 16, 8, 3, 6, 1, 1},
+        XCase{HwSetting::EWS_Base, 8, 40, 24, 3, 9, 2, 1}));
+
+TEST(PerfModel, SparseTileCountersConsistent)
+{
+    // For the sparse settings the analytic model is statistical in MACs
+    // but exact in cycles and stream traffic.
+    AccelConfig cfg = makeHwSetting(HwSetting::EWS_CMS, 16);
+    models::ConvLayerSpec spec{"l", 64, 32, 3, 1, 1, 1, 8, 8};
+    WorkloadStats stats;
+    LayerPerf lp = analyzeConvLayer(cfg, spec, stats);
+    EXPECT_EQ(lp.compute_macs, lp.dense_macs / 4);
+    EXPECT_EQ(lp.counters.macs + lp.counters.gated_macs,
+              lp.compute_macs);
+    EXPECT_GT(lp.counters.mrf_writes, 0);
+    EXPECT_GT(lp.counters.crf_reads, 0);
+
+    AccelConfig dense = makeHwSetting(HwSetting::EWS_Base, 16);
+    LayerPerf dl = analyzeConvLayer(dense, spec, stats);
+    // Compressed stream shrinks L2 weight bytes by ~6.4x.
+    EXPECT_LT(lp.counters.l2_read_bytes,
+              dl.counters.l2_read_bytes / 5);
+    // Same compute cycles (sparse tile keeps throughput).
+    EXPECT_EQ(lp.counters.compute_cycles, dl.counters.compute_cycles);
+    // Fewer or equal stalls.
+    EXPECT_LE(lp.counters.stall_cycles, dl.counters.stall_cycles);
+}
+
+TEST(PerfModel, DepthwiseUsesDiagonalMapping)
+{
+    AccelConfig cfg = makeHwSetting(HwSetting::EWS_Base, 16);
+    models::ConvLayerSpec dw;
+    dw.name = "dw";
+    dw.out_c = 64;
+    dw.in_c = 64;
+    dw.groups = 64;
+    dw.kernel = 3;
+    dw.stride = 1;
+    dw.pad = 1;
+    dw.in_h = 8;
+    dw.in_w = 8;
+    WorkloadStats stats;
+    LayerPerf lp = analyzeConvLayer(cfg, dw, stats);
+    EXPECT_TRUE(lp.depthwise);
+    // Diagonal mapping: blocks of min(H,L)=16 channels, R^2 E^2 each.
+    EXPECT_EQ(lp.counters.compute_cycles, (64 / 16) * 9 * 64);
+}
+
+TEST(PerfModel, NetworkAnalysisResNet18)
+{
+    AccelConfig cfg = makeHwSetting(HwSetting::EWS_Base, 64);
+    models::ModelSpec spec = models::resnet18Spec();
+    WorkloadStats stats;
+    NetworkPerf np = analyzeNetwork(cfg, spec, stats);
+
+    EXPECT_EQ(np.dense_macs, spec.totalMacs());
+    EXPECT_GT(np.totals.total_cycles, 0);
+    EXPECT_GT(np.seconds, 0.0);
+    EXPECT_GT(np.effective_gops, 0.0);
+    EXPECT_LE(np.effective_gops, np.peak_gops);
+    // ResNet-18 fmaps fit in 2MB L2: weights dominate DRAM traffic
+    // (11.2M conv+fc weights at 8 bits plus the first ifmap).
+    EXPECT_LT(np.totals.dram_read_bytes, 14 * 1024 * 1024);
+    EXPECT_GT(np.totals.dram_read_bytes, 10 * 1024 * 1024);
+}
+
+TEST(PerfModel, Vgg16SpillsEarlyFmapsToDram)
+{
+    AccelConfig cfg = makeHwSetting(HwSetting::EWS_Base, 64);
+    WorkloadStats stats;
+    NetworkPerf vgg = analyzeNetwork(cfg, models::vgg16Spec(), stats);
+    // 224x224x64 fmaps = 3.2MB > 2MB L2 -> DRAM fmap traffic exists.
+    EXPECT_GT(vgg.totals.dram_write_bytes, 0);
+
+    NetworkPerf rn = analyzeNetwork(cfg, models::resnet18Spec(), stats);
+    EXPECT_EQ(rn.totals.dram_write_bytes, 0);
+}
+
+TEST(PerfModel, CompressionImprovesThroughputOnLargeArrays)
+{
+    // Paper Fig. 17/18: on 64x64, EWS-CMS beats EWS because the
+    // weight-loading datawidth is the bottleneck.
+    WorkloadStats stats;
+    models::ModelSpec spec = models::resnet18Spec();
+    NetworkPerf base = analyzeNetwork(
+        makeHwSetting(HwSetting::EWS_Base, 64), spec, stats);
+    NetworkPerf cms = analyzeNetwork(
+        makeHwSetting(HwSetting::EWS_CMS, 64), spec, stats);
+    const double speedup = base.seconds / cms.seconds;
+    EXPECT_GT(speedup, 1.2);
+    EXPECT_LT(speedup, 4.0);
+}
+
+TEST(PerfModel, RooflinePointSane)
+{
+    AccelConfig cfg = makeHwSetting(HwSetting::EWS_Base, 32);
+    WorkloadStats stats;
+    NetworkPerf np = analyzeNetwork(cfg, models::resnet18Spec(), stats);
+    RooflinePoint pt = rooflinePoint(np, cfg);
+    EXPECT_GT(pt.oi, 0.0);
+    EXPECT_LE(pt.attained_gops, pt.peak_gops + 1e-9);
+    EXPECT_DOUBLE_EQ(pt.bw_gbps, 8.0 * 0.3);
+}
+
+} // namespace
+} // namespace mvq::perf

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * End-to-end pipeline tests: the four-step MVQ pipeline on a mini
+ * classifier, compression-ratio/FLOPs accounting, cross-layer mode, and
+ * the SSE report split.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "models/mini_models.hpp"
+#include "nn/network.hpp"
+
+namespace mvq::core {
+namespace {
+
+PipelineConfig
+smallConfig()
+{
+    PipelineConfig cfg;
+    cfg.layer.k = 64;
+    cfg.layer.d = 8;
+    cfg.layer.pattern = NmPattern{2, 8};
+    cfg.sparse.train.epochs = 1;
+    cfg.kmeans.max_iters = 25;
+    cfg.finetune.epochs = 1;
+    return cfg;
+}
+
+TEST(Pipeline, EndToEndClassifier)
+{
+    nn::ClassificationConfig dc;
+    dc.classes = 6;
+    dc.size = 12;
+    dc.train_count = 360;
+    dc.test_count = 120;
+    nn::ClassificationDataset data(dc);
+
+    models::MiniConfig mc;
+    mc.classes = 6;
+    mc.width = 8;
+    auto net = models::miniResNet18(mc);
+    nn::TrainConfig tc;
+    tc.epochs = 3;
+    nn::trainClassifier(*net, data, tc);
+
+    PipelineResult res =
+        mvqCompressClassifier(*net, data, smallConfig());
+
+    EXPECT_GT(res.acc_dense, 55.0);
+    EXPECT_GT(res.acc_final, res.acc_clustered - 1e-9);
+    EXPECT_GT(res.compression_ratio, 5.0);
+    EXPECT_LT(res.flops_compressed, res.flops_dense);
+    EXPECT_GE(res.total_sse, res.masked_sse);
+    EXPECT_FALSE(res.compressed.layers.empty());
+}
+
+TEST(Pipeline, CrosslayerSharesOneCodebook)
+{
+    nn::ClassificationConfig dc;
+    dc.classes = 4;
+    dc.size = 12;
+    dc.train_count = 120;
+    dc.test_count = 40;
+    nn::ClassificationDataset data(dc);
+
+    models::MiniConfig mc;
+    mc.classes = 4;
+    mc.width = 8;
+    auto net = models::miniResNet18(mc);
+
+    PipelineConfig cfg = smallConfig();
+    cfg.crosslayer = true;
+    cfg.sparse.train.epochs = 1;
+    cfg.finetune.epochs = 0;
+    PipelineResult res = mvqCompressClassifier(*net, data, cfg);
+    EXPECT_EQ(res.compressed.codebooks.size(), 1u);
+    EXPECT_GT(res.compressed.layers.size(), 1u);
+    for (const auto &layer : res.compressed.layers)
+        EXPECT_EQ(layer.codebook_id, 0);
+}
+
+TEST(Pipeline, CompressibleConvsSkipsFirstAndChecksDivisibility)
+{
+    Rng rng(151);
+    nn::Sequential net("net");
+    nn::Conv2dConfig stem{3, 16, 3, 1, 1, 1, false};
+    net.add<nn::Conv2d>("stem", stem, rng);
+    nn::Conv2dConfig odd{16, 12, 3, 1, 1, 1, false}; // 12 % 16 != 0
+    net.add<nn::Conv2d>("odd", odd, rng);
+    nn::Conv2dConfig good{12, 32, 3, 1, 1, 1, false};
+    net.add<nn::Conv2d>("good", good, rng);
+
+    MvqLayerConfig lc;
+    lc.d = 16;
+    auto targets = compressibleConvs(net, lc, /*skip_first=*/true);
+    ASSERT_EQ(targets.size(), 1u);
+    EXPECT_EQ(targets[0]->name(), "good");
+
+    auto with_first = compressibleConvs(net, lc, /*skip_first=*/false);
+    EXPECT_EQ(with_first.size(), 2u); // stem (16) + good (32)
+}
+
+TEST(Pipeline, ClusterLayersHonoursAblationSwitches)
+{
+    Rng rng(152);
+    nn::Sequential net("net");
+    nn::Conv2dConfig cc{8, 32, 3, 1, 1, 1, false};
+    auto *conv = net.add<nn::Conv2d>("conv", cc, rng);
+    std::vector<nn::Conv2d *> targets{conv};
+
+    MvqLayerConfig lc;
+    lc.k = 16;
+    lc.d = 16;
+    lc.pattern = NmPattern{4, 16};
+    oneShotPrune(targets, lc.pattern, lc.d, lc.grouping);
+
+    ClusterOptions sparse_opts;
+    CompressedModel sparse_cm = clusterLayers(targets, lc, sparse_opts);
+    EXPECT_FALSE(sparse_cm.dense_reconstruct);
+    Tensor sparse_recon = sparse_cm.reconstructLayer(0);
+    EXPECT_GT(sparse_recon.countZeros(),
+              sparse_recon.numel() / 2); // 75% pruned
+
+    ClusterOptions dense_opts;
+    dense_opts.masked_kmeans = false;
+    dense_opts.sparse_reconstruct = false;
+    CompressedModel dense_cm = clusterLayers(targets, lc, dense_opts);
+    EXPECT_TRUE(dense_cm.dense_reconstruct);
+    Tensor dense_recon = dense_cm.reconstructLayer(0);
+    EXPECT_LT(dense_recon.countZeros(), sparse_recon.countZeros());
+}
+
+TEST(Pipeline, SseReportSplitsMaskedAndTotal)
+{
+    Rng rng(153);
+    nn::Sequential net("net");
+    nn::Conv2dConfig cc{8, 32, 3, 1, 1, 1, false};
+    auto *conv = net.add<nn::Conv2d>("conv", cc, rng);
+    std::vector<nn::Conv2d *> targets{conv};
+
+    MvqLayerConfig lc;
+    lc.k = 8;
+    lc.d = 16;
+    lc.pattern = NmPattern{4, 16};
+    oneShotPrune(targets, lc.pattern, lc.d, lc.grouping);
+    std::vector<Tensor> reference{conv->weight().value};
+
+    ClusterOptions opts;
+    CompressedModel cm = clusterLayers(targets, lc, opts);
+    SseReport report = computeSse(cm, reference);
+    EXPECT_GT(report.total_sse, 0.0);
+    // Reference is already pruned, so all error lives on kept weights.
+    EXPECT_NEAR(report.total_sse, report.masked_sse, 1e-6);
+}
+
+TEST(Pipeline, LargerKReducesSse)
+{
+    Rng rng(154);
+    nn::Sequential net("net");
+    nn::Conv2dConfig cc{8, 64, 3, 1, 1, 1, false};
+    auto *conv = net.add<nn::Conv2d>("conv", cc, rng);
+    std::vector<nn::Conv2d *> targets{conv};
+
+    MvqLayerConfig lc;
+    lc.d = 16;
+    lc.pattern = NmPattern{4, 16};
+    oneShotPrune(targets, lc.pattern, lc.d, lc.grouping);
+    std::vector<Tensor> reference{conv->weight().value};
+
+    double prev = 1e30;
+    for (std::int64_t k : {8, 32, 128}) {
+        lc.k = k;
+        ClusterOptions opts;
+        opts.kmeans.max_iters = 30;
+        CompressedModel cm = clusterLayers(targets, lc, opts);
+        const double sse = computeSse(cm, reference).masked_sse;
+        EXPECT_LT(sse, prev) << "k = " << k;
+        prev = sse;
+    }
+}
+
+} // namespace
+} // namespace mvq::core

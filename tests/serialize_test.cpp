@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Serialization tests: bit-stream round trips, full-model round trips
+ * with exact reconstruction equality, and file size vs the Eq. 7
+ * storage accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/logging.hpp"
+#include "core/pipeline.hpp"
+#include "core/serialize.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/network.hpp"
+#include "tensor/ops.hpp"
+
+namespace mvq::core {
+namespace {
+
+TEST(BitStream, RoundTripMixedWidths)
+{
+    BitWriter w;
+    w.put(0b101, 3);
+    w.put(0xDEAD, 16);
+    w.put(1, 1);
+    w.put(0x123456789ULL, 36);
+    const auto bytes = w.finish();
+
+    BitReader r(bytes);
+    EXPECT_EQ(r.get(3), 0b101u);
+    EXPECT_EQ(r.get(16), 0xDEADu);
+    EXPECT_EQ(r.get(1), 1u);
+    EXPECT_EQ(r.get(36), 0x123456789ULL);
+}
+
+TEST(BitStream, OverrunFatal)
+{
+    BitWriter w;
+    w.put(3, 2);
+    const auto bytes = w.finish();
+    BitReader r(bytes);
+    r.get(8);
+    EXPECT_THROW(r.get(8), FatalError);
+}
+
+TEST(BitStream, BitCountMatches)
+{
+    BitWriter w;
+    w.put(0, 7);
+    w.put(0, 9);
+    EXPECT_EQ(w.bitCount(), 16);
+}
+
+/** Build a real compressed model from a clustered random kernel. */
+CompressedModel
+makeModel()
+{
+    Rng rng(221);
+    Tensor w4(Shape({32, 8, 3, 3}));
+    w4.fillNormal(rng, 0.0f, 0.5f);
+
+    MvqLayerConfig cfg;
+    cfg.k = 32;
+    cfg.d = 16;
+    cfg.pattern = NmPattern{4, 16};
+    Tensor wr = groupWeights(w4, cfg.d, cfg.grouping);
+    Mask mask = nmMask(wr, cfg.pattern);
+    applyMask(wr, mask);
+    KmeansConfig kc;
+    kc.k = cfg.k;
+    KmeansResult km = maskedKmeans(wr, mask, kc);
+
+    CompressedModel model;
+    Codebook cb;
+    cb.codewords = km.codebook;
+    quantizeCodebook(cb, 8);
+    model.codebooks.push_back(cb);
+    CompressedLayer layer =
+        makeCompressedLayer("conv", w4.shape(), cfg, mask, km, 0);
+    layer.dense_flops = 123456;
+    model.layers.push_back(std::move(layer));
+    return model;
+}
+
+TEST(Serialize, ModelRoundTripExact)
+{
+    CompressedModel model = makeModel();
+    const auto bytes = serializeModel(model);
+    CompressedModel back = deserializeModel(bytes);
+
+    ASSERT_EQ(back.layers.size(), model.layers.size());
+    ASSERT_EQ(back.codebooks.size(), model.codebooks.size());
+    EXPECT_EQ(back.dense_reconstruct, model.dense_reconstruct);
+
+    const auto &l0 = model.layers[0];
+    const auto &l1 = back.layers[0];
+    EXPECT_EQ(l1.name, l0.name);
+    EXPECT_EQ(l1.weight_shape, l0.weight_shape);
+    EXPECT_EQ(l1.cfg.k, l0.cfg.k);
+    EXPECT_EQ(l1.cfg.pattern.n, l0.cfg.pattern.n);
+    EXPECT_EQ(l1.assignments, l0.assignments);
+    EXPECT_EQ(l1.mask_codes, l0.mask_codes);
+    EXPECT_EQ(l1.dense_flops, l0.dense_flops);
+
+    // The reconstruction must be bit-identical.
+    EXPECT_FLOAT_EQ(
+        maxAbsDiff(model.reconstructLayer(0), back.reconstructLayer(0)),
+        0.0f);
+}
+
+TEST(Serialize, FileSizeTracksEq7Accounting)
+{
+    CompressedModel model = makeModel();
+    const auto bytes = serializeModel(model);
+    const StorageCost cost = model.storage();
+    // Payload bits plus bounded header/metadata overhead.
+    const double payload_bytes =
+        static_cast<double>(cost.totalBits()) / 8.0;
+    EXPECT_GT(static_cast<double>(bytes.size()), payload_bytes);
+    EXPECT_LT(static_cast<double>(bytes.size()),
+              payload_bytes + 256.0);
+}
+
+TEST(Serialize, SaveLoadFile)
+{
+    CompressedModel model = makeModel();
+    const std::string path = "/tmp/mvq_serialize_test.mvq";
+    saveModel(model, path);
+    CompressedModel back = loadModel(path);
+    EXPECT_FLOAT_EQ(
+        maxAbsDiff(model.reconstructLayer(0), back.reconstructLayer(0)),
+        0.0f);
+    std::remove(path.c_str());
+}
+
+/** Round-trip must hold for every N:M pattern / k / grouping combo. */
+class SerializeSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(SerializeSweep, RoundTripAcrossConfigs)
+{
+    const auto [n, m, k] = GetParam();
+    Rng rng(223);
+    Tensor w4(Shape({32, 4, 3, 3}));
+    w4.fillNormal(rng, 0.0f, 0.5f);
+
+    MvqLayerConfig cfg;
+    cfg.k = k;
+    cfg.d = 16;
+    cfg.pattern = NmPattern{n, m};
+    Tensor wr = groupWeights(w4, cfg.d, cfg.grouping);
+    Mask mask = nmMask(wr, cfg.pattern);
+    applyMask(wr, mask);
+    KmeansConfig kc;
+    kc.k = k;
+    KmeansResult km = maskedKmeans(wr, mask, kc);
+
+    CompressedModel model;
+    Codebook cb;
+    cb.codewords = km.codebook;
+    quantizeCodebook(cb, 8);
+    model.codebooks.push_back(cb);
+    model.layers.push_back(
+        makeCompressedLayer("c", w4.shape(), cfg, mask, km, 0));
+
+    CompressedModel back = deserializeModel(serializeModel(model));
+    EXPECT_FLOAT_EQ(
+        maxAbsDiff(model.reconstructLayer(0), back.reconstructLayer(0)),
+        0.0f);
+    EXPECT_EQ(back.layers[0].assignments, model.layers[0].assignments);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, SerializeSweep,
+    ::testing::Values(std::make_tuple(4, 16, 32),
+                      std::make_tuple(1, 2, 8),
+                      std::make_tuple(2, 4, 64),
+                      std::make_tuple(8, 16, 16),
+                      std::make_tuple(1, 1, 128),
+                      std::make_tuple(2, 8, 7)));
+
+TEST(Serialize, RejectsGarbage)
+{
+    std::vector<std::uint8_t> junk = {1, 2, 3, 4, 5, 6, 7, 8};
+    EXPECT_THROW(deserializeModel(junk), FatalError);
+}
+
+TEST(Serialize, UnquantizedCodebookRoundTrip)
+{
+    CompressedModel model = makeModel();
+    // Replace with an unquantized codebook (fp32 path).
+    Rng rng(222);
+    model.codebooks[0].qbits = 0;
+    model.codebooks[0].scale = 0.0f;
+    model.codebooks[0].codewords.fillNormal(rng, 0.0f, 1.0f);
+    const auto bytes = serializeModel(model);
+    CompressedModel back = deserializeModel(bytes);
+    EXPECT_FLOAT_EQ(maxAbsDiff(back.codebooks[0].codewords,
+                               model.codebooks[0].codewords),
+                    0.0f);
+}
+
+} // namespace
+} // namespace mvq::core

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Sparse-training tests: SR-STE leaves exact N:M sparsity and preserves
+ * usable accuracy; one-shot (ASP) pruning invariants; the mask-reapply
+ * fine-tuning hook keeps pruned weights at zero.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "core/sparse_train.hpp"
+#include "models/mini_models.hpp"
+#include "nn/network.hpp"
+
+namespace mvq::core {
+namespace {
+
+struct TrainedFixture
+{
+    nn::ClassificationDataset data;
+    std::unique_ptr<nn::Sequential> net;
+    double dense_acc = 0.0;
+
+    TrainedFixture()
+        : data([] {
+              nn::ClassificationConfig dc;
+              dc.classes = 6;
+              dc.size = 12;
+              dc.train_count = 360;
+              dc.test_count = 120;
+              return dc;
+          }())
+    {
+        models::MiniConfig mc;
+        mc.classes = 6;
+        mc.width = 8;
+        net = models::miniResNet18(mc);
+        nn::TrainConfig tc;
+        tc.epochs = 3;
+        dense_acc = nn::trainClassifier(*net, data, tc).test_accuracy;
+    }
+};
+
+TEST(SparseTrain, SrSteProducesExactNmSparsity)
+{
+    TrainedFixture f;
+    MvqLayerConfig lc;
+    lc.d = 8;
+    lc.pattern = NmPattern{2, 8};
+    auto targets = compressibleConvs(*f.net, lc, /*skip_first=*/true);
+    ASSERT_FALSE(targets.empty());
+
+    SrSteConfig sc;
+    sc.pattern = lc.pattern;
+    sc.d = lc.d;
+    sc.train.epochs = 2;
+    const double sparse_acc = srSteTrain(*f.net, targets, f.data, sc);
+
+    for (nn::Conv2d *conv : targets) {
+        Tensor wr = groupWeights(conv->weight().value, lc.d, lc.grouping);
+        // At least (M - N)/M of the weights are zero (a kept weight can
+        // itself train to zero, so >= rather than ==).
+        EXPECT_GE(wr.countZeros(), wr.numel() * 6 / 8) << conv->name();
+    }
+
+    // Sparse training keeps accuracy within striking distance of dense
+    // (the synthetic task is easy; allow a modest drop).
+    EXPECT_GT(sparse_acc, f.dense_acc - 25.0);
+    EXPECT_GT(sparse_acc, 50.0);
+}
+
+TEST(SparseTrain, OneShotPruneInvariantAndInPlace)
+{
+    TrainedFixture f;
+    MvqLayerConfig lc;
+    lc.d = 16;
+    lc.pattern = NmPattern{4, 16};
+    auto targets = compressibleConvs(*f.net, lc, true);
+    ASSERT_FALSE(targets.empty());
+
+    auto masks = oneShotPrune(targets, lc.pattern, lc.d, lc.grouping);
+    ASSERT_EQ(masks.size(), targets.size());
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+        checkNmInvariant(masks[i], lc.d, lc.pattern);
+        Tensor wr = groupWeights(targets[i]->weight().value, lc.d,
+                                 lc.grouping);
+        for (std::int64_t j = 0; j < wr.numel(); ++j) {
+            if (!masks[i][static_cast<std::size_t>(j)]) {
+                EXPECT_FLOAT_EQ(wr[j], 0.0f);
+            }
+        }
+    }
+}
+
+TEST(SparseTrain, MaskReapplyHookKeepsZeros)
+{
+    TrainedFixture f;
+    MvqLayerConfig lc;
+    lc.d = 16;
+    lc.pattern = NmPattern{4, 16};
+    auto targets = compressibleConvs(*f.net, lc, true);
+    auto masks = oneShotPrune(targets, lc.pattern, lc.d, lc.grouping);
+
+    nn::TrainConfig tc;
+    tc.epochs = 1;
+    tc.after_step = maskReapplyHook(targets, masks, lc.d, lc.grouping);
+    nn::trainClassifier(*f.net, f.data, tc);
+
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+        Tensor wr = groupWeights(targets[i]->weight().value, lc.d,
+                                 lc.grouping);
+        for (std::int64_t j = 0; j < wr.numel(); ++j) {
+            if (!masks[i][static_cast<std::size_t>(j)]) {
+                EXPECT_FLOAT_EQ(wr[j], 0.0f);
+            }
+        }
+    }
+}
+
+TEST(SparseTrain, CurrentMaskReflectsZeros)
+{
+    Rng rng(141);
+    nn::Sequential net("n");
+    nn::Conv2dConfig cc{4, 16, 3, 1, 1, 1, false};
+    auto *conv = net.add<nn::Conv2d>("c", cc, rng);
+    auto targets = std::vector<nn::Conv2d *>{conv};
+    oneShotPrune(targets, NmPattern{2, 8}, 8,
+                 Grouping::OutputChannelWise);
+    Mask mask = currentMask(*conv, 8, Grouping::OutputChannelWise);
+    std::int64_t kept = 0;
+    for (auto b : mask)
+        kept += b;
+    EXPECT_EQ(kept, conv->weight().value.numel() / 4);
+}
+
+TEST(SparseTrain, HigherSparsityLowersPruningAccuracy)
+{
+    // Fig. 10's qualitative premise: keeping 8/16 beats keeping 1/16.
+    TrainedFixture mild;
+    TrainedFixture harsh;
+
+    MvqLayerConfig lc;
+    lc.d = 16;
+    auto run = [&](TrainedFixture &f, NmPattern p) {
+        lc.pattern = p;
+        auto targets = compressibleConvs(*f.net, lc, true);
+        SrSteConfig sc;
+        sc.pattern = p;
+        sc.d = lc.d;
+        sc.train.epochs = 1;
+        return srSteTrain(*f.net, targets, f.data, sc);
+    };
+    const double acc_mild = run(mild, NmPattern{8, 16});
+    const double acc_harsh = run(harsh, NmPattern{1, 16});
+    EXPECT_GE(acc_mild + 5.0, acc_harsh)
+        << "extreme pruning should not beat mild pruning";
+}
+
+} // namespace
+} // namespace mvq::core

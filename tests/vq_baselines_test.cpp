@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Baseline tests: ablation-case switch wiring, PQF permutation search
+ * and un-permuted reconstruction, BGD weighted k-means, and PvQ uniform
+ * quantization level counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "core/sparse_train.hpp"
+#include "models/mini_models.hpp"
+#include "nn/network.hpp"
+#include "vq/bgd.hpp"
+#include "vq/pqf.hpp"
+#include "vq/uniform_quant.hpp"
+#include "vq/vanilla_vq.hpp"
+
+namespace mvq::vq {
+namespace {
+
+TEST(AblationCases, NamesAndSwitches)
+{
+    EXPECT_EQ(ablationCaseName(AblationCase::A_DenseCommonDense),
+              "A (DW+CK+DR)");
+    EXPECT_EQ(ablationCaseName(AblationCase::D_SparseMaskedSparse),
+              "Ours (SW+MK+SR)");
+
+    Rng rng(161);
+    nn::Sequential net("net");
+    nn::Conv2dConfig cc{8, 32, 3, 1, 1, 1, false};
+    auto *conv = net.add<nn::Conv2d>("conv", cc, rng);
+    std::vector<nn::Conv2d *> targets{conv};
+
+    core::MvqLayerConfig lc;
+    lc.k = 16;
+    lc.d = 16;
+    lc.pattern = core::NmPattern{4, 16};
+    core::ClusterOptions opts;
+
+    // Case A: dense reconstruct, no mask storage.
+    auto cm_a = runAblationCase(AblationCase::A_DenseCommonDense,
+                                targets, lc, opts);
+    EXPECT_TRUE(cm_a.dense_reconstruct);
+    EXPECT_EQ(cm_a.storage().mask_bits, 0);
+    EXPECT_EQ(cm_a.layers[0].cfg.pattern.n, 1);
+
+    // Case D on pruned weights stores the real mask.
+    core::oneShotPrune(targets, lc.pattern, lc.d, lc.grouping);
+    auto cm_d = runAblationCase(AblationCase::D_SparseMaskedSparse,
+                                targets, lc, opts);
+    EXPECT_FALSE(cm_d.dense_reconstruct);
+    EXPECT_GT(cm_d.storage().mask_bits, 0);
+}
+
+TEST(Pqf, PermutationCostNeverIncreases)
+{
+    Rng rng(162);
+    nn::Sequential net("net");
+    nn::Conv2dConfig cc{8, 32, 3, 1, 1, 1, false};
+    auto *conv = net.add<nn::Conv2d>("conv", cc, rng);
+
+    const std::int64_t d = 8;
+    std::vector<std::int64_t> identity(32);
+    std::iota(identity.begin(), identity.end(), 0);
+    const double before =
+        permutationCost(conv->weight().value, identity, d);
+
+    core::MvqLayerConfig lc;
+    lc.k = 16;
+    lc.d = d;
+    PqfOptions opts;
+    opts.search_steps = 500;
+    PqfModel model = pqfCompress({conv}, lc, opts);
+    const double after = permutationCost(conv->weight().value,
+                                         model.permutations[0], d);
+    EXPECT_LE(after, before + 1e-9);
+
+    // Permutation is a bijection over channels.
+    std::set<std::int64_t> seen(model.permutations[0].begin(),
+                                model.permutations[0].end());
+    EXPECT_EQ(seen.size(), 32u);
+}
+
+TEST(Pqf, ReconstructionUndoesPermutation)
+{
+    // With k = NG every subvector becomes its own codeword, so PQF must
+    // reproduce the original weights exactly despite the permutation.
+    Rng rng(163);
+    nn::Sequential net("net");
+    nn::Conv2dConfig cc{4, 16, 3, 1, 1, 1, false};
+    auto *conv = net.add<nn::Conv2d>("conv", cc, rng);
+    Tensor original = conv->weight().value;
+
+    core::MvqLayerConfig lc;
+    lc.k = 16 * 4 * 9 / 8; // NG for d = 8
+    lc.d = 8;
+    lc.codebook_bits = 0; // exact codewords
+    PqfOptions opts;
+    opts.search_steps = 200;
+    opts.kmeans.max_iters = 60;
+    PqfModel model = pqfCompress({conv}, lc, opts);
+    Tensor recon = model.reconstructLayer(0);
+    EXPECT_LT(maxAbsDiff(recon, original), 1e-4f);
+}
+
+TEST(Bgd, WeightedKmeansFavorsHeavyRows)
+{
+    // Two clusters of rows; give one cluster huge weights — the
+    // codeword must land (almost) exactly on the heavy cluster's mean.
+    Tensor wr(Shape({8, 2}));
+    for (std::int64_t j = 0; j < 4; ++j) {
+        wr.at(j, 0) = 1.0f;
+        wr.at(j, 1) = 1.0f;
+    }
+    for (std::int64_t j = 4; j < 8; ++j) {
+        wr.at(j, 0) = 1.2f;
+        wr.at(j, 1) = 0.8f;
+    }
+    std::vector<double> u = {100, 100, 100, 100, 0.01, 0.01, 0.01, 0.01};
+    core::KmeansConfig cfg;
+    cfg.k = 1;
+    cfg.max_iters = 5;
+    core::KmeansResult res = weightedKmeans(wr, u, cfg);
+    EXPECT_NEAR(res.codebook.at(0, 0), 1.0f, 0.02f);
+    EXPECT_NEAR(res.codebook.at(0, 1), 1.0f, 0.02f);
+}
+
+TEST(Bgd, EnergiesAndCompressRun)
+{
+    nn::ClassificationConfig dc;
+    dc.classes = 4;
+    dc.size = 12;
+    dc.train_count = 64;
+    dc.test_count = 16;
+    nn::ClassificationDataset data(dc);
+
+    models::MiniConfig mc;
+    mc.classes = 4;
+    mc.width = 8;
+    auto net = models::miniResNet18(mc);
+
+    core::MvqLayerConfig lc;
+    lc.k = 16;
+    lc.d = 8;
+    auto targets = core::compressibleConvs(*net, lc, true);
+    BgdOptions opts;
+    opts.energy_batches = 2;
+    auto energies = collectInputEnergies(*net, targets, data, opts);
+    ASSERT_EQ(energies.size(), targets.size());
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+        ASSERT_EQ(static_cast<std::int64_t>(energies[i].size()),
+                  targets[i]->config().in_channels);
+        for (double e : energies[i])
+            EXPECT_GE(e, 0.0);
+    }
+
+    auto cm = bgdCompress(targets, lc, opts, energies);
+    EXPECT_TRUE(cm.dense_reconstruct);
+    EXPECT_EQ(cm.layers.size(), targets.size());
+    cm.applyTo(*net); // shape compatibility
+}
+
+TEST(Pvq, QuantizedLevelsBounded)
+{
+    Rng rng(164);
+    Tensor w(Shape({256}));
+    w.fillNormal(rng, 0.0f, 1.0f);
+    uniformQuantize(w, 2);
+    std::set<float> levels;
+    for (std::int64_t i = 0; i < w.numel(); ++i)
+        levels.insert(w[i]);
+    EXPECT_LE(levels.size(), 4u); // 2 bits -> {-2s, -s, 0, s}
+}
+
+TEST(Pvq, TwoBitCollapsesAccuracyMoreThanEightBit)
+{
+    nn::ClassificationConfig dc;
+    dc.classes = 6;
+    dc.size = 12;
+    dc.train_count = 240;
+    dc.test_count = 80;
+    nn::ClassificationDataset data(dc);
+
+    models::MiniConfig mc;
+    mc.classes = 6;
+    mc.width = 8;
+    auto net = models::miniResNet18(mc);
+    nn::TrainConfig tc;
+    tc.epochs = 3;
+    nn::trainClassifier(*net, data, tc);
+    auto snapshot = nn::snapshotParameters(*net);
+
+    core::MvqLayerConfig lc;
+    lc.d = 8;
+    auto targets = core::compressibleConvs(*net, lc, true);
+
+    PvqOptions low;
+    low.bits = 2;
+    low.finetune_epochs = 1;
+    PvqResult r2 = pvqCompressClassifier(*net, targets, data, low);
+    EXPECT_DOUBLE_EQ(r2.compression_ratio, 16.0);
+
+    nn::restoreParameters(*net, snapshot);
+    PvqOptions high;
+    high.bits = 8;
+    high.finetune_epochs = 1;
+    PvqResult r8 = pvqCompressClassifier(*net, targets, data, high);
+    EXPECT_DOUBLE_EQ(r8.compression_ratio, 4.0);
+    EXPECT_GE(r8.accuracy + 1e-9, r2.accuracy);
+}
+
+} // namespace
+} // namespace mvq::vq

@@ -1,6 +1,10 @@
 #include "bench_common.hpp"
 
 #include <cstdlib>
+#include <cmath>
+#include <cstring>
+#include <iomanip>
+#include <fstream>
 #include <iostream>
 
 namespace mvq::bench {
@@ -62,6 +66,42 @@ std::string
 f1(double v)
 {
     return TextTable::num(v, 1);
+}
+
+std::string
+benchJsonPath(int argc, char **argv)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0)
+            return argv[i + 1];
+    }
+    if (const char *env = std::getenv("MVQ_BENCH_JSON")) {
+        if (env[0] != '\0')
+            return env;
+    }
+    return "";
+}
+
+void
+appendBenchRecord(const std::string &path, const std::string &bench,
+                  const std::string &metric, double value)
+{
+    if (path.empty())
+        return;
+    std::ofstream out(path, std::ios::app);
+    if (!out) {
+        std::cerr << "bench: cannot open " << path << " for append\n";
+        return;
+    }
+    out << "{\"bench\": \"" << bench << "\", \"metric\": \"" << metric
+        << "\", \"value\": ";
+    // JSON has no inf/nan literal, and default stream precision would
+    // round values the trajectory tooling wants to diff exactly.
+    if (std::isfinite(value))
+        out << std::setprecision(17) << value;
+    else
+        out << "null";
+    out << "}\n";
 }
 
 } // namespace mvq::bench

@@ -48,6 +48,21 @@ std::string f2(double v);
 /** Format helper: one decimal. */
 std::string f1(double v);
 
+/**
+ * Resolve the benchmark JSON output path: `--json <path>` on the command
+ * line wins, then the MVQ_BENCH_JSON environment variable. Empty string
+ * means JSON output is disabled.
+ */
+std::string benchJsonPath(int argc, char **argv);
+
+/**
+ * Append one `{"bench": ..., "metric": ..., "value": ...}` record to the
+ * JSON-lines file at `path` (no-op when path is empty). Future PRs diff
+ * these BENCH_*.json files to track the perf trajectory.
+ */
+void appendBenchRecord(const std::string &path, const std::string &bench,
+                       const std::string &metric, double value);
+
 } // namespace mvq::bench
 
 #endif // MVQ_BENCH_COMMON_HPP

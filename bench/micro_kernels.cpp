@@ -1,13 +1,24 @@
 /**
  * @file
- * google-benchmark microbenchmarks of the hot kernels: masked k-means
- * iterations, the LZC cascade, mask codec encode/decode, GEMM, and the
- * functional systolic array. Not tied to a paper table; used to track
- * the performance of the library itself.
+ * google-benchmark microbenchmarks of the hot kernels plus a before/after
+ * speedup report: the seed's scalar kernels (gemmReference and a branchy
+ * assignment sweep kept here verbatim) are timed against the parallel
+ * blocked/branchless kernels, reporting GFLOP/s and assignments/s. With
+ * `--json <path>` (or MVQ_BENCH_JSON) the measurements append to a
+ * JSON-lines file so future PRs can track the perf trajectory.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <iostream>
+#include <limits>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/parallel.hpp"
 #include "core/mask_codec.hpp"
 #include "core/masked_kmeans.hpp"
 #include "sim/lzc.hpp"
@@ -17,6 +28,44 @@
 namespace {
 
 using namespace mvq;
+
+/** The seed's branchy scalar assignment loop, kept as the "before". */
+std::int64_t
+maskedAssignReference(const Tensor &wr, const core::Mask &mask,
+                      const Tensor &codebook,
+                      std::vector<std::int32_t> &assignments)
+{
+    const std::int64_t ng = wr.dim(0);
+    const std::int64_t d = wr.dim(1);
+    const std::int64_t k = codebook.dim(0);
+    std::int64_t changed = 0;
+    const float *pw = wr.data();
+    const float *pc = codebook.data();
+    for (std::int64_t j = 0; j < ng; ++j) {
+        const float *wrow = pw + j * d;
+        const std::uint8_t *mrow = mask.data() + j * d;
+        float best = std::numeric_limits<float>::max();
+        std::int32_t best_i = 0;
+        for (std::int64_t i = 0; i < k; ++i) {
+            const float *crow = pc + i * d;
+            float s = 0.0f;
+            for (std::int64_t t = 0; t < d; ++t) {
+                if (mrow[t]) {
+                    const float diff = wrow[t] - crow[t];
+                    s += diff * diff;
+                }
+            }
+            if (s < best) {
+                best = s;
+                best_i = static_cast<std::int32_t>(i);
+            }
+        }
+        if (assignments[static_cast<std::size_t>(j)] != best_i)
+            ++changed;
+        assignments[static_cast<std::size_t>(j)] = best_i;
+    }
+    return changed;
+}
 
 void
 BM_MaskedKmeansIteration(benchmark::State &state)
@@ -37,6 +86,47 @@ BM_MaskedKmeansIteration(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * ng * 64);
 }
 BENCHMARK(BM_MaskedKmeansIteration)->Arg(1024)->Arg(4096);
+
+void
+BM_MaskedAssign(benchmark::State &state)
+{
+    const std::int64_t ng = state.range(0);
+    Rng rng(1);
+    Tensor wr(Shape({ng, 16}));
+    wr.fillNormal(rng, 0.0f, 1.0f);
+    core::Mask mask = core::nmMask(wr, core::NmPattern{4, 16});
+    core::applyMask(wr, mask);
+    const std::vector<float> mask01 = core::maskToFloat(mask);
+    Tensor cb(Shape({64, 16}));
+    cb.fillNormal(rng, 0.0f, 1.0f);
+    std::vector<std::int32_t> assign(static_cast<std::size_t>(ng), 0);
+    for (auto _ : state) {
+        auto changed = core::maskedAssign(wr, mask01, cb, assign);
+        benchmark::DoNotOptimize(changed);
+    }
+    state.SetItemsProcessed(state.iterations() * ng);
+}
+BENCHMARK(BM_MaskedAssign)->Arg(4096)->Arg(16384);
+
+void
+BM_MaskedAssignRef(benchmark::State &state)
+{
+    const std::int64_t ng = state.range(0);
+    Rng rng(1);
+    Tensor wr(Shape({ng, 16}));
+    wr.fillNormal(rng, 0.0f, 1.0f);
+    core::Mask mask = core::nmMask(wr, core::NmPattern{4, 16});
+    core::applyMask(wr, mask);
+    Tensor cb(Shape({64, 16}));
+    cb.fillNormal(rng, 0.0f, 1.0f);
+    std::vector<std::int32_t> assign(static_cast<std::size_t>(ng), 0);
+    for (auto _ : state) {
+        auto changed = maskedAssignReference(wr, mask, cb, assign);
+        benchmark::DoNotOptimize(changed);
+    }
+    state.SetItemsProcessed(state.iterations() * ng);
+}
+BENCHMARK(BM_MaskedAssignRef)->Arg(4096)->Arg(16384);
 
 void
 BM_LzcEncode(benchmark::State &state)
@@ -80,7 +170,25 @@ BM_Gemm(benchmark::State &state)
     }
     state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
-BENCHMARK(BM_Gemm)->Arg(64)->Arg(128);
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void
+BM_GemmRef(benchmark::State &state)
+{
+    const std::int64_t n = state.range(0);
+    Rng rng(2);
+    Tensor a(Shape({n, n}));
+    Tensor b(Shape({n, n}));
+    Tensor c(Shape({n, n}));
+    a.fillNormal(rng, 0.0f, 1.0f);
+    b.fillNormal(rng, 0.0f, 1.0f);
+    for (auto _ : state) {
+        gemmReference(a, false, b, false, c);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmRef)->Arg(64)->Arg(128)->Arg(256);
 
 void
 BM_SystolicArrayConv(benchmark::State &state)
@@ -100,6 +208,115 @@ BM_SystolicArrayConv(benchmark::State &state)
 }
 BENCHMARK(BM_SystolicArrayConv);
 
+// ---------------------------------------------------------------------
+// Before/after speedup report.
+
+double
+secondsOf(const std::function<void()> &fn, int reps)
+{
+    double best = std::numeric_limits<double>::max();
+    for (int r = 0; r < reps; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn();
+        const auto t1 = std::chrono::steady_clock::now();
+        best = std::min(best,
+                        std::chrono::duration<double>(t1 - t0).count());
+    }
+    return best;
+}
+
+void
+speedupReport(const std::string &json)
+{
+    using mvq::bench::appendBenchRecord;
+    using mvq::bench::f2;
+
+    const bool fast = mvq::bench::fastMode();
+    std::cout << "\n--- kernel speedup report (" << numThreads()
+              << " threads) ---\n";
+
+    // GEMM at 512^3 (256^3 in fast mode).
+    {
+        const std::int64_t n = fast ? 256 : 512;
+        Rng rng(2);
+        Tensor a(Shape({n, n}));
+        Tensor b(Shape({n, n}));
+        Tensor c(Shape({n, n}));
+        a.fillNormal(rng, 0.0f, 1.0f);
+        b.fillNormal(rng, 0.0f, 1.0f);
+        const double flop = 2.0 * static_cast<double>(n) * n * n;
+        // Same rep count for both sides: best-of-N shrinks with N under
+        // noise, so asymmetric reps would bias the speedup.
+        const double t_ref = secondsOf(
+            [&] { gemmReference(a, false, b, false, c); }, 5);
+        const double t_opt = secondsOf(
+            [&] { gemm(a, false, b, false, c); }, 5);
+        const double g_ref = flop / t_ref * 1e-9;
+        const double g_opt = flop / t_opt * 1e-9;
+        std::cout << "gemm " << n << "^3: before " << f2(g_ref)
+                  << " GFLOP/s, after " << f2(g_opt) << " GFLOP/s ("
+                  << f2(t_ref / t_opt) << "x)\n";
+        const std::string name = "gemm" + std::to_string(n);
+        appendBenchRecord(json, name, "gflops_before", g_ref);
+        appendBenchRecord(json, name, "gflops_after", g_opt);
+        appendBenchRecord(json, name, "speedup", t_ref / t_opt);
+    }
+
+    // Masked k-means assignment sweep.
+    {
+        const std::int64_t ng = fast ? 8192 : 32768;
+        const std::int64_t k = 64;
+        Rng rng(1);
+        Tensor wr(Shape({ng, 16}));
+        wr.fillNormal(rng, 0.0f, 1.0f);
+        core::Mask mask = core::nmMask(wr, core::NmPattern{4, 16});
+        core::applyMask(wr, mask);
+        const std::vector<float> mask01 = core::maskToFloat(mask);
+        Tensor cb(Shape({k, 16}));
+        cb.fillNormal(rng, 0.0f, 1.0f);
+        std::vector<std::int32_t> assign(static_cast<std::size_t>(ng), 0);
+        const double t_ref = secondsOf(
+            [&] { maskedAssignReference(wr, mask, cb, assign); }, 5);
+        const double t_opt = secondsOf(
+            [&] { core::maskedAssign(wr, mask01, cb, assign); }, 5);
+        const double a_ref = static_cast<double>(ng) / t_ref;
+        const double a_opt = static_cast<double>(ng) / t_opt;
+        std::cout << "masked assignment (ng=" << ng << ", k=" << k
+                  << "): before " << f2(a_ref * 1e-6)
+                  << " M assignments/s, after " << f2(a_opt * 1e-6)
+                  << " M assignments/s (" << f2(t_ref / t_opt) << "x)\n";
+        appendBenchRecord(json, "masked_assign", "assignments_per_s_before",
+                          a_ref);
+        appendBenchRecord(json, "masked_assign", "assignments_per_s_after",
+                          a_opt);
+        appendBenchRecord(json, "masked_assign", "speedup", t_ref / t_opt);
+    }
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    const std::string json = mvq::bench::benchJsonPath(argc, argv);
+
+    // Strip our --json flag (with or without its value) before handing
+    // argv to google-benchmark.
+    std::vector<char *> args;
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) {
+            if (i + 1 < argc)
+                ++i;
+            else
+                std::cerr << "micro_kernels: --json needs a path; "
+                             "ignoring\n";
+            continue;
+        }
+        args.push_back(argv[i]);
+    }
+    int bench_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&bench_argc, args.data());
+    benchmark::RunSpecifiedBenchmarks();
+    speedupReport(json);
+    return 0;
+}

@@ -1,8 +1,10 @@
 #include "core/finetune.hpp"
 
 #include <numeric>
+#include <vector>
 
 #include "common/logging.hpp"
+#include "core/masked_kmeans.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/loss.hpp"
 #include "nn/network.hpp"
@@ -21,19 +23,28 @@ aggregateCodewordGrad(const Tensor &grad_wr, const Mask &mask,
     fatalIf(static_cast<std::int64_t>(mask.size()) != ng * d,
             "mask size mismatch in gradient aggregation");
 
-    Tensor sums(Shape({k, d}));
-    Tensor counts(Shape({k, d}));
-    for (std::int64_t j = 0; j < ng; ++j) {
-        const std::int32_t a = assignments[static_cast<std::size_t>(j)];
-        for (std::int64_t t = 0; t < d; ++t) {
-            const bool keep = !masked
-                || mask[static_cast<std::size_t>(j * d + t)] != 0;
-            if (keep) {
-                sums.at(a, t) += grad_wr.at(j, t);
-                counts.at(a, t) += 1.0f;
+    // Deterministic parallel scatter-reduction (shared with the k-means
+    // centroid update); the mask enters as a 0/1 multiplier so the inner
+    // loop stays branchless.
+    const float *pg = grad_wr.data();
+    const std::uint8_t *pm = mask.data();
+    Tensor sums;
+    Tensor counts;
+    maskedPartialSums(
+        ng, k, d,
+        [&](std::int64_t j, float *ps, float *pn) {
+            const std::int32_t a = assignments[static_cast<std::size_t>(j)];
+            const float *grow = pg + j * d;
+            const std::uint8_t *mrow = pm + j * d;
+            float *srow = ps + a * d;
+            float *nrow = pn + a * d;
+            for (std::int64_t t = 0; t < d; ++t) {
+                const float keep = (!masked || mrow[t]) ? 1.0f : 0.0f;
+                srow[t] += keep * grow[t];
+                nrow[t] += keep;
             }
-        }
-    }
+        },
+        sums, counts);
     Tensor grad(Shape({k, d}));
     for (std::int64_t i = 0; i < k * d; ++i)
         grad[i] = counts[i] > 0.0f ? sums[i] / counts[i] : 0.0f;

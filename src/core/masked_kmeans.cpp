@@ -1,9 +1,12 @@
 #include "core/masked_kmeans.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 
 #include "common/logging.hpp"
+#include "common/parallel.hpp"
 #include "common/random.hpp"
 
 namespace mvq::core {
@@ -70,6 +73,13 @@ initCodebook(const Tensor &wr, const KmeansConfig &cfg, Rng &rng)
 
 } // namespace
 
+namespace {
+
+/** Grain for per-subvector parallel loops (work per row is only O(k*d)). */
+constexpr std::int64_t kRowGrain = 256;
+
+} // namespace
+
 double
 maskedSse(const Tensor &wr, const Mask &mask, const Tensor &codebook,
           const std::vector<std::int32_t> &assignments)
@@ -78,18 +88,162 @@ maskedSse(const Tensor &wr, const Mask &mask, const Tensor &codebook,
     const std::int64_t d = wr.dim(1);
     panicIf(static_cast<std::int64_t>(assignments.size()) != ng,
             "assignment count mismatch");
+    const float *pw = wr.data();
+    const float *pc = codebook.data();
+    const std::uint8_t *pm = mask.data();
+
+    // Per-chunk partials reduced in chunk order keep the sum deterministic
+    // for any thread count.
+    std::vector<double> partial(
+        static_cast<std::size_t>(chunkCount(0, ng, kRowGrain)), 0.0);
+    parallelForChunks(0, ng, kRowGrain,
+                      [&](std::int64_t chunk, std::int64_t jb,
+                          std::int64_t je) {
+        double total = 0.0;
+        for (std::int64_t j = jb; j < je; ++j) {
+            const std::int32_t a = assignments[static_cast<std::size_t>(j)];
+            const float *wrow = pw + j * d;
+            const std::uint8_t *mrow = pm + j * d;
+            const float *crow = pc + a * d;
+            for (std::int64_t t = 0; t < d; ++t) {
+                const double c = mrow[t] ? crow[t] : 0.0;
+                const double diff = static_cast<double>(wrow[t]) - c;
+                total += diff * diff;
+            }
+        }
+        partial[static_cast<std::size_t>(chunk)] = total;
+    });
     double total = 0.0;
-    for (std::int64_t j = 0; j < ng; ++j) {
-        const std::int32_t a = assignments[static_cast<std::size_t>(j)];
-        for (std::int64_t t = 0; t < d; ++t) {
-            const bool keep = mask[static_cast<std::size_t>(j * d + t)] != 0;
-            const double w = wr.at(j, t);
-            const double c = keep ? codebook.at(a, t) : 0.0;
-            const double diff = w - c;
-            total += diff * diff;
+    for (const double p : partial)
+        total += p;
+    return total;
+}
+
+std::vector<float>
+maskToFloat(const Mask &mask)
+{
+    std::vector<float> mf(mask.size());
+    for (std::size_t i = 0; i < mask.size(); ++i)
+        mf[i] = mask[i] ? 1.0f : 0.0f;
+    return mf;
+}
+
+void
+maskedPartialSums(
+    std::int64_t ng, std::int64_t k, std::int64_t d,
+    const std::function<void(std::int64_t, float *, float *)> &row_fn,
+    Tensor &sums, Tensor &counts)
+{
+    // Cap the chunk count at a fixed constant (thread-count independent,
+    // so determinism holds) to bound the transient [k, d] partial buffers
+    // and the serial fold below for very large ng.
+    const std::int64_t grain =
+        std::max<std::int64_t>(kRowGrain, (ng + 63) / 64);
+    const std::int64_t nchunks = chunkCount(0, ng, grain);
+    std::vector<Tensor> part_sums(static_cast<std::size_t>(nchunks));
+    std::vector<Tensor> part_counts(static_cast<std::size_t>(nchunks));
+    parallelForChunks(0, ng, grain,
+                      [&](std::int64_t chunk, std::int64_t jb,
+                          std::int64_t je) {
+        Tensor csum(Shape({k, d}));
+        Tensor ccount(Shape({k, d}));
+        for (std::int64_t j = jb; j < je; ++j)
+            row_fn(j, csum.data(), ccount.data());
+        part_sums[static_cast<std::size_t>(chunk)] = std::move(csum);
+        part_counts[static_cast<std::size_t>(chunk)] = std::move(ccount);
+    });
+    sums = Tensor(Shape({k, d}));
+    counts = Tensor(Shape({k, d}));
+    for (std::int64_t chunk = 0; chunk < nchunks; ++chunk) {
+        const Tensor &cs = part_sums[static_cast<std::size_t>(chunk)];
+        const Tensor &cc = part_counts[static_cast<std::size_t>(chunk)];
+        for (std::int64_t i = 0; i < k * d; ++i) {
+            sums[i] += cs[i];
+            counts[i] += cc[i];
         }
     }
-    return total;
+}
+
+std::int64_t
+maskedAssign(const Tensor &wr, const std::vector<float> &mask01,
+             const Tensor &codebook, std::vector<std::int32_t> &assignments)
+{
+    const std::int64_t ng = wr.dim(0);
+    const std::int64_t d = wr.dim(1);
+    const std::int64_t k = codebook.dim(0);
+    panicIf(static_cast<std::int64_t>(mask01.size()) != ng * d,
+            "mask size mismatch in assignment");
+    panicIf(static_cast<std::int64_t>(assignments.size()) != ng,
+            "assignment count mismatch");
+
+    const float *pw = wr.data();
+    const float *pc = codebook.data();
+    const float *pm = mask01.data();
+    std::atomic<std::int64_t> changed{0};
+
+    parallelFor(0, ng, kRowGrain, [&](std::int64_t jb, std::int64_t je) {
+        std::int64_t local_changed = 0;
+        std::vector<std::int32_t> idx(static_cast<std::size_t>(d));
+        std::vector<float> wkeep(static_cast<std::size_t>(d));
+        for (std::int64_t j = jb; j < je; ++j) {
+            const float *wrow = pw + j * d;
+            const float *mrow = pm + j * d;
+            float best = std::numeric_limits<float>::max();
+            std::int32_t best_i = 0;
+
+            // Compress the row to its kept positions. N:M masks are mostly
+            // zeros, so scanning only the kept entries cuts the flops by
+            // the keep fraction; both paths accumulate kept positions in
+            // ascending t, so they produce bit-identical distances.
+            std::int64_t nk = 0;
+            for (std::int64_t t = 0; t < d; ++t) {
+                if (mrow[t] != 0.0f) {
+                    idx[static_cast<std::size_t>(nk)] =
+                        static_cast<std::int32_t>(t);
+                    wkeep[static_cast<std::size_t>(nk)] = wrow[t];
+                    ++nk;
+                }
+            }
+
+            if (nk * 2 <= d) {
+                for (std::int64_t i = 0; i < k; ++i) {
+                    const float *crow = pc + i * d;
+                    float s = 0.0f;
+                    for (std::int64_t q = 0; q < nk; ++q) {
+                        const float diff = wkeep[static_cast<std::size_t>(q)]
+                            - crow[idx[static_cast<std::size_t>(q)]];
+                        s += diff * diff;
+                    }
+                    if (s < best) {
+                        best = s;
+                        best_i = static_cast<std::int32_t>(i);
+                    }
+                }
+            } else {
+                for (std::int64_t i = 0; i < k; ++i) {
+                    const float *crow = pc + i * d;
+                    float s = 0.0f;
+                    // Branchless: the 0/1 multiplier zeroes pruned
+                    // positions, so the loop vectorizes without a
+                    // per-element test.
+                    for (std::int64_t t = 0; t < d; ++t) {
+                        const float diff = wrow[t] - crow[t];
+                        s += mrow[t] * diff * diff;
+                    }
+                    if (s < best) {
+                        best = s;
+                        best_i = static_cast<std::int32_t>(i);
+                    }
+                }
+            }
+            auto &slot = assignments[static_cast<std::size_t>(j)];
+            if (slot != best_i)
+                ++local_changed;
+            slot = best_i;
+        }
+        changed.fetch_add(local_changed, std::memory_order_relaxed);
+    });
+    return changed.load(std::memory_order_relaxed);
 }
 
 KmeansResult
@@ -108,52 +262,38 @@ maskedKmeans(const Tensor &wr, const Mask &mask, const KmeansConfig &cfg)
     const std::int64_t k = res.codebook.dim(0);
     res.assignments.assign(static_cast<std::size_t>(ng), 0);
 
+    const std::vector<float> mask01 = maskToFloat(mask);
+    const float *pw = wr.data();
+    const float *pm = mask01.data();
+
     for (int iter = 0; iter < cfg.max_iters; ++iter) {
         // --- Masked assignment (Eq. 2) --------------------------------
         // Distance over unpruned positions only. Pruned positions of wr
         // are zero and the mask zeroes the codeword there too, so both
         // contributions vanish.
-        std::int64_t changed = 0;
-        const float *pw = wr.data();
-        const float *pc = res.codebook.data();
-        for (std::int64_t j = 0; j < ng; ++j) {
-            const float *wrow = pw + j * d;
-            const std::uint8_t *mrow = mask.data() + j * d;
-            float best = std::numeric_limits<float>::max();
-            std::int32_t best_i = 0;
-            for (std::int64_t i = 0; i < k; ++i) {
-                const float *crow = pc + i * d;
-                float s = 0.0f;
-                for (std::int64_t t = 0; t < d; ++t) {
-                    if (mrow[t]) {
-                        const float diff = wrow[t] - crow[t];
-                        s += diff * diff;
-                    }
-                }
-                if (s < best) {
-                    best = s;
-                    best_i = static_cast<std::int32_t>(i);
-                }
-            }
-            if (res.assignments[static_cast<std::size_t>(j)] != best_i)
-                ++changed;
-            res.assignments[static_cast<std::size_t>(j)] = best_i;
-        }
+        const std::int64_t changed =
+            maskedAssign(wr, mask01, res.codebook, res.assignments);
 
         // --- Masked update (Eq. 3/4) -----------------------------------
         // c*_i[t] = sum of assigned unpruned values at position t divided
         // by the count of unpruned contributions at position t.
-        Tensor sums(Shape({k, d}));
-        Tensor counts(Shape({k, d}));
-        for (std::int64_t j = 0; j < ng; ++j) {
-            const std::int32_t a = res.assignments[static_cast<std::size_t>(j)];
-            for (std::int64_t t = 0; t < d; ++t) {
-                if (mask[static_cast<std::size_t>(j * d + t)]) {
-                    sums.at(a, t) += wr.at(j, t);
-                    counts.at(a, t) += 1.0f;
+        Tensor sums;
+        Tensor counts;
+        maskedPartialSums(
+            ng, k, d,
+            [&](std::int64_t j, float *ps, float *pn) {
+                const std::int32_t a =
+                    res.assignments[static_cast<std::size_t>(j)];
+                const float *wrow = pw + j * d;
+                const float *mrow = pm + j * d;
+                float *srow = ps + a * d;
+                float *nrow = pn + a * d;
+                for (std::int64_t t = 0; t < d; ++t) {
+                    srow[t] += mrow[t] * wrow[t];
+                    nrow[t] += mrow[t];
                 }
-            }
-        }
+            },
+            sums, counts);
         for (std::int64_t i = 0; i < k; ++i) {
             bool empty = true;
             for (std::int64_t t = 0; t < d; ++t) {
@@ -183,7 +323,11 @@ maskedKmeans(const Tensor &wr, const Mask &mask, const KmeansConfig &cfg)
             break;
     }
 
-    res.sse = maskedSse(wr, mask, res.codebook, res.assignments);
+    // The last history entry already measured the final state; only
+    // compute the SSE here if the loop never ran.
+    res.sse = res.sse_history.empty()
+        ? maskedSse(wr, mask, res.codebook, res.assignments)
+        : res.sse_history.back();
     return res;
 }
 
@@ -197,13 +341,18 @@ reconstructGrouped(const Tensor &codebook,
     fatalIf(static_cast<std::int64_t>(mask.size()) != ng * d,
             "mask size mismatch in reconstruct");
     Tensor out(Shape({ng, d}));
+    const float *pc = codebook.data();
+    const std::uint8_t *pm = mask.data();
+    float *po = out.data();
+    const std::int64_t k = codebook.dim(0);
     for (std::int64_t j = 0; j < ng; ++j) {
         const std::int32_t a = assignments[static_cast<std::size_t>(j)];
-        fatalIf(a < 0 || a >= codebook.dim(0), "assignment out of range");
-        for (std::int64_t t = 0; t < d; ++t) {
-            out.at(j, t) = mask[static_cast<std::size_t>(j * d + t)]
-                ? codebook.at(a, t) : 0.0f;
-        }
+        fatalIf(a < 0 || a >= k, "assignment out of range");
+        const float *crow = pc + a * d;
+        const std::uint8_t *mrow = pm + j * d;
+        float *orow = po + j * d;
+        for (std::int64_t t = 0; t < d; ++t)
+            orow[t] = mrow[t] ? crow[t] : 0.0f;
     }
     return out;
 }

@@ -13,6 +13,7 @@
 #define MVQ_CORE_MASKED_KMEANS_HPP
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/nm_pruning.hpp"
@@ -52,6 +53,35 @@ struct KmeansResult
  */
 KmeansResult maskedKmeans(const Tensor &wr, const Mask &mask,
                           const KmeansConfig &cfg);
+
+/** Convert a 0/1 byte mask into a 0.0/1.0 float multiplier buffer. */
+std::vector<float> maskToFloat(const Mask &mask);
+
+/**
+ * Deterministic parallel scatter-reduction into [k, d] sums/counts
+ * tensors: rows [0, ng) accumulate through row_fn into per-chunk partial
+ * buffers which then fold together in chunk order, so the result is
+ * bit-identical at any thread count. row_fn(j, sums, counts) adds row j's
+ * contribution into raw k*d buffers. Shared by the k-means centroid
+ * update and codeword gradient aggregation.
+ */
+void maskedPartialSums(
+    std::int64_t ng, std::int64_t k, std::int64_t d,
+    const std::function<void(std::int64_t, float *, float *)> &row_fn,
+    Tensor &sums, Tensor &counts);
+
+/**
+ * One masked assignment sweep (Eq. 2): for each subvector pick the
+ * codeword minimizing the masked distance, using the mask as a 0/1 float
+ * multiplier (branchless inner loop), partitioned across threads.
+ *
+ * @param mask01 NG*d float multipliers from maskToFloat().
+ * @param[in,out] assignments Updated in place; must hold NG entries.
+ * @return Number of subvectors whose assignment changed.
+ */
+std::int64_t maskedAssign(const Tensor &wr, const std::vector<float> &mask01,
+                          const Tensor &codebook,
+                          std::vector<std::int32_t> &assignments);
 
 /**
  * Masked SSE (Eq. 1): sum over subvectors of

@@ -1,6 +1,7 @@
 #include "core/pipeline.hpp"
 
 #include "common/logging.hpp"
+#include "common/parallel.hpp"
 #include "nn/network.hpp"
 
 namespace mvq::core {
@@ -167,6 +168,8 @@ mvqCompressClassifier(nn::Layer &model,
                       const PipelineConfig &cfg)
 {
     PipelineResult result;
+    inform("mvq pipeline: parallel runtime with ", numThreads(),
+           " threads");
     result.acc_dense = nn::evalClassifier(model, data, data.testSet());
 
     // Step 1: grouping + N:M pruning + SR-STE sparse fine-tuning.

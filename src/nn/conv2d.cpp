@@ -1,71 +1,31 @@
 #include "nn/conv2d.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <vector>
 
 #include "common/logging.hpp"
+#include "common/parallel.hpp"
 
 namespace mvq::nn {
 
 namespace {
 
-/** im2col over a channel slice [c0, c0 + geom.in_c) of the input. */
-Tensor
-im2colSlice(const Tensor &input, std::int64_t n, std::int64_t c0,
-            const ConvGeom &g)
+/** Per-group [kg, wcols] views of the weight tensor, shared read-only by
+ *  the batch loops of forward and backward. */
+std::vector<Tensor>
+packGroupWeights(const Tensor &weight, std::int64_t groups,
+                 std::int64_t kg, std::int64_t wcols)
 {
-    const std::int64_t oh = g.outH();
-    const std::int64_t ow = g.outW();
-    Tensor cols(Shape({g.in_c * g.k_h * g.k_w, oh * ow}));
-    float *pc = cols.data();
-
-    std::int64_t row = 0;
-    for (std::int64_t c = 0; c < g.in_c; ++c) {
-        for (std::int64_t kh = 0; kh < g.k_h; ++kh) {
-            for (std::int64_t kw = 0; kw < g.k_w; ++kw, ++row) {
-                float *dst = pc + row * oh * ow;
-                for (std::int64_t y = 0; y < oh; ++y) {
-                    const std::int64_t ih = y * g.stride - g.pad + kh;
-                    for (std::int64_t x = 0; x < ow; ++x) {
-                        const std::int64_t iw = x * g.stride - g.pad + kw;
-                        float v = 0.0f;
-                        if (ih >= 0 && ih < g.in_h && iw >= 0 && iw < g.in_w)
-                            v = input.at(n, c0 + c, ih, iw);
-                        dst[y * ow + x] = v;
-                    }
-                }
-            }
-        }
+    std::vector<Tensor> wmats(static_cast<std::size_t>(groups));
+    for (std::int64_t grp = 0; grp < groups; ++grp) {
+        Tensor wmat(Shape({kg, wcols}));
+        std::memcpy(wmat.data(), weight.data() + grp * kg * wcols,
+                    static_cast<std::size_t>(kg * wcols) * sizeof(float));
+        wmats[static_cast<std::size_t>(grp)] = std::move(wmat);
     }
-    return cols;
-}
-
-/** Scatter-add columns into the channel slice [c0, ...) of grad. */
-void
-col2imSlice(const Tensor &cols, Tensor &grad, std::int64_t n,
-            std::int64_t c0, const ConvGeom &g)
-{
-    const std::int64_t oh = g.outH();
-    const std::int64_t ow = g.outW();
-    const float *pc = cols.data();
-    std::int64_t row = 0;
-    for (std::int64_t c = 0; c < g.in_c; ++c) {
-        for (std::int64_t kh = 0; kh < g.k_h; ++kh) {
-            for (std::int64_t kw = 0; kw < g.k_w; ++kw, ++row) {
-                const float *src = pc + row * oh * ow;
-                for (std::int64_t y = 0; y < oh; ++y) {
-                    const std::int64_t ih = y * g.stride - g.pad + kh;
-                    if (ih < 0 || ih >= g.in_h)
-                        continue;
-                    for (std::int64_t x = 0; x < ow; ++x) {
-                        const std::int64_t iw = x * g.stride - g.pad + kw;
-                        if (iw < 0 || iw >= g.in_w)
-                            continue;
-                        grad.at(n, c0 + c, ih, iw) += src[y * ow + x];
-                    }
-                }
-            }
-        }
-    }
+    return wmats;
 }
 
 } // namespace
@@ -109,31 +69,47 @@ Conv2d::forward(const Tensor &x, bool train)
 
     Tensor out(Shape({batch, cfg_.out_channels, oh, ow}));
 
-    // Weight viewed per group as a [kg, cg*k*k] matrix.
     const std::int64_t wcols = cg * cfg_.kernel * cfg_.kernel;
-    for (std::int64_t n = 0; n < batch; ++n) {
-        for (std::int64_t grp = 0; grp < cfg_.groups; ++grp) {
-            Tensor cols = im2colSlice(x, n, grp * cg, g);
-            Tensor wmat(Shape({kg, wcols}));
-            const float *pw = weight_.value.data() + grp * kg * wcols;
-            for (std::int64_t i = 0; i < kg * wcols; ++i)
-                wmat[i] = pw[i];
-            Tensor res = matmul(wmat, cols); // [kg, oh*ow]
-            float *po = out.data()
-                + ((n * cfg_.out_channels + grp * kg) * oh * ow);
-            for (std::int64_t i = 0; i < kg * oh * ow; ++i)
-                po[i] = res[i];
-        }
+    std::vector<Tensor> wmats =
+        packGroupWeights(weight_.value, cfg_.groups, kg, wcols);
+
+    // Each (batch, group) pair fills a disjoint slab of out. When there
+    // are fewer pairs than threads, run the outer loop serially so the
+    // inner im2col/gemm can use the whole pool instead of being forced
+    // inline; either way each pair's result is bit-identical.
+    const std::int64_t work = batch * cfg_.groups;
+    auto run_pair = [&](std::int64_t w) {
+        const std::int64_t n = w / cfg_.groups;
+        const std::int64_t grp = w % cfg_.groups;
+        Tensor cols = im2col(x, n, g, grp * cg);
+        Tensor res = matmul(wmats[static_cast<std::size_t>(grp)],
+                            cols); // [kg, oh*ow]
+        float *po = out.data()
+            + ((n * cfg_.out_channels + grp * kg) * oh * ow);
+        std::memcpy(po, res.data(),
+                    static_cast<std::size_t>(kg * oh * ow)
+                        * sizeof(float));
+    };
+    if (work < numThreads()) {
+        for (std::int64_t w = 0; w < work; ++w)
+            run_pair(w);
+    } else {
+        parallelFor(0, work, 1, [&](std::int64_t wb, std::int64_t we) {
+            for (std::int64_t w = wb; w < we; ++w)
+                run_pair(w);
+        });
     }
 
     if (cfg_.bias) {
-        for (std::int64_t n = 0; n < batch; ++n) {
-            for (std::int64_t k = 0; k < cfg_.out_channels; ++k) {
-                const float b = bias_.value[k];
+        parallelFor(0, batch * cfg_.out_channels, 8,
+                    [&](std::int64_t kb, std::int64_t ke) {
+            for (std::int64_t nk = kb; nk < ke; ++nk) {
+                const float b = bias_.value[nk % cfg_.out_channels];
+                float *po = out.data() + nk * oh * ow;
                 for (std::int64_t i = 0; i < oh * ow; ++i)
-                    out.data()[(n * cfg_.out_channels + k) * oh * ow + i] += b;
+                    po[i] += b;
             }
-        }
+        });
     }
 
     flops_ = batch * cfg_.out_channels * oh * ow * wcols;
@@ -159,34 +135,71 @@ Conv2d::backward(const Tensor &grad_out)
 
     Tensor grad_in(x.shape());
 
-    for (std::int64_t n = 0; n < batch; ++n) {
-        for (std::int64_t grp = 0; grp < cfg_.groups; ++grp) {
-            Tensor cols = im2colSlice(x, n, grp * cg, g);
+    std::vector<Tensor> wmats =
+        packGroupWeights(weight_.value, cfg_.groups, kg, wcols);
+
+    // The (batch, group) pairs write disjoint slabs of grad_in, but all
+    // accumulate into the shared weight gradient, so each chunk collects
+    // its own partial dW; the partials fold together in chunk order below,
+    // keeping the sum identical for any thread count. The chunk count is
+    // capped at a fixed constant (not the thread count, which would break
+    // determinism) so transient memory stays at <= 16 weight-grad copies
+    // however large the batch is.
+    const std::int64_t work = batch * cfg_.groups;
+    const std::int64_t grain = std::max<std::int64_t>(1, (work + 15) / 16);
+    const std::int64_t nchunks = chunkCount(0, work, grain);
+    std::vector<Tensor> wgrad_partial(static_cast<std::size_t>(nchunks));
+    auto run_chunk = [&](std::int64_t chunk, std::int64_t wb,
+                         std::int64_t we) {
+        Tensor dw(weight_.grad.shape());
+        for (std::int64_t w = wb; w < we; ++w) {
+            const std::int64_t n = w / cfg_.groups;
+            const std::int64_t grp = w % cfg_.groups;
+            Tensor cols = im2col(x, n, g, grp * cg);
 
             // Gradient slab for this group as a [kg, oh*ow] matrix.
             Tensor gmat(Shape({kg, oh * ow}));
-            const float *pg = grad_out.data()
-                + ((n * cfg_.out_channels + grp * kg) * oh * ow);
-            for (std::int64_t i = 0; i < kg * oh * ow; ++i)
-                gmat[i] = pg[i];
+            std::memcpy(gmat.data(),
+                        grad_out.data()
+                            + ((n * cfg_.out_channels + grp * kg) * oh
+                               * ow),
+                        static_cast<std::size_t>(kg * oh * ow)
+                            * sizeof(float));
 
             // dW += G * cols^T
             Tensor gw = matmul(gmat, cols, false, true); // [kg, wcols]
-            float *pwg = weight_.grad.data() + grp * kg * wcols;
+            float *pwg = dw.data() + grp * kg * wcols;
+            const float *pg = gw.data();
             for (std::int64_t i = 0; i < kg * wcols; ++i)
-                pwg[i] += gw[i];
+                pwg[i] += pg[i];
 
             // dCols = W^T * G, scatter back to input gradient.
-            Tensor wmat(Shape({kg, wcols}));
-            const float *pw = weight_.value.data() + grp * kg * wcols;
-            for (std::int64_t i = 0; i < kg * wcols; ++i)
-                wmat[i] = pw[i];
-            Tensor gcols = matmul(wmat, gmat, true, false); // [wcols, oh*ow]
-            col2imSlice(gcols, grad_in, n, grp * cg, g);
+            Tensor gcols = matmul(wmats[static_cast<std::size_t>(grp)],
+                                  gmat, true, false); // [wcols, oh*ow]
+            col2im(gcols, grad_in, n, g, grp * cg);
         }
+        wgrad_partial[static_cast<std::size_t>(chunk)] = std::move(dw);
+    };
+    // Same small-batch rule as forward: hand the pool to the inner
+    // kernels when the outer loop cannot fill it. The chunk partition is
+    // identical either way, so the fold below is unchanged.
+    if (work < numThreads()) {
+        for (std::int64_t chunk = 0; chunk < nchunks; ++chunk)
+            run_chunk(chunk, chunk * grain,
+                      std::min(work, (chunk + 1) * grain));
+    } else {
+        parallelForChunks(0, work, grain, run_chunk);
+    }
+    for (std::int64_t chunk = 0; chunk < nchunks; ++chunk) {
+        const Tensor &dw = wgrad_partial[static_cast<std::size_t>(chunk)];
+        float *pwg = weight_.grad.data();
+        for (std::int64_t i = 0; i < weight_.grad.numel(); ++i)
+            pwg[i] += dw[i];
     }
 
     if (cfg_.bias) {
+        // Serial over channels: batch-major accumulation keeps the order
+        // the seed used, and the work is tiny.
         for (std::int64_t n = 0; n < batch; ++n) {
             for (std::int64_t k = 0; k < cfg_.out_channels; ++k) {
                 const float *pg = grad_out.data()

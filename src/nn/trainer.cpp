@@ -3,6 +3,7 @@
 #include <numeric>
 
 #include "common/logging.hpp"
+#include "common/parallel.hpp"
 #include "nn/loss.hpp"
 
 namespace mvq::nn {
@@ -35,6 +36,9 @@ trainClassifier(Layer &model, const ClassificationDataset &data,
     Rng rng(cfg.seed);
     Sgd opt(cfg.lr, cfg.momentum, cfg.weight_decay);
     TrainStats stats;
+
+    if (cfg.verbose)
+        inform("parallel runtime: ", numThreads(), " threads");
 
     for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
         const auto batches =

@@ -1,8 +1,12 @@
 #include "tensor/ops.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <vector>
 
 #include "common/logging.hpp"
+#include "common/parallel.hpp"
 
 namespace mvq {
 
@@ -14,23 +18,112 @@ checkRank2(const Tensor &t, const char *name)
     fatalIf(t.rank() != 2, name, " must be rank-2, got ", t.shape().str());
 }
 
-} // namespace
-
 void
-gemm(const Tensor &a, bool trans_a, const Tensor &b, bool trans_b,
-     Tensor &c, float alpha, float beta)
+checkGemmShapes(const Tensor &a, bool trans_a, const Tensor &b, bool trans_b,
+                const Tensor &c, std::int64_t &m, std::int64_t &n,
+                std::int64_t &k)
 {
     checkRank2(a, "gemm A");
     checkRank2(b, "gemm B");
     checkRank2(c, "gemm C");
-
-    const std::int64_t m = trans_a ? a.dim(1) : a.dim(0);
-    const std::int64_t k = trans_a ? a.dim(0) : a.dim(1);
+    m = trans_a ? a.dim(1) : a.dim(0);
+    k = trans_a ? a.dim(0) : a.dim(1);
     const std::int64_t kb = trans_b ? b.dim(1) : b.dim(0);
-    const std::int64_t n = trans_b ? b.dim(0) : b.dim(1);
+    n = trans_b ? b.dim(0) : b.dim(1);
     fatalIf(k != kb, "gemm inner dims mismatch: ", k, " vs ", kb);
     fatalIf(c.dim(0) != m || c.dim(1) != n,
             "gemm output shape mismatch: ", c.shape().str());
+}
+
+// Cache-blocking parameters. The micro-kernel computes an MR x NR tile of C
+// in registers; panels of op(A) (MC x KC) and op(B) (KC x NC) are packed
+// into contiguous, zero-padded buffers so the macro-kernel is branchless
+// and layout-independent (all four transpose cases pack to one format).
+constexpr std::int64_t MR = 4;
+constexpr std::int64_t NR = 8;
+constexpr std::int64_t MC = 64;
+constexpr std::int64_t KC = 256;
+constexpr std::int64_t NC = 2048;
+
+/**
+ * Pack op(A)[i0:i0+mc, k0:k0+kc] (alpha pre-applied) into MR-row panels:
+ * panel p holds columns-of-MR values ap[kk*MR + r] = alpha * op(A)(i0 +
+ * p*MR + r, k0 + kk). Rows past mc pad with zeros.
+ */
+void
+packA(const float *pa, std::int64_t lda, bool trans_a, std::int64_t i0,
+      std::int64_t k0, std::int64_t mc, std::int64_t kc, float alpha,
+      float *ap)
+{
+    for (std::int64_t p = 0; p < mc; p += MR) {
+        const std::int64_t rows = std::min(MR, mc - p);
+        for (std::int64_t kk = 0; kk < kc; ++kk) {
+            for (std::int64_t r = 0; r < rows; ++r) {
+                const std::int64_t i = i0 + p + r;
+                const std::int64_t kidx = k0 + kk;
+                ap[kk * MR + r] = alpha
+                    * (trans_a ? pa[kidx * lda + i] : pa[i * lda + kidx]);
+            }
+            for (std::int64_t r = rows; r < MR; ++r)
+                ap[kk * MR + r] = 0.0f;
+        }
+        ap += kc * MR;
+    }
+}
+
+/**
+ * Pack op(B)[k0:k0+kc, j0:j0+nc] into NR-column panels: panel q holds
+ * bp[kk*NR + cidx] = op(B)(k0 + kk, j0 + q*NR + cidx), zero-padded past nc.
+ */
+void
+packB(const float *pb, std::int64_t ldb, bool trans_b, std::int64_t k0,
+      std::int64_t j0, std::int64_t kc, std::int64_t nc, float *bp)
+{
+    // Panels write disjoint bpack regions, so packing runs in parallel
+    // (the pool is otherwise idle here) without affecting determinism.
+    const std::int64_t npanels = (nc + NR - 1) / NR;
+    parallelFor(0, npanels, 4, [&](std::int64_t qb, std::int64_t qe) {
+        for (std::int64_t q = qb; q < qe; ++q) {
+            float *dst = bp + q * kc * NR;
+            const std::int64_t cols = std::min(NR, nc - q * NR);
+            for (std::int64_t kk = 0; kk < kc; ++kk) {
+                const std::int64_t kidx = k0 + kk;
+                for (std::int64_t cidx = 0; cidx < cols; ++cidx) {
+                    const std::int64_t j = j0 + q * NR + cidx;
+                    dst[kk * NR + cidx] =
+                        trans_b ? pb[j * ldb + kidx] : pb[kidx * ldb + j];
+                }
+                for (std::int64_t cidx = cols; cidx < NR; ++cidx)
+                    dst[kk * NR + cidx] = 0.0f;
+            }
+        }
+    });
+}
+
+/** acc[MR][NR] += Ap panel * Bp panel over kc steps. */
+inline void
+microKernel(const float *ap, const float *bp, std::int64_t kc, float *acc)
+{
+    for (std::int64_t kk = 0; kk < kc; ++kk) {
+        const float *arow = ap + kk * MR;
+        const float *brow = bp + kk * NR;
+        for (std::int64_t r = 0; r < MR; ++r) {
+            const float av = arow[r];
+            float *crow = acc + r * NR;
+            for (std::int64_t cidx = 0; cidx < NR; ++cidx)
+                crow[cidx] += av * brow[cidx];
+        }
+    }
+}
+
+} // namespace
+
+void
+gemmReference(const Tensor &a, bool trans_a, const Tensor &b, bool trans_b,
+              Tensor &c, float alpha, float beta)
+{
+    std::int64_t m, n, k;
+    checkGemmShapes(a, trans_a, b, trans_b, c, m, n, k);
 
     const float *pa = a.data();
     const float *pb = b.data();
@@ -79,6 +172,92 @@ gemm(const Tensor &a, bool trans_a, const Tensor &b, bool trans_b,
     }
 }
 
+void
+gemm(const Tensor &a, bool trans_a, const Tensor &b, bool trans_b,
+     Tensor &c, float alpha, float beta)
+{
+    std::int64_t m, n, k;
+    checkGemmShapes(a, trans_a, b, trans_b, c, m, n, k);
+
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float *pc = c.data();
+    const std::int64_t lda = a.dim(1);
+    const std::int64_t ldb = b.dim(1);
+
+    // Very small problems: packing overhead dominates, use the scalar
+    // kernel. The threshold is in multiply-adds.
+    if (m * n * k <= 16 * 1024) {
+        gemmReference(a, trans_a, b, trans_b, c, alpha, beta);
+        return;
+    }
+
+    // Scale C by beta once, in parallel over rows.
+    if (beta == 0.0f) {
+        parallelFor(0, m, 16, [&](std::int64_t rb, std::int64_t re) {
+            std::memset(pc + rb * n, 0,
+                        static_cast<std::size_t>((re - rb) * n)
+                            * sizeof(float));
+        });
+    } else if (beta != 1.0f) {
+        parallelFor(0, m, 16, [&](std::int64_t rb, std::int64_t re) {
+            for (std::int64_t i = rb * n; i < re * n; ++i)
+                pc[i] *= beta;
+        });
+    }
+
+    const std::int64_t kc_max = std::min(KC, k);
+    const std::int64_t nc_max = std::min(NC, n);
+    std::vector<float> bpack(static_cast<std::size_t>(
+        kc_max * ((nc_max + NR - 1) / NR) * NR));
+
+    // jc/kc loops are sequential (each C element accumulates its KC blocks
+    // in a fixed order); the MC row blocks inside run in parallel and touch
+    // disjoint rows of C, so results are identical for any thread count.
+    for (std::int64_t jc = 0; jc < n; jc += NC) {
+        const std::int64_t nc = std::min(NC, n - jc);
+        const std::int64_t npanels = (nc + NR - 1) / NR;
+        for (std::int64_t k0 = 0; k0 < k; k0 += KC) {
+            const std::int64_t kc = std::min(KC, k - k0);
+            packB(pb, ldb, trans_b, k0, jc, kc, nc, bpack.data());
+
+            parallelFor(0, (m + MC - 1) / MC, 1,
+                        [&](std::int64_t blk_b, std::int64_t blk_e) {
+                std::vector<float> apack(static_cast<std::size_t>(
+                    kc * ((MC + MR - 1) / MR) * MR));
+                float acc[MR * NR];
+                for (std::int64_t blk = blk_b; blk < blk_e; ++blk) {
+                    const std::int64_t i0 = blk * MC;
+                    const std::int64_t mc = std::min(MC, m - i0);
+                    packA(pa, lda, trans_a, i0, k0, mc, kc, alpha,
+                          apack.data());
+                    const std::int64_t mpanels = (mc + MR - 1) / MR;
+                    for (std::int64_t q = 0; q < npanels; ++q) {
+                        const float *bp = bpack.data() + q * kc * NR;
+                        const std::int64_t cols =
+                            std::min(NR, nc - q * NR);
+                        for (std::int64_t p = 0; p < mpanels; ++p) {
+                            const float *ap = apack.data() + p * kc * MR;
+                            std::fill(acc, acc + MR * NR, 0.0f);
+                            microKernel(ap, bp, kc, acc);
+                            const std::int64_t rows =
+                                std::min(MR, mc - p * MR);
+                            for (std::int64_t r = 0; r < rows; ++r) {
+                                float *crow = pc
+                                    + (i0 + p * MR + r) * n + jc + q * NR;
+                                const float *arow = acc + r * NR;
+                                for (std::int64_t cidx = 0; cidx < cols;
+                                     ++cidx)
+                                    crow[cidx] += arow[cidx];
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    }
+}
+
 Tensor
 matmul(const Tensor &a, const Tensor &b, bool trans_a, bool trans_b)
 {
@@ -90,68 +269,96 @@ matmul(const Tensor &a, const Tensor &b, bool trans_a, bool trans_b)
 }
 
 Tensor
-im2col(const Tensor &input, std::int64_t n, const ConvGeom &g)
+im2col(const Tensor &input, std::int64_t n, const ConvGeom &g,
+       std::int64_t c0)
 {
     fatalIf(input.rank() != 4, "im2col expects NCHW input");
-    fatalIf(input.dim(1) != g.in_c || input.dim(2) != g.in_h
-                || input.dim(3) != g.in_w,
+    fatalIf(c0 < 0 || c0 + g.in_c > input.dim(1)
+                || input.dim(2) != g.in_h || input.dim(3) != g.in_w,
             "im2col geometry mismatch with input ", input.shape().str());
 
     const std::int64_t oh = g.outH();
     const std::int64_t ow = g.outW();
     Tensor cols(Shape({g.in_c * g.k_h * g.k_w, oh * ow}));
     float *pc = cols.data();
+    const float *pin = input.data()
+        + (n * input.dim(1) + c0) * g.in_h * g.in_w;
 
-    std::int64_t row = 0;
-    for (std::int64_t c = 0; c < g.in_c; ++c) {
-        for (std::int64_t kh = 0; kh < g.k_h; ++kh) {
-            for (std::int64_t kw = 0; kw < g.k_w; ++kw, ++row) {
-                float *dst = pc + row * oh * ow;
-                for (std::int64_t y = 0; y < oh; ++y) {
-                    const std::int64_t ih = y * g.stride - g.pad + kh;
-                    for (std::int64_t x = 0; x < ow; ++x) {
-                        const std::int64_t iw = x * g.stride - g.pad + kw;
-                        float v = 0.0f;
-                        if (ih >= 0 && ih < g.in_h && iw >= 0 && iw < g.in_w)
-                            v = input.at(n, c, ih, iw);
-                        dst[y * ow + x] = v;
-                    }
+    // Each row (c, kh, kw) writes a disjoint slab of cols.
+    const std::int64_t nrows = g.in_c * g.k_h * g.k_w;
+    const std::int64_t grain =
+        std::max<std::int64_t>(1, 4096 / std::max<std::int64_t>(1, oh * ow));
+    parallelFor(0, nrows, grain, [&](std::int64_t rb, std::int64_t re) {
+        for (std::int64_t row = rb; row < re; ++row) {
+            const std::int64_t c = row / (g.k_h * g.k_w);
+            const std::int64_t kh = (row / g.k_w) % g.k_h;
+            const std::int64_t kw = row % g.k_w;
+            const float *src = pin + c * g.in_h * g.in_w;
+            float *dst = pc + row * oh * ow;
+            for (std::int64_t y = 0; y < oh; ++y) {
+                const std::int64_t ih = y * g.stride - g.pad + kh;
+                float *drow = dst + y * ow;
+                if (ih < 0 || ih >= g.in_h) {
+                    std::memset(drow, 0,
+                                static_cast<std::size_t>(ow)
+                                    * sizeof(float));
+                    continue;
+                }
+                const float *srow = src + ih * g.in_w;
+                for (std::int64_t x = 0; x < ow; ++x) {
+                    const std::int64_t iw = x * g.stride - g.pad + kw;
+                    drow[x] = (iw >= 0 && iw < g.in_w) ? srow[iw] : 0.0f;
                 }
             }
         }
-    }
+    });
     return cols;
 }
 
 void
-col2im(const Tensor &cols, Tensor &grad, std::int64_t n, const ConvGeom &g)
+col2im(const Tensor &cols, Tensor &grad, std::int64_t n, const ConvGeom &g,
+       std::int64_t c0)
 {
     fatalIf(grad.rank() != 4, "col2im expects NCHW grad");
+    fatalIf(c0 < 0 || c0 + g.in_c > grad.dim(1) || grad.dim(2) != g.in_h
+                || grad.dim(3) != g.in_w,
+            "col2im geometry mismatch with grad ", grad.shape().str());
     const std::int64_t oh = g.outH();
     const std::int64_t ow = g.outW();
     fatalIf(cols.dim(0) != g.in_c * g.k_h * g.k_w || cols.dim(1) != oh * ow,
             "col2im column shape mismatch: ", cols.shape().str());
 
     const float *pc = cols.data();
-    std::int64_t row = 0;
-    for (std::int64_t c = 0; c < g.in_c; ++c) {
-        for (std::int64_t kh = 0; kh < g.k_h; ++kh) {
-            for (std::int64_t kw = 0; kw < g.k_w; ++kw, ++row) {
-                const float *src = pc + row * oh * ow;
-                for (std::int64_t y = 0; y < oh; ++y) {
-                    const std::int64_t ih = y * g.stride - g.pad + kh;
-                    if (ih < 0 || ih >= g.in_h)
-                        continue;
-                    for (std::int64_t x = 0; x < ow; ++x) {
-                        const std::int64_t iw = x * g.stride - g.pad + kw;
-                        if (iw < 0 || iw >= g.in_w)
+    float *pg = grad.data() + (n * grad.dim(1) + c0) * g.in_h * g.in_w;
+
+    // Rows sharing a channel scatter into the same image plane, so the
+    // parallel split is over channels (disjoint planes); the kh/kw rows of
+    // a channel run sequentially within a chunk.
+    parallelFor(0, g.in_c, 1, [&](std::int64_t cb, std::int64_t ce) {
+        for (std::int64_t c = cb; c < ce; ++c) {
+            float *plane = pg + c * g.in_h * g.in_w;
+            for (std::int64_t kh = 0; kh < g.k_h; ++kh) {
+                for (std::int64_t kw = 0; kw < g.k_w; ++kw) {
+                    const std::int64_t row =
+                        (c * g.k_h + kh) * g.k_w + kw;
+                    const float *src = pc + row * oh * ow;
+                    for (std::int64_t y = 0; y < oh; ++y) {
+                        const std::int64_t ih = y * g.stride - g.pad + kh;
+                        if (ih < 0 || ih >= g.in_h)
                             continue;
-                        grad.at(n, c, ih, iw) += src[y * ow + x];
+                        float *prow = plane + ih * g.in_w;
+                        const float *srow = src + y * ow;
+                        for (std::int64_t x = 0; x < ow; ++x) {
+                            const std::int64_t iw =
+                                x * g.stride - g.pad + kw;
+                            if (iw >= 0 && iw < g.in_w)
+                                prow[iw] += srow[x];
+                        }
                     }
                 }
             }
         }
-    }
+    });
 }
 
 Tensor

@@ -20,6 +20,14 @@ namespace mvq {
 void gemm(const Tensor &a, bool trans_a, const Tensor &b, bool trans_b,
           Tensor &c, float alpha = 1.0f, float beta = 0.0f);
 
+/**
+ * Scalar single-threaded GEMM (the seed kernel). Kept as the correctness
+ * oracle for tests and the "before" baseline for bench/micro_kernels.
+ */
+void gemmReference(const Tensor &a, bool trans_a, const Tensor &b,
+                   bool trans_b, Tensor &c, float alpha = 1.0f,
+                   float beta = 0.0f);
+
 /** Convenience: returns op(A) * op(B) as a fresh tensor. */
 Tensor matmul(const Tensor &a, const Tensor &b,
               bool trans_a = false, bool trans_b = false);
@@ -40,17 +48,21 @@ struct ConvGeom
 };
 
 /**
- * Expand one image (C,H,W slice of a rank-4 tensor at batch n) into a
- * [C*kh*kw, outH*outW] column matrix.
+ * Expand an image slice (channels [c0, c0 + g.in_c) of a rank-4 tensor at
+ * batch n) into a [g.in_c*kh*kw, outH*outW] column matrix. With the
+ * default c0 = 0 and g.in_c == input channels this is classic im2col;
+ * grouped convolutions pass c0 to select their channel slice.
  */
-Tensor im2col(const Tensor &input, std::int64_t n, const ConvGeom &g);
+Tensor im2col(const Tensor &input, std::int64_t n, const ConvGeom &g,
+              std::int64_t c0 = 0);
 
 /**
  * Scatter-add a column matrix back into an image gradient (inverse of
- * im2col for backprop). Accumulates into grad at batch n.
+ * im2col for backprop). Accumulates into channels [c0, c0 + g.in_c) of
+ * grad at batch n.
  */
 void col2im(const Tensor &cols, Tensor &grad, std::int64_t n,
-            const ConvGeom &g);
+            const ConvGeom &g, std::int64_t c0 = 0);
 
 /** out = a + b (same shape). */
 Tensor add(const Tensor &a, const Tensor &b);

@@ -3,6 +3,7 @@
 #include <numeric>
 
 #include "common/logging.hpp"
+#include "common/parallel.hpp"
 #include "common/random.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/loss.hpp"
@@ -81,9 +82,21 @@ permutationCost(const Tensor &w4, const std::vector<std::int64_t> &perm,
 {
     fatalIf(w4.dim(0) % d != 0, "permutationCost: d must divide K");
     const std::int64_t buckets = w4.dim(0) / d;
+    // Buckets are independent; per-chunk partials fold in chunk order so
+    // the sum is the same at any thread count.
+    std::vector<double> partial(
+        static_cast<std::size_t>(chunkCount(0, buckets, 1)), 0.0);
+    parallelForChunks(0, buckets, 1,
+                      [&](std::int64_t chunk, std::int64_t bb,
+                          std::int64_t be) {
+        double c = 0.0;
+        for (std::int64_t b = bb; b < be; ++b)
+            c += bucketCost(w4, perm, b, d);
+        partial[static_cast<std::size_t>(chunk)] = c;
+    });
     double cost = 0.0;
-    for (std::int64_t b = 0; b < buckets; ++b)
-        cost += bucketCost(w4, perm, b, d);
+    for (const double p : partial)
+        cost += p;
     return cost;
 }
 

@@ -5,7 +5,10 @@
  * assignment sweep kept here verbatim) are timed against the parallel
  * blocked/branchless kernels, reporting GFLOP/s and assignments/s. With
  * `--json <path>` (or MVQ_BENCH_JSON) the measurements append to a
- * JSON-lines file so future PRs can track the perf trajectory.
+ * JSON-lines file so future PRs can track the perf trajectory. A second
+ * report forces each available SIMD dispatch path (scalar/avx2/neon)
+ * through the same workloads and records per-ISA throughput plus
+ * vector-vs-scalar speedups.
  */
 
 #include <benchmark/benchmark.h>
@@ -19,6 +22,7 @@
 
 #include "bench_common.hpp"
 #include "common/parallel.hpp"
+#include "common/simd_dispatch.hpp"
 #include "core/mask_codec.hpp"
 #include "core/masked_kmeans.hpp"
 #include "sim/lzc.hpp"
@@ -293,6 +297,84 @@ speedupReport(const std::string &json)
     }
 }
 
+/**
+ * Per-ISA throughput: force each SIMD path this host can execute through
+ * the same gemm and masked-assignment workloads so BENCH_*.json records
+ * the dispatch layer's win explicitly (vector-vs-scalar speedups included).
+ */
+void
+isaReport(const std::string &json)
+{
+    using mvq::bench::appendBenchRecord;
+    using mvq::bench::f2;
+    using simd::Isa;
+
+    const bool fast = mvq::bench::fastMode();
+    const std::int64_t n = fast ? 256 : 512;
+    const std::int64_t ng = fast ? 8192 : 32768;
+    const std::int64_t k = 64;
+
+    Rng rng(2);
+    Tensor a(Shape({n, n}));
+    Tensor b(Shape({n, n}));
+    Tensor c(Shape({n, n}));
+    a.fillNormal(rng, 0.0f, 1.0f);
+    b.fillNormal(rng, 0.0f, 1.0f);
+    const double flop = 2.0 * static_cast<double>(n) * n * n;
+
+    Rng rng2(1);
+    Tensor wr(Shape({ng, 16}));
+    wr.fillNormal(rng2, 0.0f, 1.0f);
+    core::Mask mask = core::nmMask(wr, core::NmPattern{4, 16});
+    core::applyMask(wr, mask);
+    const std::vector<float> mask01 = core::maskToFloat(mask);
+    Tensor cb(Shape({k, 16}));
+    cb.fillNormal(rng2, 0.0f, 1.0f);
+    std::vector<std::int32_t> assign(static_cast<std::size_t>(ng), 0);
+
+    std::cout << "--- per-ISA throughput (gemm " << n
+              << "^3, masked assignment ng=" << ng << " 4:16) ---\n";
+    const simd::Isa saved = simd::activeIsa();
+    double scalar_gflops = 0.0;
+    double scalar_aps = 0.0;
+    for (Isa isa : {Isa::Scalar, Isa::Avx2, Isa::Neon}) {
+        if (!simd::isaAvailable(isa))
+            continue;
+        simd::setIsa(isa);
+        const std::string tag = simd::isaName(isa);
+
+        const double t_g =
+            secondsOf([&] { gemm(a, false, b, false, c); }, 5);
+        const double gflops = flop / t_g * 1e-9;
+        const double t_a = secondsOf(
+            [&] { core::maskedAssign(wr, mask01, cb, assign); }, 5);
+        const double aps = static_cast<double>(ng) / t_a;
+
+        std::cout << tag << ": gemm " << f2(gflops)
+                  << " GFLOP/s, assignment " << f2(aps * 1e-6) << " M/s";
+        appendBenchRecord(json, "gemm" + std::to_string(n) + "_" + tag,
+                          "gflops", gflops);
+        appendBenchRecord(json, "masked_assign_" + tag,
+                          "assignments_per_s", aps);
+        if (isa == Isa::Scalar) {
+            scalar_gflops = gflops;
+            scalar_aps = aps;
+        } else {
+            std::cout << " (vs scalar: gemm "
+                      << f2(gflops / scalar_gflops) << "x, assignment "
+                      << f2(aps / scalar_aps) << "x)";
+            appendBenchRecord(json, "simd_dispatch",
+                              "gemm_speedup_" + tag + "_vs_scalar",
+                              gflops / scalar_gflops);
+            appendBenchRecord(json, "simd_dispatch",
+                              "assign_speedup_" + tag + "_vs_scalar",
+                              aps / scalar_aps);
+        }
+        std::cout << "\n";
+    }
+    simd::setIsa(saved);
+}
+
 } // namespace
 
 int
@@ -318,5 +400,6 @@ main(int argc, char **argv)
     benchmark::Initialize(&bench_argc, args.data());
     benchmark::RunSpecifiedBenchmarks();
     speedupReport(json);
+    isaReport(json);
     return 0;
 }

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * NEON (aarch64 Advanced SIMD) kernel table. NEON is baseline on aarch64,
+ * so no per-file flags are needed — the TU gates itself on the target and
+ * compiles to a stub elsewhere. The CI aarch64 cross-compile job keeps
+ * this path building even though the x86 test hosts never execute it.
+ */
+
+#include "common/simd_dispatch.hpp"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include <limits>
+
+namespace mvq::simd {
+
+namespace {
+
+constexpr std::int64_t MR = 4;
+constexpr std::int64_t NR = 16;
+static_assert(MR <= kMaxGemmMr && NR <= kMaxGemmNr);
+
+/**
+ * 4x16 register tile: 16 accumulator q-regs + 1 B vector + 1 A vector.
+ * vfmaq_laneq broadcasts one packed A lane per row, so the whole A column
+ * loads once per kk step. Packed layouts match the scalar kernel.
+ */
+void
+gemmMicroNeon(const float *ap, const float *bp, std::int64_t kc, float *acc)
+{
+    float32x4_t c0[4], c1[4], c2[4], c3[4];
+    for (int v = 0; v < 4; ++v) {
+        c0[v] = vld1q_f32(acc + 0 * NR + 4 * v);
+        c1[v] = vld1q_f32(acc + 1 * NR + 4 * v);
+        c2[v] = vld1q_f32(acc + 2 * NR + 4 * v);
+        c3[v] = vld1q_f32(acc + 3 * NR + 4 * v);
+    }
+    for (std::int64_t kk = 0; kk < kc; ++kk) {
+        const float32x4_t a = vld1q_f32(ap + kk * MR);
+        const float *brow = bp + kk * NR;
+        for (int v = 0; v < 4; ++v) {
+            const float32x4_t b = vld1q_f32(brow + 4 * v);
+            c0[v] = vfmaq_laneq_f32(c0[v], b, a, 0);
+            c1[v] = vfmaq_laneq_f32(c1[v], b, a, 1);
+            c2[v] = vfmaq_laneq_f32(c2[v], b, a, 2);
+            c3[v] = vfmaq_laneq_f32(c3[v], b, a, 3);
+        }
+    }
+    for (int v = 0; v < 4; ++v) {
+        vst1q_f32(acc + 0 * NR + 4 * v, c0[v]);
+        vst1q_f32(acc + 1 * NR + 4 * v, c1[v]);
+        vst1q_f32(acc + 2 * NR + 4 * v, c2[v]);
+        vst1q_f32(acc + 3 * NR + 4 * v, c3[v]);
+    }
+}
+
+/**
+ * Track the running 4-lane minimum: lane u of (vbest, vbi) holds the best
+ * distance and its codeword index among strips processed so far. Strictly-
+ * less blending keeps the earliest index within a lane, matching the
+ * scalar first-minimum scan.
+ */
+inline void
+argminStep(float32x4_t s, int32x4_t curi, float32x4_t &vbest,
+           int32x4_t &vbi)
+{
+    const uint32x4_t lt = vcltq_f32(s, vbest);
+    vbest = vbslq_f32(lt, s, vbest);
+    vbi = vbslq_s32(lt, curi, vbi);
+}
+
+/**
+ * Fold the 4 lanes to one (value, index); lane ties resolve to the lower
+ * codeword index so results match the scalar kernels exactly.
+ */
+std::int32_t
+argminFinish(float32x4_t vbest, int32x4_t vbi, float &best)
+{
+    float bv[4];
+    std::int32_t bi[4];
+    vst1q_f32(bv, vbest);
+    vst1q_s32(bi, vbi);
+    best = bv[0];
+    std::int32_t best_i = bi[0];
+    for (int u = 1; u < 4; ++u) {
+        if (bv[u] < best || (bv[u] == best && bi[u] < best_i)) {
+            best = bv[u];
+            best_i = bi[u];
+        }
+    }
+    return best_i;
+}
+
+const int32x4_t kLaneIota = {0, 1, 2, 3};
+
+std::int32_t
+assignBestDenseNeon(const float *wrow, const float *mrow, const float *cb,
+                    const float *cbT, std::int64_t k, std::int64_t d)
+{
+    // Each 4-lane strip of the transposed codebook evaluates 4 codewords
+    // at once: broadcast one (weight, mask) position, load the codeword
+    // strip at that position, accumulate the masked squared difference.
+    const std::int64_t k4 = k - k % 4;
+    float32x4_t vbest = vdupq_n_f32(std::numeric_limits<float>::max());
+    int32x4_t vbi = vdupq_n_s32(0);
+    for (std::int64_t i = 0; i < k4; i += 4) {
+        float32x4_t s = vdupq_n_f32(0.0f);
+        for (std::int64_t t = 0; t < d; ++t) {
+            const float32x4_t df = vsubq_f32(
+                vdupq_n_f32(wrow[t]), vld1q_f32(cbT + t * k + i));
+            s = vfmaq_f32(s, vmulq_f32(df, vdupq_n_f32(mrow[t])), df);
+        }
+        const int32x4_t curi =
+            vaddq_s32(vdupq_n_s32(static_cast<std::int32_t>(i)), kLaneIota);
+        argminStep(s, curi, vbest, vbi);
+    }
+
+    float best;
+    std::int32_t best_i = argminFinish(vbest, vbi, best);
+    for (std::int64_t i = k4; i < k; ++i) {
+        const float *crow = cb + i * d;
+        float s = 0.0f;
+        for (std::int64_t t = 0; t < d; ++t) {
+            const float diff = wrow[t] - crow[t];
+            s += mrow[t] * diff * diff;
+        }
+        if (s < best) {
+            best = s;
+            best_i = static_cast<std::int32_t>(i);
+        }
+    }
+    return best_i;
+}
+
+std::int32_t
+assignBestSparseNeon(const float *wkeep, const std::int32_t *idx,
+                     std::int64_t nk, const float *cb, const float *cbT,
+                     std::int64_t k, std::int64_t d)
+{
+    // Same strip walk as the dense kernel, but only the nk kept positions
+    // contribute — the transposed layout turns the compressed-row scan
+    // into contiguous loads.
+    const std::int64_t k4 = k - k % 4;
+    float32x4_t vbest = vdupq_n_f32(std::numeric_limits<float>::max());
+    int32x4_t vbi = vdupq_n_s32(0);
+    for (std::int64_t i = 0; i < k4; i += 4) {
+        float32x4_t s = vdupq_n_f32(0.0f);
+        for (std::int64_t q = 0; q < nk; ++q) {
+            const float32x4_t df = vsubq_f32(
+                vdupq_n_f32(wkeep[q]), vld1q_f32(cbT + idx[q] * k + i));
+            s = vfmaq_f32(s, df, df);
+        }
+        const int32x4_t curi =
+            vaddq_s32(vdupq_n_s32(static_cast<std::int32_t>(i)), kLaneIota);
+        argminStep(s, curi, vbest, vbi);
+    }
+
+    float best;
+    std::int32_t best_i = argminFinish(vbest, vbi, best);
+    for (std::int64_t i = k4; i < k; ++i) {
+        const float *crow = cb + i * d;
+        float s = 0.0f;
+        for (std::int64_t q = 0; q < nk; ++q) {
+            const float diff = wkeep[q] - crow[idx[q]];
+            s += diff * diff;
+        }
+        if (s < best) {
+            best = s;
+            best_i = static_cast<std::int32_t>(i);
+        }
+    }
+    return best_i;
+}
+
+constexpr Kernels kNeonKernels = {
+    Isa::Neon, "neon", MR, NR, &gemmMicroNeon,
+    &assignBestDenseNeon, &assignBestSparseNeon,
+};
+
+} // namespace
+
+const Kernels *
+neonKernelsOrNull()
+{
+    return &kNeonKernels;
+}
+
+} // namespace mvq::simd
+
+#else // non-aarch64 target
+
+namespace mvq::simd {
+
+const Kernels *
+neonKernelsOrNull()
+{
+    return nullptr;
+}
+
+} // namespace mvq::simd
+
+#endif

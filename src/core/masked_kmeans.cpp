@@ -8,6 +8,7 @@
 #include "common/logging.hpp"
 #include "common/parallel.hpp"
 #include "common/random.hpp"
+#include "common/simd_dispatch.hpp"
 
 namespace mvq::core {
 
@@ -181,6 +182,24 @@ maskedAssign(const Tensor &wr, const std::vector<float> &mask01,
     const float *pm = mask01.data();
     std::atomic<std::int64_t> changed{0};
 
+    // Distance kernels come from the runtime SIMD dispatch table; all
+    // variants break ties toward the lowest codeword index, and chunking
+    // never depends on the thread count, so results stay bit-identical
+    // across thread counts within an ISA. Across ISAs, FMA contraction
+    // can round distances differently in the last ULP, so a near-exact
+    // tie could in principle resolve differently (the cross-ISA parity
+    // test pins agreement on fixed-seed data).
+    const simd::Kernels &kn = simd::kernels();
+
+    // Vector kernels stride a transposed codebook [d, k] to evaluate a
+    // full lane-width of codewords per instruction; building it is O(k*d)
+    // once per sweep, amortized over the ng-row scan. Scalar ignores it.
+    std::vector<float> cbt(static_cast<std::size_t>(d * k));
+    for (std::int64_t i = 0; i < k; ++i)
+        for (std::int64_t t = 0; t < d; ++t)
+            cbt[static_cast<std::size_t>(t * k + i)] = pc[i * d + t];
+    const float *pct = cbt.data();
+
     parallelFor(0, ng, kRowGrain, [&](std::int64_t jb, std::int64_t je) {
         std::int64_t local_changed = 0;
         std::vector<std::int32_t> idx(static_cast<std::size_t>(d));
@@ -188,13 +207,10 @@ maskedAssign(const Tensor &wr, const std::vector<float> &mask01,
         for (std::int64_t j = jb; j < je; ++j) {
             const float *wrow = pw + j * d;
             const float *mrow = pm + j * d;
-            float best = std::numeric_limits<float>::max();
-            std::int32_t best_i = 0;
 
             // Compress the row to its kept positions. N:M masks are mostly
             // zeros, so scanning only the kept entries cuts the flops by
-            // the keep fraction; both paths accumulate kept positions in
-            // ascending t, so they produce bit-identical distances.
+            // the keep fraction.
             std::int64_t nk = 0;
             for (std::int64_t t = 0; t < d; ++t) {
                 if (mrow[t] != 0.0f) {
@@ -205,37 +221,10 @@ maskedAssign(const Tensor &wr, const std::vector<float> &mask01,
                 }
             }
 
-            if (nk * 2 <= d) {
-                for (std::int64_t i = 0; i < k; ++i) {
-                    const float *crow = pc + i * d;
-                    float s = 0.0f;
-                    for (std::int64_t q = 0; q < nk; ++q) {
-                        const float diff = wkeep[static_cast<std::size_t>(q)]
-                            - crow[idx[static_cast<std::size_t>(q)]];
-                        s += diff * diff;
-                    }
-                    if (s < best) {
-                        best = s;
-                        best_i = static_cast<std::int32_t>(i);
-                    }
-                }
-            } else {
-                for (std::int64_t i = 0; i < k; ++i) {
-                    const float *crow = pc + i * d;
-                    float s = 0.0f;
-                    // Branchless: the 0/1 multiplier zeroes pruned
-                    // positions, so the loop vectorizes without a
-                    // per-element test.
-                    for (std::int64_t t = 0; t < d; ++t) {
-                        const float diff = wrow[t] - crow[t];
-                        s += mrow[t] * diff * diff;
-                    }
-                    if (s < best) {
-                        best = s;
-                        best_i = static_cast<std::int32_t>(i);
-                    }
-                }
-            }
+            const std::int32_t best_i = (nk * kAssignSparseKeepRatio <= d)
+                ? kn.assignBestSparse(wkeep.data(), idx.data(), nk, pc,
+                                      pct, k, d)
+                : kn.assignBestDense(wrow, mrow, pc, pct, k, d);
             auto &slot = assignments[static_cast<std::size_t>(j)];
             if (slot != best_i)
                 ++local_changed;

@@ -21,6 +21,15 @@
 
 namespace mvq::core {
 
+/**
+ * maskedAssign takes the sparse compressed-row distance kernel when a
+ * row's kept-position count times this ratio is at most d (i.e. at most
+ * half the row survives the mask); denser rows take the full-row
+ * branchless kernel. Exposed so tests and benches can pick masks that
+ * target either path deliberately.
+ */
+constexpr std::int64_t kAssignSparseKeepRatio = 2;
+
 /** Options shared by masked and plain k-means. */
 struct KmeansConfig
 {

@@ -7,6 +7,7 @@
 
 #include "common/logging.hpp"
 #include "common/parallel.hpp"
+#include "common/simd_dispatch.hpp"
 
 namespace mvq {
 
@@ -35,85 +36,70 @@ checkGemmShapes(const Tensor &a, bool trans_a, const Tensor &b, bool trans_b,
             "gemm output shape mismatch: ", c.shape().str());
 }
 
-// Cache-blocking parameters. The micro-kernel computes an MR x NR tile of C
-// in registers; panels of op(A) (MC x KC) and op(B) (KC x NC) are packed
-// into contiguous, zero-padded buffers so the macro-kernel is branchless
-// and layout-independent (all four transpose cases pack to one format).
-constexpr std::int64_t MR = 4;
-constexpr std::int64_t NR = 8;
+// Cache-blocking parameters. The active ISA's micro-kernel (see
+// common/simd_dispatch.hpp) computes an mr x nr tile of C in registers —
+// the tile shape is per-ISA (scalar 4x8, AVX2 6x16, NEON 4x16); panels of
+// op(A) (MC x KC) and op(B) (KC x NC) are packed into contiguous,
+// zero-padded buffers so the macro-kernel is branchless and
+// layout-independent (all four transpose cases pack to one format).
 constexpr std::int64_t MC = 64;
 constexpr std::int64_t KC = 256;
 constexpr std::int64_t NC = 2048;
 
 /**
- * Pack op(A)[i0:i0+mc, k0:k0+kc] (alpha pre-applied) into MR-row panels:
- * panel p holds columns-of-MR values ap[kk*MR + r] = alpha * op(A)(i0 +
- * p*MR + r, k0 + kk). Rows past mc pad with zeros.
+ * Pack op(A)[i0:i0+mc, k0:k0+kc] (alpha pre-applied) into mr-row panels:
+ * panel p holds columns-of-mr values ap[kk*mr + r] = alpha * op(A)(i0 +
+ * p*mr + r, k0 + kk). Rows past mc pad with zeros.
  */
 void
 packA(const float *pa, std::int64_t lda, bool trans_a, std::int64_t i0,
       std::int64_t k0, std::int64_t mc, std::int64_t kc, float alpha,
-      float *ap)
+      std::int64_t mr, float *ap)
 {
-    for (std::int64_t p = 0; p < mc; p += MR) {
-        const std::int64_t rows = std::min(MR, mc - p);
+    for (std::int64_t p = 0; p < mc; p += mr) {
+        const std::int64_t rows = std::min(mr, mc - p);
         for (std::int64_t kk = 0; kk < kc; ++kk) {
             for (std::int64_t r = 0; r < rows; ++r) {
                 const std::int64_t i = i0 + p + r;
                 const std::int64_t kidx = k0 + kk;
-                ap[kk * MR + r] = alpha
+                ap[kk * mr + r] = alpha
                     * (trans_a ? pa[kidx * lda + i] : pa[i * lda + kidx]);
             }
-            for (std::int64_t r = rows; r < MR; ++r)
-                ap[kk * MR + r] = 0.0f;
+            for (std::int64_t r = rows; r < mr; ++r)
+                ap[kk * mr + r] = 0.0f;
         }
-        ap += kc * MR;
+        ap += kc * mr;
     }
 }
 
 /**
- * Pack op(B)[k0:k0+kc, j0:j0+nc] into NR-column panels: panel q holds
- * bp[kk*NR + cidx] = op(B)(k0 + kk, j0 + q*NR + cidx), zero-padded past nc.
+ * Pack op(B)[k0:k0+kc, j0:j0+nc] into nr-column panels: panel q holds
+ * bp[kk*nr + cidx] = op(B)(k0 + kk, j0 + q*nr + cidx), zero-padded past nc.
  */
 void
 packB(const float *pb, std::int64_t ldb, bool trans_b, std::int64_t k0,
-      std::int64_t j0, std::int64_t kc, std::int64_t nc, float *bp)
+      std::int64_t j0, std::int64_t kc, std::int64_t nc, std::int64_t nr,
+      float *bp)
 {
     // Panels write disjoint bpack regions, so packing runs in parallel
     // (the pool is otherwise idle here) without affecting determinism.
-    const std::int64_t npanels = (nc + NR - 1) / NR;
+    const std::int64_t npanels = (nc + nr - 1) / nr;
     parallelFor(0, npanels, 4, [&](std::int64_t qb, std::int64_t qe) {
         for (std::int64_t q = qb; q < qe; ++q) {
-            float *dst = bp + q * kc * NR;
-            const std::int64_t cols = std::min(NR, nc - q * NR);
+            float *dst = bp + q * kc * nr;
+            const std::int64_t cols = std::min(nr, nc - q * nr);
             for (std::int64_t kk = 0; kk < kc; ++kk) {
                 const std::int64_t kidx = k0 + kk;
                 for (std::int64_t cidx = 0; cidx < cols; ++cidx) {
-                    const std::int64_t j = j0 + q * NR + cidx;
-                    dst[kk * NR + cidx] =
+                    const std::int64_t j = j0 + q * nr + cidx;
+                    dst[kk * nr + cidx] =
                         trans_b ? pb[j * ldb + kidx] : pb[kidx * ldb + j];
                 }
-                for (std::int64_t cidx = cols; cidx < NR; ++cidx)
-                    dst[kk * NR + cidx] = 0.0f;
+                for (std::int64_t cidx = cols; cidx < nr; ++cidx)
+                    dst[kk * nr + cidx] = 0.0f;
             }
         }
     });
-}
-
-/** acc[MR][NR] += Ap panel * Bp panel over kc steps. */
-inline void
-microKernel(const float *ap, const float *bp, std::int64_t kc, float *acc)
-{
-    for (std::int64_t kk = 0; kk < kc; ++kk) {
-        const float *arow = ap + kk * MR;
-        const float *brow = bp + kk * NR;
-        for (std::int64_t r = 0; r < MR; ++r) {
-            const float av = arow[r];
-            float *crow = acc + r * NR;
-            for (std::int64_t cidx = 0; cidx < NR; ++cidx)
-                crow[cidx] += av * brow[cidx];
-        }
-    }
 }
 
 } // namespace
@@ -187,10 +173,15 @@ gemm(const Tensor &a, bool trans_a, const Tensor &b, bool trans_b,
 
     // Very small problems: packing overhead dominates, use the scalar
     // kernel. The threshold is in multiply-adds.
-    if (m * n * k <= 16 * 1024) {
+    if (m * n * k <= kGemmScalarFallbackMacs) {
         gemmReference(a, trans_a, b, trans_b, c, alpha, beta);
         return;
     }
+
+    // Register-tile shape comes from the active ISA's micro-kernel.
+    const simd::Kernels &kn = simd::kernels();
+    const std::int64_t mr = kn.mr;
+    const std::int64_t nr = kn.nr;
 
     // Scale C by beta once, in parallel over rows.
     if (beta == 0.0f) {
@@ -209,43 +200,44 @@ gemm(const Tensor &a, bool trans_a, const Tensor &b, bool trans_b,
     const std::int64_t kc_max = std::min(KC, k);
     const std::int64_t nc_max = std::min(NC, n);
     std::vector<float> bpack(static_cast<std::size_t>(
-        kc_max * ((nc_max + NR - 1) / NR) * NR));
+        kc_max * ((nc_max + nr - 1) / nr) * nr));
 
     // jc/kc loops are sequential (each C element accumulates its KC blocks
     // in a fixed order); the MC row blocks inside run in parallel and touch
-    // disjoint rows of C, so results are identical for any thread count.
+    // disjoint rows of C, so results are identical for any thread count
+    // (within a given ISA — different micro-kernels reorder the lane sums).
     for (std::int64_t jc = 0; jc < n; jc += NC) {
         const std::int64_t nc = std::min(NC, n - jc);
-        const std::int64_t npanels = (nc + NR - 1) / NR;
+        const std::int64_t npanels = (nc + nr - 1) / nr;
         for (std::int64_t k0 = 0; k0 < k; k0 += KC) {
             const std::int64_t kc = std::min(KC, k - k0);
-            packB(pb, ldb, trans_b, k0, jc, kc, nc, bpack.data());
+            packB(pb, ldb, trans_b, k0, jc, kc, nc, nr, bpack.data());
 
             parallelFor(0, (m + MC - 1) / MC, 1,
                         [&](std::int64_t blk_b, std::int64_t blk_e) {
                 std::vector<float> apack(static_cast<std::size_t>(
-                    kc * ((MC + MR - 1) / MR) * MR));
-                float acc[MR * NR];
+                    kc * ((MC + mr - 1) / mr) * mr));
+                float acc[simd::kMaxGemmMr * simd::kMaxGemmNr];
                 for (std::int64_t blk = blk_b; blk < blk_e; ++blk) {
                     const std::int64_t i0 = blk * MC;
                     const std::int64_t mc = std::min(MC, m - i0);
-                    packA(pa, lda, trans_a, i0, k0, mc, kc, alpha,
+                    packA(pa, lda, trans_a, i0, k0, mc, kc, alpha, mr,
                           apack.data());
-                    const std::int64_t mpanels = (mc + MR - 1) / MR;
+                    const std::int64_t mpanels = (mc + mr - 1) / mr;
                     for (std::int64_t q = 0; q < npanels; ++q) {
-                        const float *bp = bpack.data() + q * kc * NR;
+                        const float *bp = bpack.data() + q * kc * nr;
                         const std::int64_t cols =
-                            std::min(NR, nc - q * NR);
+                            std::min(nr, nc - q * nr);
                         for (std::int64_t p = 0; p < mpanels; ++p) {
-                            const float *ap = apack.data() + p * kc * MR;
-                            std::fill(acc, acc + MR * NR, 0.0f);
-                            microKernel(ap, bp, kc, acc);
+                            const float *ap = apack.data() + p * kc * mr;
+                            std::fill(acc, acc + mr * nr, 0.0f);
+                            kn.gemmMicroKernel(ap, bp, kc, acc);
                             const std::int64_t rows =
-                                std::min(MR, mc - p * MR);
+                                std::min(mr, mc - p * mr);
                             for (std::int64_t r = 0; r < rows; ++r) {
                                 float *crow = pc
-                                    + (i0 + p * MR + r) * n + jc + q * NR;
-                                const float *arow = acc + r * NR;
+                                    + (i0 + p * mr + r) * n + jc + q * nr;
+                                const float *arow = acc + r * nr;
                                 for (std::int64_t cidx = 0; cidx < cols;
                                      ++cidx)
                                     crow[cidx] += arow[cidx];

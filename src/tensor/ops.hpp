@@ -12,6 +12,14 @@
 namespace mvq {
 
 /**
+ * Problems at or below this many multiply-adds (m*n*k) skip the packed
+ * blocked path — packing overhead dominates — and run gemmReference
+ * instead. Exposed so tests and benches can target either side of the
+ * crossover deliberately.
+ */
+constexpr std::int64_t kGemmScalarFallbackMacs = 16 * 1024;
+
+/**
  * C = alpha * op(A) * op(B) + beta * C for rank-2 tensors.
  *
  * @param trans_a Use A transposed.

@@ -176,6 +176,33 @@ BM_Gemm(benchmark::State &state)
 }
 BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
 
+/** Random [rows, cols] matrix with the compressed-layer 4:16 structure. */
+Tensor
+masked416Matrix(std::uint64_t seed, std::int64_t rows, std::int64_t cols)
+{
+    Rng rng(seed);
+    return core::randomNmMatrix(rng, rows, cols, core::NmPattern{4, 16});
+}
+
+void
+BM_GemmSparse(benchmark::State &state)
+{
+    const std::int64_t n = state.range(0);
+    Tensor a = masked416Matrix(2, n, n);
+    const SparseRowMatrix sp = sparsifyRows(a);
+    Rng rng(3);
+    Tensor b(Shape({n, n}));
+    Tensor c(Shape({n, n}));
+    b.fillNormal(rng, 0.0f, 1.0f);
+    for (auto _ : state) {
+        gemmSparseA(sp, b, c);
+        benchmark::DoNotOptimize(c.data());
+    }
+    // Useful (kept-position) flops; the dense equivalent is 4x this.
+    state.SetItemsProcessed(state.iterations() * 2 * sp.nnz() * n);
+}
+BENCHMARK(BM_GemmSparse)->Arg(64)->Arg(128)->Arg(256);
+
 void
 BM_GemmRef(benchmark::State &state)
 {
@@ -375,6 +402,70 @@ isaReport(const std::string &json)
     simd::setIsa(saved);
 }
 
+/**
+ * Dense-vs-sparse gemm on the same 4:16 compressed-layer structure: the
+ * dense path multiplies the masked (75%-zero) dense matrix, the sparse
+ * path consumes the compressed rows. Single-threaded so the speedup is
+ * the per-core flop-cut story, not a parallel-scaling artifact; the ideal
+ * is 4x, and the achieved fraction is reported honestly per ISA.
+ */
+void
+sparseReport(const std::string &json)
+{
+    using mvq::bench::appendBenchRecord;
+    using mvq::bench::f2;
+    using simd::Isa;
+
+    const bool fast = mvq::bench::fastMode();
+    // Conv-layer-like shape: 256 output channels, 256*3*3 unrolled
+    // columns, 28x28 (14x14 in fast mode) output positions.
+    const std::int64_t m = 256;
+    const std::int64_t k = 2304;
+    const std::int64_t n = fast ? 196 : 784;
+
+    Tensor a = masked416Matrix(6, m, k);
+    const SparseRowMatrix sp = sparsifyRows(a);
+    Rng rng(7);
+    Tensor b(Shape({k, n}));
+    Tensor c(Shape({m, n}));
+    b.fillNormal(rng, 0.0f, 1.0f);
+    const double dense_flop = 2.0 * static_cast<double>(m) * k * n;
+    const double ideal = static_cast<double>(m * k) / sp.nnz(); // ~4.0
+
+    const int prev_threads = numThreads();
+    setNumThreads(1);
+    std::cout << "--- dense vs sparse gemm at 4:16 (m=" << m << " k=" << k
+              << " n=" << n << ", single core, ideal " << f2(ideal)
+              << "x) ---\n";
+    const simd::Isa saved = simd::activeIsa();
+    for (Isa isa : {Isa::Scalar, Isa::Avx2, Isa::Neon}) {
+        if (!simd::isaAvailable(isa))
+            continue;
+        simd::setIsa(isa);
+        const std::string tag = simd::isaName(isa);
+
+        const double t_dense =
+            secondsOf([&] { gemm(a, false, b, false, c); }, 5);
+        const double t_sparse =
+            secondsOf([&] { gemmSparseA(sp, b, c); }, 5);
+        const double speedup = t_dense / t_sparse;
+        const double fraction = speedup / ideal;
+        std::cout << tag << ": dense " << f2(dense_flop / t_dense * 1e-9)
+                  << " GFLOP/s, sparse " << f2(t_sparse * 1e3)
+                  << " ms/iter -> " << f2(speedup) << "x ("
+                  << f2(fraction * 100.0) << "% of the " << f2(ideal)
+                  << "x flop cut)\n";
+        const std::string name = "gemm_sparse_416_" + tag;
+        appendBenchRecord(json, name, "dense_gflops",
+                          dense_flop / t_dense * 1e-9);
+        appendBenchRecord(json, name, "sparse_seconds", t_sparse);
+        appendBenchRecord(json, name, "speedup_vs_dense", speedup);
+        appendBenchRecord(json, name, "flop_cut_fraction", fraction);
+    }
+    simd::setIsa(saved);
+    setNumThreads(prev_threads);
+}
+
 } // namespace
 
 int
@@ -401,5 +492,6 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks();
     speedupReport(json);
     isaReport(json);
+    sparseReport(json);
     return 0;
 }

@@ -12,6 +12,7 @@
 #include "core/pipeline.hpp"
 #include "core/serialize.hpp"
 #include "models/mini_models.hpp"
+#include "nn/compressed_conv2d.hpp"
 #include "nn/trainer.hpp"
 #include "sim/systolic_array.hpp"
 #include "tensor/ops.hpp"
@@ -90,6 +91,27 @@ main()
     Tensor ref = matmul(wmat, cols).reshaped(run.ofmap.shape());
     std::cout << "array-vs-software max |diff| through the file round "
                  "trip: " << maxAbsDiff(run.ofmap, ref) << "\n";
+
+    // Sparse CPU inference: consume the reloaded compressed container
+    // directly — mask codes decode once into the compressed-row gemm
+    // operand, and the forward pass skips every pruned position instead
+    // of densifying the kernel first.
+    const nn::CompressedConv2d sparse_conv(
+        loaded.layers[0],
+        loaded.codebooks[static_cast<std::size_t>(
+            loaded.layers[0].codebook_id)],
+        1, 1);
+    const Tensor sparse_out = sparse_conv.forward(ifmap4);
+    std::cout << "sparse-path-vs-array max |diff|: "
+              << maxAbsDiff(sparse_out.reshaped(run.ofmap.shape()),
+                            run.ofmap)
+              << " (operand density "
+              << sparse_conv.density() << ", "
+              << sparse_conv.flopsFor(ifmap4) << " sparse MACs vs "
+              << sparse_conv.flopsFor(ifmap4)
+                     * loaded.layers[0].cfg.pattern.m
+                     / loaded.layers[0].cfg.pattern.n
+              << " dense)\n";
 
     std::remove(path.c_str());
     return 0;

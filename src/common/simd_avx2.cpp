@@ -54,6 +54,50 @@ gemmMicroAvx2(const float *ap, const float *bp, std::int64_t kc, float *acc)
 }
 
 /**
+ * Sparse-A row x packed-B-panel kernel. Unlike the dense tile (12
+ * independent accumulator chains), one compressed row has no mr
+ * dimension to hide FMA latency behind, so the accumulators are striped
+ * 4-way across *entries*: entry q feeds chain q % 4, giving 8 independent
+ * FMA chains (4 stripes x 2 halves of the 16-wide panel); the stripes
+ * fold together at the end. Each kept A entry broadcasts once and FMAs
+ * against its matching packed B row — pruned positions cost nothing.
+ */
+void
+gemmSparseMicroAvx2(const float *vals, const std::int32_t *kidx,
+                    std::int64_t nnz, std::int64_t k0, const float *bp,
+                    std::int64_t /*nr*/, float *acc)
+{
+    __m256 c0[4], c1[4];
+    c0[0] = _mm256_loadu_ps(acc);
+    c1[0] = _mm256_loadu_ps(acc + 8);
+    for (int u = 1; u < 4; ++u) {
+        c0[u] = _mm256_setzero_ps();
+        c1[u] = _mm256_setzero_ps();
+    }
+    std::int64_t q = 0;
+    for (; q + 4 <= nnz; q += 4) {
+        for (int u = 0; u < 4; ++u) {
+            const __m256 v = _mm256_broadcast_ss(vals + q + u);
+            const float *brow = bp + (kidx[q + u] - k0) * NR;
+            c0[u] = _mm256_fmadd_ps(v, _mm256_loadu_ps(brow), c0[u]);
+            c1[u] = _mm256_fmadd_ps(v, _mm256_loadu_ps(brow + 8), c1[u]);
+        }
+    }
+    for (; q < nnz; ++q) {
+        const __m256 v = _mm256_broadcast_ss(vals + q);
+        const float *brow = bp + (kidx[q] - k0) * NR;
+        c0[0] = _mm256_fmadd_ps(v, _mm256_loadu_ps(brow), c0[0]);
+        c1[0] = _mm256_fmadd_ps(v, _mm256_loadu_ps(brow + 8), c1[0]);
+    }
+    _mm256_storeu_ps(acc,
+                     _mm256_add_ps(_mm256_add_ps(c0[0], c0[1]),
+                                   _mm256_add_ps(c0[2], c0[3])));
+    _mm256_storeu_ps(acc + 8,
+                     _mm256_add_ps(_mm256_add_ps(c1[0], c1[1]),
+                                   _mm256_add_ps(c1[2], c1[3])));
+}
+
+/**
  * Track the running 8-lane minimum: lane u of (vbest, vbi) holds the best
  * distance and its codeword index among strips processed so far. Strictly-
  * less blending keeps the earliest index within a lane, matching the
@@ -179,7 +223,7 @@ assignBestSparseAvx2(const float *wkeep, const std::int32_t *idx,
 }
 
 constexpr Kernels kAvx2Kernels = {
-    Isa::Avx2, "avx2", MR, NR, &gemmMicroAvx2,
+    Isa::Avx2, "avx2", MR, NR, &gemmMicroAvx2, &gemmSparseMicroAvx2,
     &assignBestDenseAvx2, &assignBestSparseAvx2,
 };
 

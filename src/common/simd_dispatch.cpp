@@ -50,6 +50,47 @@ gemmMicroScalar(const float *__restrict ap, const float *__restrict bp,
     std::memcpy(acc, c, sizeof(c));
 }
 
+/**
+ * Sparse-A row x packed-B-panel kernel. nr is a runtime parameter (the
+ * scalar kernel can back tables with different tile widths). A single
+ * compressed row has no mr dimension to hide FP-add latency behind, so
+ * accumulation is striped 2-way across entries (entry q feeds stripe
+ * q % 2) and the stripes fold at the end, doubling the independent
+ * dependency chains the auto-vectorizer can keep in flight.
+ */
+void
+gemmSparseMicroScalar(const float *__restrict vals,
+                      const std::int32_t *__restrict kidx, std::int64_t nnz,
+                      std::int64_t k0, const float *__restrict bp,
+                      std::int64_t nr, float *__restrict acc)
+{
+    float s0[kMaxGemmNr];
+    float s1[kMaxGemmNr];
+    for (std::int64_t c = 0; c < nr; ++c) {
+        s0[c] = acc[c];
+        s1[c] = 0.0f;
+    }
+    std::int64_t q = 0;
+    for (; q + 2 <= nnz; q += 2) {
+        const float v0 = vals[q];
+        const float v1 = vals[q + 1];
+        const float *b0 = bp + (kidx[q] - k0) * nr;
+        const float *b1 = bp + (kidx[q + 1] - k0) * nr;
+        for (std::int64_t c = 0; c < nr; ++c) {
+            s0[c] += v0 * b0[c];
+            s1[c] += v1 * b1[c];
+        }
+    }
+    if (q < nnz) {
+        const float v = vals[q];
+        const float *brow = bp + (kidx[q] - k0) * nr;
+        for (std::int64_t c = 0; c < nr; ++c)
+            s0[c] += v * brow[c];
+    }
+    for (std::int64_t c = 0; c < nr; ++c)
+        acc[c] = s0[c] + s1[c];
+}
+
 std::int32_t
 assignBestDenseScalar(const float *wrow, const float *mrow, const float *cb,
                       const float * /*cbT*/, std::int64_t k, std::int64_t d)
@@ -97,7 +138,7 @@ assignBestSparseScalar(const float *wkeep, const std::int32_t *idx,
 
 constexpr Kernels kScalarKernels = {
     Isa::Scalar, "scalar",
-    /*mr=*/4,    /*nr=*/8, &gemmMicroScalar,
+    /*mr=*/4,    /*nr=*/8, &gemmMicroScalar, &gemmSparseMicroScalar,
     &assignBestDenseScalar, &assignBestSparseScalar,
 };
 

@@ -58,6 +58,22 @@ struct Kernels
     void (*gemmMicroKernel)(const float *ap, const float *bp,
                             std::int64_t kc, float *acc);
 
+    /**
+     * Sparse-A register-tile kernel for gemmSparseA (tensor/ops.cpp): one
+     * compressed row of A meets one packed B panel. The row's nnz kept
+     * entries arrive as values vals[] with ascending absolute column
+     * indices kidx[] (all within [k0, k0 + kc) of the current K block);
+     * bp is the driver's packed panel (bp[kk*nr + c] = B(k0 + kk, jq + c),
+     * the same layout packB produces for the dense kernel), and the kernel
+     * accumulates acc[c] += vals[q] * bp[(kidx[q] - k0)*nr + c] over the
+     * nnz entries for c in [0, nr). nr is passed explicitly so one scalar
+     * implementation can serve tables with different tile widths.
+     */
+    void (*gemmSparseMicroKernel)(const float *vals, const std::int32_t *kidx,
+                                  std::int64_t nnz, std::int64_t k0,
+                                  const float *bp, std::int64_t nr,
+                                  float *acc);
+
     // --- Masked-assignment distance kernels (core/masked_kmeans) --------
     //
     // Both variants receive the codebook twice: row-major cb[i*d + t] and

@@ -57,6 +57,45 @@ gemmMicroNeon(const float *ap, const float *bp, std::int64_t kc, float *acc)
 }
 
 /**
+ * Sparse-A row x packed-B-panel kernel: four q-reg accumulators cover the
+ * 16-wide panel, striped 2-way across entries (entry q feeds stripe
+ * q % 2) so eight independent FMA chains hide the accumulate latency a
+ * single compressed row cannot hide with an mr dimension; the stripes
+ * fold at the end. Each kept A entry broadcasts once (vfmaq_n) against
+ * its matching packed B row, so pruned positions cost nothing at all.
+ */
+void
+gemmSparseMicroNeon(const float *vals, const std::int32_t *kidx,
+                    std::int64_t nnz, std::int64_t k0, const float *bp,
+                    std::int64_t /*nr*/, float *acc)
+{
+    float32x4_t c0[4], c1[4];
+    for (int v = 0; v < 4; ++v) {
+        c0[v] = vld1q_f32(acc + 4 * v);
+        c1[v] = vdupq_n_f32(0.0f);
+    }
+    std::int64_t q = 0;
+    for (; q + 2 <= nnz; q += 2) {
+        const float a0 = vals[q];
+        const float a1 = vals[q + 1];
+        const float *b0 = bp + (kidx[q] - k0) * NR;
+        const float *b1 = bp + (kidx[q + 1] - k0) * NR;
+        for (int v = 0; v < 4; ++v) {
+            c0[v] = vfmaq_n_f32(c0[v], vld1q_f32(b0 + 4 * v), a0);
+            c1[v] = vfmaq_n_f32(c1[v], vld1q_f32(b1 + 4 * v), a1);
+        }
+    }
+    if (q < nnz) {
+        const float av = vals[q];
+        const float *brow = bp + (kidx[q] - k0) * NR;
+        for (int v = 0; v < 4; ++v)
+            c0[v] = vfmaq_n_f32(c0[v], vld1q_f32(brow + 4 * v), av);
+    }
+    for (int v = 0; v < 4; ++v)
+        vst1q_f32(acc + 4 * v, vaddq_f32(c0[v], c1[v]));
+}
+
+/**
  * Track the running 4-lane minimum: lane u of (vbest, vbi) holds the best
  * distance and its codeword index among strips processed so far. Strictly-
  * less blending keeps the earliest index within a lane, matching the
@@ -175,7 +214,7 @@ assignBestSparseNeon(const float *wkeep, const std::int32_t *idx,
 }
 
 constexpr Kernels kNeonKernels = {
-    Isa::Neon, "neon", MR, NR, &gemmMicroNeon,
+    Isa::Neon, "neon", MR, NR, &gemmMicroNeon, &gemmSparseMicroNeon,
     &assignBestDenseNeon, &assignBestSparseNeon,
 };
 

@@ -25,13 +25,64 @@ CompressedLayer::decodeMask() const
     panicIf(static_cast<std::int64_t>(mask_codes.size())
                 != ng() * groups_per_sub,
             name, ": mask code count mismatch");
-    Mask mask;
-    mask.reserve(static_cast<std::size_t>(ng() * cfg.d));
-    for (std::size_t i = 0; i < mask_codes.size(); ++i) {
-        const auto group = codec.decodeGroup(mask_codes[i]);
-        mask.insert(mask.end(), group.begin(), group.end());
-    }
+    Mask mask(static_cast<std::size_t>(ng() * cfg.d), 0);
+    codec.decodeInto(mask_codes.data(),
+                     static_cast<std::int64_t>(mask_codes.size()),
+                     mask.data());
     return mask;
+}
+
+SparseRowMatrix
+CompressedLayer::packSparseRows(const Codebook &cb) const
+{
+    fatalIf(weight_shape.rank() != 4,
+            name, ": packSparseRows expects a 4-D kernel shape");
+    fatalIf(cb.d() != cfg.d, name, ": codebook d ", cb.d(),
+            " != layer d ", cfg.d);
+    const std::int64_t kk = weight_shape.dim(0);
+    const std::int64_t cc = weight_shape.dim(1);
+    const std::int64_t rr = weight_shape.dim(2);
+    const std::int64_t ss = weight_shape.dim(3);
+    const std::int64_t d = cfg.d;
+
+    // One LUT pass expands the stored group codes; the walk below then
+    // consumes the bits in the unrolled weight-matrix order. A kept
+    // position keeps its codeword value even when that value is 0.0f —
+    // the operand mirrors the mask structure, not incidental zeros.
+    const Mask mask = decodeMask();
+    const float *cw = cb.codewords.data();
+
+    SparseRowMatrix sp;
+    sp.rows = kk;
+    sp.cols = cc * rr * ss;
+    sp.row_ptr.reserve(static_cast<std::size_t>(kk) + 1);
+    sp.row_ptr.push_back(0);
+    const std::int64_t keep_estimate =
+        ng() * d * cfg.pattern.n / cfg.pattern.m;
+    sp.col_idx.reserve(static_cast<std::size_t>(keep_estimate));
+    sp.values.reserve(static_cast<std::size_t>(keep_estimate));
+    for (std::int64_t k = 0; k < kk; ++k) {
+        for (std::int64_t c = 0; c < cc; ++c) {
+            for (std::int64_t r = 0; r < rr; ++r) {
+                for (std::int64_t s = 0; s < ss; ++s) {
+                    const GroupedCoord gc =
+                        groupedCoords(k, c, r, s, weight_shape, d,
+                                      cfg.grouping);
+                    if (!mask[static_cast<std::size_t>(
+                            gc.row * d + gc.col)])
+                        continue;
+                    const std::int32_t a = assignments[
+                        static_cast<std::size_t>(gc.row)];
+                    sp.col_idx.push_back(static_cast<std::int32_t>(
+                        (c * rr + r) * ss + s));
+                    sp.values.push_back(cw[a * d + gc.col]);
+                }
+            }
+        }
+        sp.row_ptr.push_back(
+            static_cast<std::int64_t>(sp.values.size()));
+    }
+    return sp;
 }
 
 Tensor

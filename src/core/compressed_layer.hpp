@@ -22,6 +22,7 @@
 #include "core/mask_codec.hpp"
 #include "core/masked_kmeans.hpp"
 #include "core/nm_pruning.hpp"
+#include "tensor/ops.hpp"
 
 namespace mvq::nn {
 class Layer;
@@ -96,6 +97,18 @@ struct CompressedLayer
 
     /** Sparse-reconstruct the 4-D kernel: codeword o mask per subvector. */
     Tensor reconstruct(const Codebook &cb) const;
+
+    /**
+     * Decode straight into the sparse gemm operand: a per-row
+     * compressed-column (CSR) view of the unrolled [K, C*R*S] weight
+     * matrix holding only the positions the stored mask codes keep, with
+     * codeword values filled in from `cb`. The N:M structure makes those
+     * positions statically known per M-group, so this is built once at
+     * load time and reused for every forward pass (see
+     * nn::CompressedConv2d) — inference never touches pruned positions,
+     * realizing the N/M flop reduction the accelerator sim models.
+     */
+    SparseRowMatrix packSparseRows(const Codebook &cb) const;
 
     /** Dense-reconstruct (mask ignored; ablation cases A/B). */
     Tensor reconstructDense(const Codebook &cb) const;

@@ -20,35 +20,6 @@ groupingName(Grouping g)
 
 namespace {
 
-/**
- * Linear index of element (k, c, r, s) in the grouped matrix, returned as
- * (row, col). All three strategies enumerate rows so that consecutive rows
- * correspond to the hardware's weight-loading order.
- */
-struct Coords
-{
-    std::int64_t row;
-    std::int64_t col;
-};
-
-Coords
-mapCoords(std::int64_t k, std::int64_t c, std::int64_t r, std::int64_t s,
-          const Shape &w4, std::int64_t d, Grouping g)
-{
-    const std::int64_t cc = w4.dim(1);
-    const std::int64_t rr = w4.dim(2);
-    const std::int64_t ss = w4.dim(3);
-    switch (g) {
-      case Grouping::KernelWise:
-        return {k * cc + c, r * ss + s};
-      case Grouping::OutputChannelWise:
-        return {((k / d) * cc + c) * (rr * ss) + r * ss + s, k % d};
-      case Grouping::InputChannelWise:
-        return {(k * (cc / d) + c / d) * (rr * ss) + r * ss + s, c % d};
-    }
-    panic("unreachable grouping");
-}
-
 void
 checkDivisibility(const Shape &w4, std::int64_t d, Grouping g)
 {
@@ -82,6 +53,28 @@ groupCount(const Shape &w4, std::int64_t d, Grouping g)
     return w4.numel() / d;
 }
 
+/**
+ * All three strategies enumerate rows so that consecutive rows correspond
+ * to the hardware's weight-loading order.
+ */
+GroupedCoord
+groupedCoords(std::int64_t k, std::int64_t c, std::int64_t r, std::int64_t s,
+              const Shape &w4, std::int64_t d, Grouping g)
+{
+    const std::int64_t cc = w4.dim(1);
+    const std::int64_t rr = w4.dim(2);
+    const std::int64_t ss = w4.dim(3);
+    switch (g) {
+      case Grouping::KernelWise:
+        return {k * cc + c, r * ss + s};
+      case Grouping::OutputChannelWise:
+        return {((k / d) * cc + c) * (rr * ss) + r * ss + s, k % d};
+      case Grouping::InputChannelWise:
+        return {(k * (cc / d) + c / d) * (rr * ss) + r * ss + s, c % d};
+    }
+    panic("unreachable grouping");
+}
+
 Tensor
 groupWeights(const Tensor &w4, std::int64_t d, Grouping g)
 {
@@ -92,7 +85,8 @@ groupWeights(const Tensor &w4, std::int64_t d, Grouping g)
         for (std::int64_t c = 0; c < w4.dim(1); ++c) {
             for (std::int64_t r = 0; r < w4.dim(2); ++r) {
                 for (std::int64_t s = 0; s < w4.dim(3); ++s) {
-                    const Coords rc = mapCoords(k, c, r, s, w4.shape(), d, g);
+                    const GroupedCoord rc =
+                        groupedCoords(k, c, r, s, w4.shape(), d, g);
                     wr.at(rc.row, rc.col) = w4.at(k, c, r, s);
                 }
             }
@@ -114,7 +108,8 @@ ungroupWeights(const Tensor &wr, const Shape &w4_shape, std::int64_t d,
         for (std::int64_t c = 0; c < w4.dim(1); ++c) {
             for (std::int64_t r = 0; r < w4.dim(2); ++r) {
                 for (std::int64_t s = 0; s < w4.dim(3); ++s) {
-                    const Coords rc = mapCoords(k, c, r, s, w4_shape, d, g);
+                    const GroupedCoord rc =
+                        groupedCoords(k, c, r, s, w4_shape, d, g);
                     w4.at(k, c, r, s) = wr.at(rc.row, rc.col);
                 }
             }

@@ -37,6 +37,25 @@ std::string groupingName(Grouping g);
  */
 std::int64_t groupCount(const Shape &w4, std::int64_t d, Grouping g);
 
+/** Position of one kernel element in the grouped [NG, d] matrix. */
+struct GroupedCoord
+{
+    std::int64_t row; //!< subvector index in [0, NG)
+    std::int64_t col; //!< position within the subvector in [0, d)
+};
+
+/**
+ * Map kernel element (k, c, r, s) to its grouped-matrix coordinates.
+ * This is the per-element form of groupWeights/ungroupWeights; consumers
+ * that walk the dense layout in their own order (e.g. the compressed-row
+ * packer building a CSR operand over the unrolled [K, C*R*S] weight
+ * matrix) use it to look up assignments and mask bits without
+ * materializing either reshaped tensor.
+ */
+GroupedCoord groupedCoords(std::int64_t k, std::int64_t c, std::int64_t r,
+                           std::int64_t s, const Shape &w4, std::int64_t d,
+                           Grouping g);
+
 /**
  * Reshape a 4-D kernel into the grouped [NG, d] matrix.
  *

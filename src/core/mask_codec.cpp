@@ -43,12 +43,26 @@ MaskCodec::encodeGroup(const std::uint8_t *group_bits) const
 std::vector<std::uint8_t>
 MaskCodec::decodeGroup(std::uint32_t code) const
 {
-    fatalIf(code >= count_, "mask code ", code, " out of range");
     std::vector<std::uint8_t> bits(static_cast<std::size_t>(pattern_.m), 0);
+    decodeGroupInto(code, bits.data());
+    return bits;
+}
+
+void
+MaskCodec::decodeGroupInto(std::uint32_t code, std::uint8_t *out) const
+{
+    fatalIf(code >= count_, "mask code ", code, " out of range");
     const std::uint32_t word = lut_[code];
     for (int i = 0; i < pattern_.m; ++i)
-        bits[static_cast<std::size_t>(i)] = (word >> i) & 1u;
-    return bits;
+        out[i] = (word >> i) & 1u;
+}
+
+void
+MaskCodec::decodeInto(const std::uint32_t *codes, std::int64_t n_codes,
+                      std::uint8_t *out) const
+{
+    for (std::int64_t g = 0; g < n_codes; ++g)
+        decodeGroupInto(codes[g], out + g * pattern_.m);
 }
 
 std::vector<std::uint32_t>

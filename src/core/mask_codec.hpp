@@ -54,6 +54,21 @@ class MaskCodec
     std::vector<std::uint8_t> decodeGroup(std::uint32_t code) const;
 
     /**
+     * Allocation-free decode of one rank into M bytes at `out`. This is
+     * the hot-loop form: the weight loader and the compressed-row packer
+     * call it once per stored group code, so it must not churn the heap.
+     */
+    void decodeGroupInto(std::uint32_t code, std::uint8_t *out) const;
+
+    /**
+     * Decode `n_codes` consecutive group codes into n_codes * M bytes at
+     * `out` — one LUT pass over a whole stored mask-code stream (e.g.
+     * CompressedLayer::mask_codes).
+     */
+    void decodeInto(const std::uint32_t *codes, std::int64_t n_codes,
+                    std::uint8_t *out) const;
+
+    /**
      * Encode a whole subvector mask of length d (d % M == 0) into d/M
      * group codes.
      */

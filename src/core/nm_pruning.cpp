@@ -63,6 +63,21 @@ maskSparsity(const Mask &mask)
     return static_cast<double>(zeros) / static_cast<double>(mask.size());
 }
 
+Tensor
+randomNmMatrix(Rng &rng, std::int64_t rows, std::int64_t cols,
+               const NmPattern &pattern)
+{
+    fatalIf(cols % pattern.m != 0,
+            "randomNmMatrix: cols not a multiple of M");
+    Tensor a(Shape({rows, cols}));
+    a.fillNormal(rng, 0.0f, 1.0f);
+    Tensor grouped =
+        a.reshaped(Shape({rows * cols / pattern.m, pattern.m}));
+    const Mask mask = nmMask(grouped, pattern);
+    applyMask(grouped, mask);
+    return grouped.reshaped(Shape({rows, cols}));
+}
+
 void
 checkNmInvariant(const Mask &mask, std::int64_t d, const NmPattern &pattern)
 {

@@ -54,6 +54,15 @@ Mask nmMask(const Tensor &wr, const NmPattern &pattern);
 /** Zero the pruned elements of wr in place. */
 void applyMask(Tensor &wr, const Mask &mask);
 
+/**
+ * Random N(0,1) [rows, cols] matrix with the N:M mask applied along each
+ * row's consecutive M-groups (cols must be a multiple of M). Tests and
+ * benches use it to build operands with the compressed-layer weight
+ * structure without running the full pipeline.
+ */
+Tensor randomNmMatrix(Rng &rng, std::int64_t rows, std::int64_t cols,
+                      const NmPattern &pattern);
+
 /** Fraction of zero bits in a mask. */
 double maskSparsity(const Mask &mask);
 

@@ -30,13 +30,18 @@ struct ConvLayerSpec
     std::int64_t in_h = 1;
     std::int64_t in_w = 1;
 
+    // Same clamp as ConvGeom::outH/outW: a negative numerator truncating
+    // toward zero would report a bogus positive size for an invalid
+    // geometry (and macs() would count FLOPs for it), so it maps to 0.
     std::int64_t outH() const
     {
-        return (in_h + 2 * pad - kernel) / stride + 1;
+        const std::int64_t num = in_h + 2 * pad - kernel;
+        return num < 0 ? 0 : num / stride + 1;
     }
     std::int64_t outW() const
     {
-        return (in_w + 2 * pad - kernel) / stride + 1;
+        const std::int64_t num = in_w + 2 * pad - kernel;
+        return num < 0 ? 0 : num / stride + 1;
     }
 
     bool isDepthwise() const { return groups == in_c && groups == out_c; }

@@ -1,0 +1,130 @@
+#include "nn/compressed_conv2d.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "common/parallel.hpp"
+
+namespace mvq::nn {
+
+namespace {
+
+/** Rows [r0, r0 + nrows) of `full` as a standalone operand (row_ptr
+ *  rebased to the slice's first entry). */
+SparseRowMatrix
+sliceRows(const SparseRowMatrix &full, std::int64_t r0, std::int64_t nrows)
+{
+    SparseRowMatrix out;
+    out.rows = nrows;
+    out.cols = full.cols;
+    const std::int64_t e0 = full.row_ptr[static_cast<std::size_t>(r0)];
+    const std::int64_t e1 =
+        full.row_ptr[static_cast<std::size_t>(r0 + nrows)];
+    out.row_ptr.reserve(static_cast<std::size_t>(nrows) + 1);
+    for (std::int64_t r = r0; r <= r0 + nrows; ++r)
+        out.row_ptr.push_back(full.row_ptr[static_cast<std::size_t>(r)]
+                              - e0);
+    out.col_idx.assign(full.col_idx.begin() + e0,
+                       full.col_idx.begin() + e1);
+    out.values.assign(full.values.begin() + e0, full.values.begin() + e1);
+    return out;
+}
+
+} // namespace
+
+CompressedConv2d::CompressedConv2d(const core::CompressedLayer &layer,
+                                   const core::Codebook &codebook,
+                                   std::int64_t stride, std::int64_t pad,
+                                   std::int64_t groups)
+    : name_(layer.name), weight_shape_(layer.weight_shape), stride_(stride),
+      pad_(pad), groups_(groups)
+{
+    fatalIf(stride_ <= 0, name_, ": stride must be positive");
+    fatalIf(pad_ < 0, name_, ": negative padding");
+    fatalIf(groups_ <= 0, name_, ": groups must be positive");
+    fatalIf(weight_shape_.dim(0) % groups_ != 0,
+            name_, ": out channels not divisible by groups");
+
+    // The pack stage: decode the mask codes into the compressed-row
+    // operand once, then split it per group so each (batch, group) pair
+    // can gemm its own row range against its own im2col columns.
+    SparseRowMatrix full = layer.packSparseRows(codebook);
+    const std::int64_t kg = full.rows / groups_;
+    group_rows_.reserve(static_cast<std::size_t>(groups_));
+    if (groups_ == 1) {
+        group_rows_.push_back(std::move(full));
+    } else {
+        for (std::int64_t grp = 0; grp < groups_; ++grp)
+            group_rows_.push_back(sliceRows(full, grp * kg, kg));
+    }
+    for (const auto &sp : group_rows_)
+        nnz_ += sp.nnz();
+}
+
+std::int64_t
+CompressedConv2d::flopsFor(const Tensor &x) const
+{
+    fatalIf(x.rank() != 4, name_, ": expected NCHW input");
+    const ConvGeom g{weight_shape_.dim(1), x.dim(2), x.dim(3),
+                     weight_shape_.dim(2), weight_shape_.dim(3), stride_,
+                     pad_};
+    return x.dim(0) * nnz_ * g.outH() * g.outW();
+}
+
+double
+CompressedConv2d::density() const
+{
+    const std::int64_t total = weight_shape_.numel();
+    return total != 0
+        ? static_cast<double>(nnz_) / static_cast<double>(total)
+        : 0.0;
+}
+
+Tensor
+CompressedConv2d::forward(const Tensor &x) const
+{
+    fatalIf(x.rank() != 4, name_, ": expected NCHW input");
+    const std::int64_t cg = weight_shape_.dim(1);
+    fatalIf(x.dim(1) != cg * groups_, name_, ": input channels ", x.dim(1),
+            " != ", cg * groups_);
+
+    const std::int64_t batch = x.dim(0);
+    const std::int64_t out_c = weight_shape_.dim(0);
+    const std::int64_t kg = out_c / groups_;
+    ConvGeom g{cg, x.dim(2), x.dim(3), weight_shape_.dim(2),
+               weight_shape_.dim(3), stride_, pad_};
+    const std::int64_t oh = g.outH();
+    const std::int64_t ow = g.outW();
+    fatalIf(oh <= 0 || ow <= 0, name_, ": empty output feature map");
+
+    Tensor out(Shape({batch, out_c, oh, ow}));
+
+    // Same schedule as Conv2d::forward: each (batch, group) pair fills a
+    // disjoint slab of out, and the sparse gemm writes into that slab
+    // directly (the kg output channels are contiguous in NCHW). When the
+    // pairs cannot fill the pool, run them serially so the inner
+    // im2col/gemm gets all the threads.
+    const std::int64_t work = batch * groups_;
+    auto run_pair = [&](std::int64_t w) {
+        const std::int64_t n = w / groups_;
+        const std::int64_t grp = w % groups_;
+        const Tensor cols = im2col(x, n, g, grp * cg);
+        float *po = out.data() + ((n * out_c + grp * kg) * oh * ow);
+        gemmSparseARaw(group_rows_[static_cast<std::size_t>(grp)],
+                       cols.data(), oh * ow, oh * ow, 1.0f, 0.0f, po,
+                       oh * ow);
+    };
+    if (work < numThreads()) {
+        for (std::int64_t w = 0; w < work; ++w)
+            run_pair(w);
+    } else {
+        parallelFor(0, work, 1, [&](std::int64_t wb, std::int64_t we) {
+            for (std::int64_t w = wb; w < we; ++w)
+                run_pair(w);
+        });
+    }
+
+    return out;
+}
+
+} // namespace mvq::nn

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Inference path that consumes a compressed layer directly: the stored
+ * N:M mask codes are decoded ONCE at construction into a per-row
+ * compressed-column gemm operand (core::CompressedLayer::packSparseRows),
+ * and every forward pass runs im2col + sparse-A gemm over it — pruned
+ * positions are never multiplied, so the 4:16 MAC reduction the paper's
+ * accelerator gets from its AND-gate weight loader is realized on the CPU
+ * too. Contrast with CompressedModel::applyTo, which densifies the kernel
+ * and pays the full dense gemm.
+ */
+
+#ifndef MVQ_NN_COMPRESSED_CONV2D_HPP
+#define MVQ_NN_COMPRESSED_CONV2D_HPP
+
+#include <string>
+#include <vector>
+
+#include "core/compressed_layer.hpp"
+#include "tensor/ops.hpp"
+
+namespace mvq::nn {
+
+/**
+ * Forward-only convolution over MVQ-compressed weights. Not an nn::Layer:
+ * there is no backward pass and no parameters — this is the deployment
+ * path, mirroring how the accelerator consumes the compressed stream.
+ */
+class CompressedConv2d
+{
+  public:
+    /**
+     * Decode `layer`'s mask codes + assignments against `codebook` into
+     * the packed sparse operand (split per convolution group).
+     *
+     * @param stride/pad Convolution geometry (not stored in the
+     *        compressed container, which only keeps the kernel shape).
+     * @param groups     Channel groups of the original Conv2d; the layer's
+     *        weight shape is [K, C/groups, R, S].
+     */
+    CompressedConv2d(const core::CompressedLayer &layer,
+                     const core::Codebook &codebook, std::int64_t stride = 1,
+                     std::int64_t pad = 0, std::int64_t groups = 1);
+
+    /** NCHW forward through im2col + sparse gemm. Genuinely const (no
+     *  hidden mutable state), so one instance can serve concurrent
+     *  forward calls. */
+    Tensor forward(const Tensor &x) const;
+
+    const std::string &name() const { return name_; }
+
+    /** Multiply-adds one forward pass over `x` performs (sparse count:
+     *  pruned positions cost nothing). */
+    std::int64_t flopsFor(const Tensor &x) const;
+
+    /** Kept fraction of the packed operand (N/M for an exact N:M layer). */
+    double density() const;
+
+    /** The packed operand of one group (tests/diagnostics). */
+    const SparseRowMatrix &
+    groupOperand(std::int64_t grp) const
+    {
+        return group_rows_[static_cast<std::size_t>(grp)];
+    }
+
+  private:
+    std::string name_;
+    Shape weight_shape_; //!< [K, C/groups, R, S]
+    std::int64_t stride_;
+    std::int64_t pad_;
+    std::int64_t groups_;
+    std::vector<SparseRowMatrix> group_rows_; //!< one operand per group
+    std::int64_t nnz_ = 0; //!< kept entries across all groups
+};
+
+} // namespace mvq::nn
+
+#endif // MVQ_NN_COMPRESSED_CONV2D_HPP

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstring>
 #include <vector>
 
 #include "common/logging.hpp"
@@ -10,25 +9,13 @@
 
 namespace mvq::nn {
 
-namespace {
-
-/** Per-group [kg, wcols] views of the weight tensor, shared read-only by
- *  the batch loops of forward and backward. */
-std::vector<Tensor>
-packGroupWeights(const Tensor &weight, std::int64_t groups,
-                 std::int64_t kg, std::int64_t wcols)
-{
-    std::vector<Tensor> wmats(static_cast<std::size_t>(groups));
-    for (std::int64_t grp = 0; grp < groups; ++grp) {
-        Tensor wmat(Shape({kg, wcols}));
-        std::memcpy(wmat.data(), weight.data() + grp * kg * wcols,
-                    static_cast<std::size_t>(kg * wcols) * sizeof(float));
-        wmats[static_cast<std::size_t>(grp)] = std::move(wmat);
-    }
-    return wmats;
-}
-
-} // namespace
+// Group grp of the [K, C/groups, R, S] weight tensor is a contiguous
+// [kg, wcols] slab (kg = K/groups rows of wcols = (C/groups)*R*S), and a
+// (batch, group) block of an NCHW activation covers kg contiguous
+// channel planes — so both sides of every conv gemm are plain pointer
+// views and the raw-pointer gemm entry points write results in place.
+// The seed packed per-group weight copies and memcpy'd each gemm result
+// into the output slab; both copies are gone.
 
 Conv2d::Conv2d(std::string name, const Conv2dConfig &cfg, Rng &rng)
     : name_(std::move(name)), cfg_(cfg)
@@ -70,8 +57,7 @@ Conv2d::forward(const Tensor &x, bool train)
     Tensor out(Shape({batch, cfg_.out_channels, oh, ow}));
 
     const std::int64_t wcols = cg * cfg_.kernel * cfg_.kernel;
-    std::vector<Tensor> wmats =
-        packGroupWeights(weight_.value, cfg_.groups, kg, wcols);
+    const float *pw = weight_.value.data();
 
     // Each (batch, group) pair fills a disjoint slab of out. When there
     // are fewer pairs than threads, run the outer loop serially so the
@@ -82,13 +68,11 @@ Conv2d::forward(const Tensor &x, bool train)
         const std::int64_t n = w / cfg_.groups;
         const std::int64_t grp = w % cfg_.groups;
         Tensor cols = im2col(x, n, g, grp * cg);
-        Tensor res = matmul(wmats[static_cast<std::size_t>(grp)],
-                            cols); // [kg, oh*ow]
+        // out slab = W_grp * cols, written in place (beta = 0).
         float *po = out.data()
             + ((n * cfg_.out_channels + grp * kg) * oh * ow);
-        std::memcpy(po, res.data(),
-                    static_cast<std::size_t>(kg * oh * ow)
-                        * sizeof(float));
+        gemmRaw(kg, oh * ow, wcols, 1.0f, pw + grp * kg * wcols, wcols,
+                false, cols.data(), oh * ow, false, 0.0f, po, oh * ow);
     };
     if (work < numThreads()) {
         for (std::int64_t w = 0; w < work; ++w)
@@ -135,8 +119,7 @@ Conv2d::backward(const Tensor &grad_out)
 
     Tensor grad_in(x.shape());
 
-    std::vector<Tensor> wmats =
-        packGroupWeights(weight_.value, cfg_.groups, kg, wcols);
+    const float *pw = weight_.value.data();
 
     // The (batch, group) pairs write disjoint slabs of grad_in, but all
     // accumulate into the shared weight gradient, so each chunk collects
@@ -152,30 +135,25 @@ Conv2d::backward(const Tensor &grad_out)
     auto run_chunk = [&](std::int64_t chunk, std::int64_t wb,
                          std::int64_t we) {
         Tensor dw(weight_.grad.shape());
+        Tensor gcols(Shape({wcols, oh * ow}));
         for (std::int64_t w = wb; w < we; ++w) {
             const std::int64_t n = w / cfg_.groups;
             const std::int64_t grp = w % cfg_.groups;
             Tensor cols = im2col(x, n, g, grp * cg);
 
-            // Gradient slab for this group as a [kg, oh*ow] matrix.
-            Tensor gmat(Shape({kg, oh * ow}));
-            std::memcpy(gmat.data(),
-                        grad_out.data()
-                            + ((n * cfg_.out_channels + grp * kg) * oh
-                               * ow),
-                        static_cast<std::size_t>(kg * oh * ow)
-                            * sizeof(float));
+            // Gradient slab for this group, viewed as [kg, oh*ow].
+            const float *pg = grad_out.data()
+                + ((n * cfg_.out_channels + grp * kg) * oh * ow);
 
-            // dW += G * cols^T
-            Tensor gw = matmul(gmat, cols, false, true); // [kg, wcols]
-            float *pwg = dw.data() + grp * kg * wcols;
-            const float *pg = gw.data();
-            for (std::int64_t i = 0; i < kg * wcols; ++i)
-                pwg[i] += pg[i];
+            // dW slab += G * cols^T, accumulated in place (beta = 1).
+            gemmRaw(kg, wcols, oh * ow, 1.0f, pg, oh * ow, false,
+                    cols.data(), oh * ow, true, 1.0f,
+                    dw.data() + grp * kg * wcols, wcols);
 
-            // dCols = W^T * G, scatter back to input gradient.
-            Tensor gcols = matmul(wmats[static_cast<std::size_t>(grp)],
-                                  gmat, true, false); // [wcols, oh*ow]
+            // dCols = W_grp^T * G, scatter back to input gradient.
+            gemmRaw(wcols, oh * ow, kg, 1.0f, pw + grp * kg * wcols,
+                    wcols, true, pg, oh * ow, false, 0.0f, gcols.data(),
+                    oh * ow);
             col2im(gcols, grad_in, n, g, grp * cg);
         }
         wgrad_partial[static_cast<std::size_t>(chunk)] = std::move(dw);

@@ -21,23 +21,26 @@ decodeCompressedLayer(const AccelConfig &cfg,
     counters.crf_reads += ng;
     counters.l2_read_bytes += streamBits(cfg, ng * d) / 8;
 
-    // LUT mask decode + AND-gate reconstruction, subvector by subvector.
-    core::Mask mask;
-    mask.reserve(static_cast<std::size_t>(ng * d));
-    Tensor wr(Shape({ng, d}));
+    // LUT mask decode + AND-gate reconstruction. One decodeInto pass
+    // expands the whole code stream straight into the mask buffer (no
+    // per-subvector vectors), and the AND gates run on raw pointers —
+    // bit-identical to the per-subvector decode, without the heap churn
+    // and bounds-checked indexing the seed paid per element.
     const std::int64_t groups = d / layer.cfg.pattern.m;
+    core::Mask mask(static_cast<std::size_t>(ng * d), 0);
+    codec.decodeInto(layer.mask_codes.data(), ng * groups, mask.data());
+    Tensor wr(Shape({ng, d}));
+    float *pw = wr.data();
+    const float *cw = codebook.codewords.data();
+    const std::uint8_t *pm = mask.data();
     for (std::int64_t j = 0; j < ng; ++j) {
         const std::int32_t index =
             layer.assignments[static_cast<std::size_t>(j)];
-        std::vector<std::uint32_t> codes(
-            layer.mask_codes.begin() + j * groups,
-            layer.mask_codes.begin() + (j + 1) * groups);
-        const auto bits = codec.decodeSubvector(codes);
-        for (std::int64_t t = 0; t < d; ++t) {
-            const bool keep = bits[static_cast<std::size_t>(t)] != 0;
-            mask.push_back(keep ? 1 : 0);
-            wr.at(j, t) = keep ? codebook.codewords.at(index, t) : 0.0f;
-        }
+        const float *crow = cw + index * d;
+        float *wrow = pw + j * d;
+        const std::uint8_t *mrow = pm + j * d;
+        for (std::int64_t t = 0; t < d; ++t)
+            wrow[t] = mrow[t] ? crow[t] : 0.0f;
     }
 
     DecodedWeights out;

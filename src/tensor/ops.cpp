@@ -102,27 +102,119 @@ packB(const float *pb, std::int64_t ldb, bool trans_b, std::int64_t k0,
     });
 }
 
+/** Scale C (m x n, row stride ldc) by beta, in parallel over rows. */
+void
+scaleCRows(float *pc, std::int64_t m, std::int64_t n, std::int64_t ldc,
+           float beta)
+{
+    if (beta == 0.0f) {
+        parallelFor(0, m, 16, [&](std::int64_t rb, std::int64_t re) {
+            for (std::int64_t i = rb; i < re; ++i)
+                std::memset(pc + i * ldc, 0,
+                            static_cast<std::size_t>(n) * sizeof(float));
+        });
+    } else if (beta != 1.0f) {
+        parallelFor(0, m, 16, [&](std::int64_t rb, std::int64_t re) {
+            for (std::int64_t i = rb; i < re; ++i) {
+                float *crow = pc + i * ldc;
+                for (std::int64_t j = 0; j < n; ++j)
+                    crow[j] *= beta;
+            }
+        });
+    }
+}
+
+/**
+ * Plain compressed-row scan (no packing, no blocking): each kept A entry
+ * streams one B row into one C row. Serves as the oracle body and the
+ * small-problem path; assumes beta has already been applied to C.
+ */
+void
+sparseRowScanRaw(const SparseRowMatrix &a, const float *pb, std::int64_t ldb,
+                 std::int64_t n, float alpha, float *pc, std::int64_t ldc)
+{
+    for (std::int64_t i = 0; i < a.rows; ++i) {
+        float *crow = pc + i * ldc;
+        for (std::int64_t e = a.row_ptr[static_cast<std::size_t>(i)];
+             e < a.row_ptr[static_cast<std::size_t>(i + 1)]; ++e) {
+            const float av =
+                alpha * a.values[static_cast<std::size_t>(e)];
+            const float *brow =
+                pb + a.col_idx[static_cast<std::size_t>(e)] * ldb;
+            for (std::int64_t j = 0; j < n; ++j)
+                crow[j] += av * brow[j];
+        }
+    }
+}
+
+void
+checkSparseGemmShapes(const SparseRowMatrix &a, const Tensor &b,
+                      const Tensor &c, const char *what)
+{
+    checkRank2(b, "sparse gemm B");
+    checkRank2(c, "sparse gemm C");
+    fatalIf(b.dim(0) != a.cols, what, " inner dims mismatch: ", a.cols,
+            " vs ", b.dim(0));
+    fatalIf(c.dim(0) != a.rows || c.dim(1) != b.dim(1),
+            what, " output shape mismatch: ", c.shape().str());
+}
+
+void
+checkSparseOperand(const SparseRowMatrix &a)
+{
+    panicIf(static_cast<std::int64_t>(a.row_ptr.size()) != a.rows + 1,
+            "sparse operand row_ptr size ", a.row_ptr.size(),
+            " does not match rows ", a.rows);
+    panicIf(a.col_idx.size() != a.values.size(),
+            "sparse operand col_idx/values size mismatch");
+    panicIf(!a.row_ptr.empty()
+                && (a.row_ptr.front() != 0
+                    || a.row_ptr.back()
+                        != static_cast<std::int64_t>(a.values.size())),
+            "sparse operand row_ptr does not cover all entries");
+    for (std::int64_t i = 0; i < a.rows; ++i)
+        panicIf(a.row_ptr[static_cast<std::size_t>(i)]
+                    > a.row_ptr[static_cast<std::size_t>(i + 1)],
+                "sparse operand row_ptr not monotone at row ", i);
+    // The blocked driver binary-searches each row's index range and the
+    // micro-kernels index packed B rows with kidx - k0, so the column
+    // invariants (ascending within a row, within [0, cols)) are memory
+    // safety, not just correctness — a malformed operand must panic here
+    // rather than read out of bounds. O(nnz), amortized by the O(nnz*n)
+    // multiply it guards.
+    for (std::int64_t i = 0; i < a.rows; ++i) {
+        std::int32_t prev = -1;
+        for (std::int64_t e = a.row_ptr[static_cast<std::size_t>(i)];
+             e < a.row_ptr[static_cast<std::size_t>(i + 1)]; ++e) {
+            const std::int32_t col =
+                a.col_idx[static_cast<std::size_t>(e)];
+            panicIf(col <= prev, "sparse operand row ", i,
+                    ": col_idx not strictly ascending at entry ", e);
+            panicIf(col >= a.cols, "sparse operand row ", i,
+                    ": col_idx ", col, " out of range [0, ", a.cols, ")");
+            prev = col;
+        }
+    }
+}
+
 } // namespace
 
 void
-gemmReference(const Tensor &a, bool trans_a, const Tensor &b, bool trans_b,
-              Tensor &c, float alpha, float beta)
+gemmReferenceRaw(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+                 const float *pa, std::int64_t lda, bool trans_a,
+                 const float *pb, std::int64_t ldb, bool trans_b, float beta,
+                 float *pc, std::int64_t ldc)
 {
-    std::int64_t m, n, k;
-    checkGemmShapes(a, trans_a, b, trans_b, c, m, n, k);
-
-    const float *pa = a.data();
-    const float *pb = b.data();
-    float *pc = c.data();
-    const std::int64_t lda = a.dim(1);
-    const std::int64_t ldb = b.dim(1);
-
     if (beta == 0.0f) {
-        for (std::int64_t i = 0; i < m * n; ++i)
-            pc[i] = 0.0f;
+        for (std::int64_t i = 0; i < m; ++i)
+            std::memset(pc + i * ldc, 0,
+                        static_cast<std::size_t>(n) * sizeof(float));
     } else if (beta != 1.0f) {
-        for (std::int64_t i = 0; i < m * n; ++i)
-            pc[i] *= beta;
+        for (std::int64_t i = 0; i < m; ++i) {
+            float *crow = pc + i * ldc;
+            for (std::int64_t j = 0; j < n; ++j)
+                crow[j] *= beta;
+        }
     }
 
     // i-k-j loop order keeps the inner loop contiguous on B and C for the
@@ -134,7 +226,7 @@ gemmReference(const Tensor &a, bool trans_a, const Tensor &b, bool trans_b,
                 if (av == 0.0f)
                     continue;
                 const float *brow = pb + kk * ldb;
-                float *crow = pc + i * n;
+                float *crow = pc + i * ldc;
                 for (std::int64_t j = 0; j < n; ++j)
                     crow[j] += av * brow[j];
             }
@@ -153,28 +245,32 @@ gemmReference(const Tensor &a, bool trans_a, const Tensor &b, bool trans_b,
             float acc = 0.0f;
             for (std::int64_t kk = 0; kk < k; ++kk)
                 acc += a_at(i, kk) * b_at(kk, j);
-            pc[i * n + j] += alpha * acc;
+            pc[i * ldc + j] += alpha * acc;
         }
     }
 }
 
 void
-gemm(const Tensor &a, bool trans_a, const Tensor &b, bool trans_b,
-     Tensor &c, float alpha, float beta)
+gemmReference(const Tensor &a, bool trans_a, const Tensor &b, bool trans_b,
+              Tensor &c, float alpha, float beta)
 {
     std::int64_t m, n, k;
     checkGemmShapes(a, trans_a, b, trans_b, c, m, n, k);
+    gemmReferenceRaw(m, n, k, alpha, a.data(), a.dim(1), trans_a, b.data(),
+                     b.dim(1), trans_b, beta, c.data(), n);
+}
 
-    const float *pa = a.data();
-    const float *pb = b.data();
-    float *pc = c.data();
-    const std::int64_t lda = a.dim(1);
-    const std::int64_t ldb = b.dim(1);
-
+void
+gemmRaw(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+        const float *pa, std::int64_t lda, bool trans_a, const float *pb,
+        std::int64_t ldb, bool trans_b, float beta, float *pc,
+        std::int64_t ldc)
+{
     // Very small problems: packing overhead dominates, use the scalar
     // kernel. The threshold is in multiply-adds.
     if (m * n * k <= kGemmScalarFallbackMacs) {
-        gemmReference(a, trans_a, b, trans_b, c, alpha, beta);
+        gemmReferenceRaw(m, n, k, alpha, pa, lda, trans_a, pb, ldb, trans_b,
+                         beta, pc, ldc);
         return;
     }
 
@@ -183,19 +279,7 @@ gemm(const Tensor &a, bool trans_a, const Tensor &b, bool trans_b,
     const std::int64_t mr = kn.mr;
     const std::int64_t nr = kn.nr;
 
-    // Scale C by beta once, in parallel over rows.
-    if (beta == 0.0f) {
-        parallelFor(0, m, 16, [&](std::int64_t rb, std::int64_t re) {
-            std::memset(pc + rb * n, 0,
-                        static_cast<std::size_t>((re - rb) * n)
-                            * sizeof(float));
-        });
-    } else if (beta != 1.0f) {
-        parallelFor(0, m, 16, [&](std::int64_t rb, std::int64_t re) {
-            for (std::int64_t i = rb * n; i < re * n; ++i)
-                pc[i] *= beta;
-        });
-    }
+    scaleCRows(pc, m, n, ldc, beta);
 
     const std::int64_t kc_max = std::min(KC, k);
     const std::int64_t nc_max = std::min(NC, n);
@@ -236,7 +320,8 @@ gemm(const Tensor &a, bool trans_a, const Tensor &b, bool trans_b,
                                 std::min(mr, mc - p * mr);
                             for (std::int64_t r = 0; r < rows; ++r) {
                                 float *crow = pc
-                                    + (i0 + p * mr + r) * n + jc + q * nr;
+                                    + (i0 + p * mr + r) * ldc + jc
+                                    + q * nr;
                                 const float *arow = acc + r * nr;
                                 for (std::int64_t cidx = 0; cidx < cols;
                                      ++cidx)
@@ -248,6 +333,155 @@ gemm(const Tensor &a, bool trans_a, const Tensor &b, bool trans_b,
             });
         }
     }
+}
+
+void
+gemm(const Tensor &a, bool trans_a, const Tensor &b, bool trans_b,
+     Tensor &c, float alpha, float beta)
+{
+    std::int64_t m, n, k;
+    checkGemmShapes(a, trans_a, b, trans_b, c, m, n, k);
+    gemmRaw(m, n, k, alpha, a.data(), a.dim(1), trans_a, b.data(), b.dim(1),
+            trans_b, beta, c.data(), n);
+}
+
+SparseRowMatrix
+sparsifyRows(const Tensor &a)
+{
+    checkRank2(a, "sparsifyRows input");
+    SparseRowMatrix sp;
+    sp.rows = a.dim(0);
+    sp.cols = a.dim(1);
+    sp.row_ptr.reserve(static_cast<std::size_t>(sp.rows + 1));
+    sp.row_ptr.push_back(0);
+    const float *pa = a.data();
+    for (std::int64_t i = 0; i < sp.rows; ++i) {
+        const float *arow = pa + i * sp.cols;
+        for (std::int64_t j = 0; j < sp.cols; ++j) {
+            if (arow[j] != 0.0f) {
+                sp.col_idx.push_back(static_cast<std::int32_t>(j));
+                sp.values.push_back(arow[j]);
+            }
+        }
+        sp.row_ptr.push_back(static_cast<std::int64_t>(sp.values.size()));
+    }
+    return sp;
+}
+
+void
+gemmSparseARaw(const SparseRowMatrix &a, const float *pb, std::int64_t ldb,
+               std::int64_t n, float alpha, float beta, float *pc,
+               std::int64_t ldc)
+{
+    checkSparseOperand(a);
+    const std::int64_t m = a.rows;
+    const std::int64_t k = a.cols;
+
+    scaleCRows(pc, m, n, ldc, beta);
+    if (m == 0 || n == 0 || a.nnz() == 0)
+        return;
+
+    // Small problems: panel packing overhead dominates. The threshold is
+    // in *useful* multiply-adds, which for the sparse operand is nnz * n.
+    if (a.nnz() * n <= kGemmScalarFallbackMacs) {
+        sparseRowScanRaw(a, pb, ldb, n, alpha, pc, ldc);
+        return;
+    }
+
+    const simd::Kernels &kn = simd::kernels();
+    const std::int64_t nr = kn.nr;
+
+    const std::int64_t kc_max = std::min(KC, k);
+    const std::int64_t nc_max = std::min(NC, n);
+    std::vector<float> bpack(static_cast<std::size_t>(
+        kc_max * ((nc_max + nr - 1) / nr) * nr));
+
+    // Same loop nest as the dense driver: jc/kc sequential so every C
+    // element accumulates its KC blocks in a fixed order, MC row blocks in
+    // parallel over disjoint C rows — bit-identical for any thread count
+    // within an ISA. The A side needs no packing at all: the compressed
+    // rows *are* the packed format, built once from the mask codes; each
+    // row block only slices its entry range per KC block (the indices are
+    // ascending, so two binary searches per row per block).
+    for (std::int64_t jc = 0; jc < n; jc += NC) {
+        const std::int64_t nc = std::min(NC, n - jc);
+        const std::int64_t npanels = (nc + nr - 1) / nr;
+        for (std::int64_t k0 = 0; k0 < k; k0 += KC) {
+            const std::int64_t kc = std::min(KC, k - k0);
+            packB(pb, ldb, false, k0, jc, kc, nc, nr, bpack.data());
+
+            parallelFor(0, (m + MC - 1) / MC, 1,
+                        [&](std::int64_t blk_b, std::int64_t blk_e) {
+                float acc[simd::kMaxGemmNr];
+                std::int64_t ent0[MC];
+                std::int64_t entn[MC];
+                for (std::int64_t blk = blk_b; blk < blk_e; ++blk) {
+                    const std::int64_t i0 = blk * MC;
+                    const std::int64_t mc = std::min(MC, m - i0);
+                    const std::int32_t *idx = a.col_idx.data();
+                    for (std::int64_t r = 0; r < mc; ++r) {
+                        const std::size_t row =
+                            static_cast<std::size_t>(i0 + r);
+                        const std::int32_t *lo = std::lower_bound(
+                            idx + a.row_ptr[row], idx + a.row_ptr[row + 1],
+                            static_cast<std::int32_t>(k0));
+                        const std::int32_t *hi = std::lower_bound(
+                            lo, idx + a.row_ptr[row + 1],
+                            static_cast<std::int32_t>(k0 + kc));
+                        ent0[r] = lo - idx;
+                        entn[r] = hi - lo;
+                    }
+                    // Panel-outer, row-inner: the kc x nr packed panel
+                    // stays hot across the whole row block.
+                    for (std::int64_t q = 0; q < npanels; ++q) {
+                        const float *bp = bpack.data() + q * kc * nr;
+                        const std::int64_t cols =
+                            std::min(nr, nc - q * nr);
+                        for (std::int64_t r = 0; r < mc; ++r) {
+                            if (entn[r] == 0)
+                                continue;
+                            std::fill(acc, acc + nr, 0.0f);
+                            kn.gemmSparseMicroKernel(
+                                a.values.data() + ent0[r], idx + ent0[r],
+                                entn[r], k0, bp, nr, acc);
+                            float *crow =
+                                pc + (i0 + r) * ldc + jc + q * nr;
+                            for (std::int64_t cidx = 0; cidx < cols;
+                                 ++cidx)
+                                crow[cidx] += alpha * acc[cidx];
+                        }
+                    }
+                }
+            });
+        }
+    }
+}
+
+void
+gemmSparseA(const SparseRowMatrix &a, const Tensor &b, Tensor &c,
+            float alpha, float beta)
+{
+    checkSparseGemmShapes(a, b, c, "gemmSparseA");
+    gemmSparseARaw(a, b.data(), b.dim(1), b.dim(1), alpha, beta, c.data(),
+                   b.dim(1));
+}
+
+void
+gemmSparseAReference(const SparseRowMatrix &a, const Tensor &b, Tensor &c,
+                     float alpha, float beta)
+{
+    checkSparseGemmShapes(a, b, c, "gemmSparseAReference");
+    checkSparseOperand(a);
+    const std::int64_t n = b.dim(1);
+    float *pc = c.data();
+    if (beta == 0.0f) {
+        for (std::int64_t i = 0; i < a.rows * n; ++i)
+            pc[i] = 0.0f;
+    } else if (beta != 1.0f) {
+        for (std::int64_t i = 0; i < a.rows * n; ++i)
+            pc[i] *= beta;
+    }
+    sparseRowScanRaw(a, b.data(), n, n, alpha, pc, n);
 }
 
 Tensor
@@ -271,6 +505,10 @@ im2col(const Tensor &input, std::int64_t n, const ConvGeom &g,
 
     const std::int64_t oh = g.outH();
     const std::int64_t ow = g.outW();
+    panicIf(oh <= 0 || ow <= 0, "im2col: non-positive output dims ", oh,
+            "x", ow, " (kernel ", g.k_h, "x", g.k_w,
+            " larger than padded input ", g.in_h, "x", g.in_w, " pad ",
+            g.pad, "?)");
     Tensor cols(Shape({g.in_c * g.k_h * g.k_w, oh * ow}));
     float *pc = cols.data();
     const float *pin = input.data()
@@ -317,6 +555,10 @@ col2im(const Tensor &cols, Tensor &grad, std::int64_t n, const ConvGeom &g,
             "col2im geometry mismatch with grad ", grad.shape().str());
     const std::int64_t oh = g.outH();
     const std::int64_t ow = g.outW();
+    panicIf(oh <= 0 || ow <= 0, "col2im: non-positive output dims ", oh,
+            "x", ow, " (kernel ", g.k_h, "x", g.k_w,
+            " larger than padded input ", g.in_h, "x", g.in_w, " pad ",
+            g.pad, "?)");
     fatalIf(cols.dim(0) != g.in_c * g.k_h * g.k_w || cols.dim(1) != oh * ow,
             "col2im column shape mismatch: ", cols.shape().str());
 

@@ -29,6 +29,21 @@ void gemm(const Tensor &a, bool trans_a, const Tensor &b, bool trans_b,
           Tensor &c, float alpha = 1.0f, float beta = 0.0f);
 
 /**
+ * Raw-pointer GEMM: C = alpha * op(A) * op(B) + beta * C where op(A) is
+ * m x k, op(B) is k x n and C is m x n with leading dimensions (row
+ * strides) lda/ldb/ldc. This is the layer the Tensor overload wraps; it
+ * exists so callers holding a matrix *view* into a larger slab — e.g. a
+ * conv layer writing one (batch, group) block of its NCHW output — can
+ * run the packed kernels in place instead of bouncing through a temporary
+ * plus memcpy. Same blocked driver, same per-ISA micro-kernels, same
+ * determinism contract as gemm().
+ */
+void gemmRaw(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+             const float *a, std::int64_t lda, bool trans_a, const float *b,
+             std::int64_t ldb, bool trans_b, float beta, float *c,
+             std::int64_t ldc);
+
+/**
  * Scalar single-threaded GEMM (the seed kernel). Kept as the correctness
  * oracle for tests and the "before" baseline for bench/micro_kernels.
  */
@@ -36,9 +51,76 @@ void gemmReference(const Tensor &a, bool trans_a, const Tensor &b,
                    bool trans_b, Tensor &c, float alpha = 1.0f,
                    float beta = 0.0f);
 
+/** Raw-pointer form of gemmReference (see gemmRaw for the conventions). */
+void gemmReferenceRaw(std::int64_t m, std::int64_t n, std::int64_t k,
+                      float alpha, const float *a, std::int64_t lda,
+                      bool trans_a, const float *b, std::int64_t ldb,
+                      bool trans_b, float beta, float *c, std::int64_t ldc);
+
 /** Convenience: returns op(A) * op(B) as a fresh tensor. */
 Tensor matmul(const Tensor &a, const Tensor &b,
               bool trans_a = false, bool trans_b = false);
+
+/**
+ * Per-row compressed-column (CSR) operand for gemmSparseA. For MVQ
+ * weights the N:M mask makes the kept positions statically known per
+ * M-group, so the operand is built once (from the stored mask codes, see
+ * core::CompressedLayer::packSparseRows) and reused for every forward
+ * pass — the pack stage of the sparse gemm never touches pruned
+ * positions.
+ */
+struct SparseRowMatrix
+{
+    std::int64_t rows = 0; //!< logical row count (m of the gemm)
+    std::int64_t cols = 0; //!< logical column count (k of the gemm)
+    /** rows+1 offsets into col_idx/values; row i owns [row_ptr[i],
+     *  row_ptr[i+1]). */
+    std::vector<std::int64_t> row_ptr;
+    std::vector<std::int32_t> col_idx; //!< ascending within each row
+    std::vector<float> values;         //!< kept entries, row-major
+
+    std::int64_t
+    nnz() const
+    {
+        return static_cast<std::int64_t>(values.size());
+    }
+
+    /** Kept fraction (1.0 = dense); N/M for an exact N:M operand. */
+    double
+    density() const
+    {
+        return rows * cols != 0
+            ? static_cast<double>(nnz())
+                / static_cast<double>(rows * cols)
+            : 0.0;
+    }
+};
+
+/** Compress a rank-2 tensor's exact non-zeros into CSR (tests/benches). */
+SparseRowMatrix sparsifyRows(const Tensor &a);
+
+/**
+ * Sparse-A GEMM: C = alpha * A * B + beta * C with A in compressed-row
+ * form and B/C dense. Runs the same KC/NC cache-blocked, B-panel-packed
+ * driver as gemm(), but the A side consumes the compressed rows directly:
+ * only kept entries are walked, their column indices steering the per-ISA
+ * sparse micro-kernel (simd::Kernels::gemmSparseMicroKernel) to the
+ * matching packed B rows. Flops scale with nnz, so a 4:16 operand does
+ * ~1/4 the multiplies of the dense path. Deterministic across thread
+ * counts within an ISA, like gemm().
+ */
+void gemmSparseA(const SparseRowMatrix &a, const Tensor &b, Tensor &c,
+                 float alpha = 1.0f, float beta = 0.0f);
+
+/** Raw-pointer form of gemmSparseA: B is a.cols x n (row stride ldb), C
+ *  is a.rows x n (row stride ldc). */
+void gemmSparseARaw(const SparseRowMatrix &a, const float *b,
+                    std::int64_t ldb, std::int64_t n, float alpha,
+                    float beta, float *c, std::int64_t ldc);
+
+/** Single-threaded unblocked sparse-A GEMM: the correctness oracle. */
+void gemmSparseAReference(const SparseRowMatrix &a, const Tensor &b,
+                          Tensor &c, float alpha = 1.0f, float beta = 0.0f);
 
 /** Convolution geometry used by im2col and the conv layer. */
 struct ConvGeom
@@ -51,8 +133,23 @@ struct ConvGeom
     std::int64_t stride = 1;
     std::int64_t pad = 0;
 
-    std::int64_t outH() const { return (in_h + 2 * pad - k_h) / stride + 1; }
-    std::int64_t outW() const { return (in_w + 2 * pad - k_w) / stride + 1; }
+    // A kernel larger than the padded input makes the numerator negative;
+    // integer division truncating toward zero would then yield a bogus
+    // positive size for small magnitudes (e.g. -1 / 2 + 1 == 1), so the
+    // invalid case is clamped to 0. im2col/col2im panic on non-positive
+    // output dims rather than relying on each caller to guard.
+    std::int64_t
+    outH() const
+    {
+        const std::int64_t num = in_h + 2 * pad - k_h;
+        return num < 0 ? 0 : num / stride + 1;
+    }
+    std::int64_t
+    outW() const
+    {
+        const std::int64_t num = in_w + 2 * pad - k_w;
+        return num < 0 ? 0 : num / stride + 1;
+    }
 };
 
 /**

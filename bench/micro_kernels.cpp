@@ -204,6 +204,31 @@ BM_GemmSparse(benchmark::State &state)
 BENCHMARK(BM_GemmSparse)->Arg(64)->Arg(128)->Arg(256);
 
 void
+BM_GemmIm2col(benchmark::State &state)
+{
+    // Fused im2col->panel conv gemm on a conv-like slab (C channels,
+    // n x n image, 3x3, pad 1); BM_Gemm is the matching dense-B driver.
+    const std::int64_t C = 64;
+    const std::int64_t hw = state.range(0);
+    const ConvGeom g{C, hw, hw, 3, 3, 1, 1};
+    Rng rng(2);
+    Tensor x(Shape({1, C, hw, hw}));
+    x.fillNormal(rng, 0.0f, 1.0f);
+    const std::int64_t m = 64;
+    const std::int64_t k = C * 9;
+    Tensor a(Shape({m, k}));
+    a.fillNormal(rng, 0.0f, 1.0f);
+    const Im2colB b{x.data(), g};
+    Tensor c(Shape({m, b.cols()}));
+    for (auto _ : state) {
+        gemmIm2colRaw(m, 1.0f, a.data(), k, b, 0.0f, c.data(), b.cols());
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 2 * m * k * b.cols());
+}
+BENCHMARK(BM_GemmIm2col)->Arg(14)->Arg(28);
+
+void
 BM_GemmRef(benchmark::State &state)
 {
     const std::int64_t n = state.range(0);
@@ -466,6 +491,113 @@ sparseReport(const std::string &json)
     setNumThreads(prev_threads);
 }
 
+/**
+ * Fused im2col->panel packing vs the materializing im2col + gemm path on
+ * the PR3 4:16 conv layer (C=256, 28x28, 3x3, stride 1, pad 1 -> m=256,
+ * k=2304, n=784), dense and sparse, single core per ISA. The unfused
+ * side times the whole conv forward step (im2col + dense-B gemm) since
+ * that is what the fusion replaces; the fused side is one call. Also
+ * re-derives the sparse fraction of the ideal 4x flop cut at the conv
+ * level with both paths fused — the PR4 accounting in PERF.md.
+ */
+void
+fusedReport(const std::string &json)
+{
+    using mvq::bench::appendBenchRecord;
+    using mvq::bench::f2;
+    using simd::Isa;
+
+    const bool fast = mvq::bench::fastMode();
+    const std::int64_t C = 256;
+    const std::int64_t m = 256;
+    const std::int64_t hw = fast ? 14 : 28;
+    const ConvGeom g{C, hw, hw, 3, 3, 1, 1};
+    const std::int64_t k = C * 9;
+    const std::int64_t n = g.outH() * g.outW();
+
+    Rng rng(9);
+    Tensor x(Shape({1, C, hw, hw}));
+    x.fillNormal(rng, 0.0f, 1.0f);
+    Tensor a = masked416Matrix(6, m, k);
+    const SparseRowMatrix sp = sparsifyRows(a);
+    const Im2colB b{x.data(), g};
+    Tensor c(Shape({m, n}));
+    const double ideal = static_cast<double>(m * k) / sp.nnz(); // ~4.0
+
+    const int prev_threads = numThreads();
+    setNumThreads(1);
+    std::cout << "--- fused im2col->panel vs im2col+gemm (4:16 layer m="
+              << m << " k=" << k << " n=" << n
+              << ", single core, sparse ideal " << f2(ideal) << "x) ---\n";
+    const simd::Isa saved = simd::activeIsa();
+    for (Isa isa : {Isa::Scalar, Isa::Avx2, Isa::Neon}) {
+        if (!simd::isaAvailable(isa))
+            continue;
+        simd::setIsa(isa);
+        const std::string tag = simd::isaName(isa);
+
+        // Best-of-7 (same rep count on every side, so best-of-N bias
+        // cancels): the fused-vs-unfused gaps on the compute-bound cells
+        // are a few percent, which best-of-5 resolves only marginally on
+        // a shared box.
+        const int reps = 7;
+        const double t_dense_unfused = secondsOf(
+            [&] {
+                const Tensor cols = im2col(x, 0, g);
+                gemmRaw(m, n, k, 1.0f, a.data(), k, false, cols.data(), n,
+                        false, 0.0f, c.data(), n);
+            },
+            reps);
+        const double t_dense_fused = secondsOf(
+            [&] {
+                gemmIm2colRaw(m, 1.0f, a.data(), k, b, 0.0f, c.data(), n);
+            },
+            reps);
+        const double t_sparse_unfused = secondsOf(
+            [&] {
+                const Tensor cols = im2col(x, 0, g);
+                gemmSparseARaw(sp, cols.data(), n, n, 1.0f, 0.0f, c.data(),
+                               n);
+            },
+            reps);
+        const double t_sparse_fused = secondsOf(
+            [&] {
+                gemmSparseAIm2col(sp, b, 1.0f, 0.0f, c.data(), n);
+            },
+            reps);
+
+        const double dense_speedup = t_dense_unfused / t_dense_fused;
+        const double sparse_speedup = t_sparse_unfused / t_sparse_fused;
+        const double sparse_vs_dense = t_dense_fused / t_sparse_fused;
+        const double fraction = sparse_vs_dense / ideal;
+        std::cout << tag << ": dense " << f2(t_dense_unfused * 1e3)
+                  << " -> " << f2(t_dense_fused * 1e3) << " ms ("
+                  << f2(dense_speedup) << "x), sparse "
+                  << f2(t_sparse_unfused * 1e3) << " -> "
+                  << f2(t_sparse_fused * 1e3) << " ms ("
+                  << f2(sparse_speedup) << "x); fused sparse vs fused "
+                     "dense "
+                  << f2(sparse_vs_dense) << "x (" << f2(fraction * 100.0)
+                  << "% of the " << f2(ideal) << "x flop cut)\n";
+        const std::string name = "conv_fused_416_" + tag;
+        appendBenchRecord(json, name, "dense_unfused_seconds",
+                          t_dense_unfused);
+        appendBenchRecord(json, name, "dense_fused_seconds", t_dense_fused);
+        appendBenchRecord(json, name, "dense_fused_speedup", dense_speedup);
+        appendBenchRecord(json, name, "sparse_unfused_seconds",
+                          t_sparse_unfused);
+        appendBenchRecord(json, name, "sparse_fused_seconds",
+                          t_sparse_fused);
+        appendBenchRecord(json, name, "sparse_fused_speedup",
+                          sparse_speedup);
+        appendBenchRecord(json, name, "sparse_vs_dense_fused",
+                          sparse_vs_dense);
+        appendBenchRecord(json, name, "flop_cut_fraction", fraction);
+    }
+    simd::setIsa(saved);
+    setNumThreads(prev_threads);
+}
+
 } // namespace
 
 int
@@ -493,5 +625,6 @@ main(int argc, char **argv)
     speedupReport(json);
     isaReport(json);
     sparseReport(json);
+    fusedReport(json);
     return 0;
 }

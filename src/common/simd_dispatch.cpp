@@ -244,6 +244,7 @@ resolveActive()
     g_active.store(table, std::memory_order_release);
     inform("simd: ", source, " kernel path '", table->name,
            "' (gemm micro-kernel ", table->mr, "x", table->nr,
+           ", B panels ", kGemmKC, "x", table->nr,
            "; available:", isaAvailable(Isa::Avx2) ? " avx2" : "",
            isaAvailable(Isa::Neon) ? " neon" : "", " scalar)");
 }

@@ -38,6 +38,20 @@ constexpr std::int64_t kMaxGemmMr = 8;
 constexpr std::int64_t kMaxGemmNr = 16;
 
 /**
+ * Cache-blocking parameters of the blocked gemm drivers (dense and
+ * sparse-A) in tensor/ops.cpp. A driver iteration packs one KC x NC block
+ * of op(B) into nr-column panels (nr from the active table, so a panel is
+ * kGemmKC x nr floats at most) and one MC x KC block of op(A) into mr-row
+ * panels. Exposed here because B-panel *producers* — packB and the fused
+ * packBFromIm2col in tensor/ops — and the tests/benches that pick shapes
+ * straddling block boundaries all need the same constants the drivers
+ * block with.
+ */
+constexpr std::int64_t kGemmMC = 64;   //!< rows of C per packed A block
+constexpr std::int64_t kGemmKC = 256;  //!< depth of one packed K block
+constexpr std::int64_t kGemmNC = 2048; //!< columns of C per packed B block
+
+/**
  * One ISA's kernel table. All function pointers are non-null; ISAs without
  * a native variant of some kernel point at the scalar implementation.
  */

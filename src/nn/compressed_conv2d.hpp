@@ -3,11 +3,15 @@
  * Inference path that consumes a compressed layer directly: the stored
  * N:M mask codes are decoded ONCE at construction into a per-row
  * compressed-column gemm operand (core::CompressedLayer::packSparseRows),
- * and every forward pass runs im2col + sparse-A gemm over it — pruned
+ * and every forward pass runs a fused-packing sparse-A gemm over it
+ * (gemmSparseAIm2col: convolution patches pack straight from the input
+ * image into gemm B panels, no intermediate cols tensor) — pruned
  * positions are never multiplied, so the 4:16 MAC reduction the paper's
  * accelerator gets from its AND-gate weight loader is realized on the CPU
- * too. Contrast with CompressedModel::applyTo, which densifies the kernel
- * and pays the full dense gemm.
+ * too. `MVQ_FUSED_CONV=0` falls back to the materializing im2col + sparse
+ * gemm composition (bit-identical per ISA; see tensor/ops.hpp). Contrast
+ * with CompressedModel::applyTo, which densifies the kernel and pays the
+ * full dense gemm.
  */
 
 #ifndef MVQ_NN_COMPRESSED_CONV2D_HPP
@@ -42,9 +46,14 @@ class CompressedConv2d
                      const core::Codebook &codebook, std::int64_t stride = 1,
                      std::int64_t pad = 0, std::int64_t groups = 1);
 
-    /** NCHW forward through im2col + sparse gemm. Genuinely const (no
-     *  hidden mutable state), so one instance can serve concurrent
-     *  forward calls. */
+    /**
+     * NCHW forward through the fused im2col->panel sparse gemm (one gemm
+     * per (batch, group) pair, output slabs written in place; the
+     * materializing im2col path under `MVQ_FUSED_CONV=0` is
+     * bit-identical). Genuinely const (no hidden mutable state), so one
+     * instance can serve concurrent forward calls. Output is
+     * bit-identical for any `MVQ_NUM_THREADS` within an ISA.
+     */
     Tensor forward(const Tensor &x) const;
 
     const std::string &name() const { return name_; }

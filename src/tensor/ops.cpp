@@ -1,8 +1,11 @@
 #include "tensor/ops.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <vector>
 
 #include "common/logging.hpp"
@@ -41,10 +44,23 @@ checkGemmShapes(const Tensor &a, bool trans_a, const Tensor &b, bool trans_b,
 // the tile shape is per-ISA (scalar 4x8, AVX2 6x16, NEON 4x16); panels of
 // op(A) (MC x KC) and op(B) (KC x NC) are packed into contiguous,
 // zero-padded buffers so the macro-kernel is branchless and
-// layout-independent (all four transpose cases pack to one format).
-constexpr std::int64_t MC = 64;
-constexpr std::int64_t KC = 256;
-constexpr std::int64_t NC = 2048;
+// layout-independent (all four transpose cases pack to one format). The
+// constants live in simd_dispatch.hpp so B-panel producers and tests can
+// block with the same values.
+constexpr std::int64_t MC = simd::kGemmMC;
+constexpr std::int64_t KC = simd::kGemmKC;
+constexpr std::int64_t NC = simd::kGemmNC;
+
+/**
+ * B-panel producer the blocked drivers call once per (jc, k0) block:
+ * fill bp with the packed nr-column panels of op(B)[k0:k0+kc, j0:j0+nc].
+ * Bound to packB for a dense operand and to packBFromIm2col for the
+ * fused conv path; invoked at block granularity, so the std::function
+ * indirection costs nothing measurable.
+ */
+using PackBFn = std::function<void(std::int64_t k0, std::int64_t j0,
+                                   std::int64_t kc, std::int64_t nc,
+                                   std::int64_t nr, float *bp)>;
 
 /**
  * Pack op(A)[i0:i0+mc, k0:k0+kc] (alpha pre-applied) into mr-row panels:
@@ -260,26 +276,21 @@ gemmReference(const Tensor &a, bool trans_a, const Tensor &b, bool trans_b,
                      b.dim(1), trans_b, beta, c.data(), n);
 }
 
+/**
+ * The blocked dense macro-driver shared by gemmRaw (dense B, packB) and
+ * gemmIm2colRaw (virtual B, packBFromIm2col). beta has already been
+ * applied to C by the caller.
+ */
 void
-gemmRaw(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
-        const float *pa, std::int64_t lda, bool trans_a, const float *pb,
-        std::int64_t ldb, bool trans_b, float beta, float *pc,
-        std::int64_t ldc)
+gemmBlockedDriver(std::int64_t m, std::int64_t n, std::int64_t k,
+                  float alpha, const float *pa, std::int64_t lda,
+                  bool trans_a, const PackBFn &pack_b, float *pc,
+                  std::int64_t ldc)
 {
-    // Very small problems: packing overhead dominates, use the scalar
-    // kernel. The threshold is in multiply-adds.
-    if (m * n * k <= kGemmScalarFallbackMacs) {
-        gemmReferenceRaw(m, n, k, alpha, pa, lda, trans_a, pb, ldb, trans_b,
-                         beta, pc, ldc);
-        return;
-    }
-
     // Register-tile shape comes from the active ISA's micro-kernel.
     const simd::Kernels &kn = simd::kernels();
     const std::int64_t mr = kn.mr;
     const std::int64_t nr = kn.nr;
-
-    scaleCRows(pc, m, n, ldc, beta);
 
     const std::int64_t kc_max = std::min(KC, k);
     const std::int64_t nc_max = std::min(NC, n);
@@ -295,7 +306,7 @@ gemmRaw(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
         const std::int64_t npanels = (nc + nr - 1) / nr;
         for (std::int64_t k0 = 0; k0 < k; k0 += KC) {
             const std::int64_t kc = std::min(KC, k - k0);
-            packB(pb, ldb, trans_b, k0, jc, kc, nc, nr, bpack.data());
+            pack_b(k0, jc, kc, nc, nr, bpack.data());
 
             parallelFor(0, (m + MC - 1) / MC, 1,
                         [&](std::int64_t blk_b, std::int64_t blk_e) {
@@ -336,6 +347,29 @@ gemmRaw(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
 }
 
 void
+gemmRaw(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+        const float *pa, std::int64_t lda, bool trans_a, const float *pb,
+        std::int64_t ldb, bool trans_b, float beta, float *pc,
+        std::int64_t ldc)
+{
+    // Very small problems: packing overhead dominates, use the scalar
+    // kernel. The threshold is in multiply-adds.
+    if (m * n * k <= kGemmScalarFallbackMacs) {
+        gemmReferenceRaw(m, n, k, alpha, pa, lda, trans_a, pb, ldb, trans_b,
+                         beta, pc, ldc);
+        return;
+    }
+
+    scaleCRows(pc, m, n, ldc, beta);
+    gemmBlockedDriver(m, n, k, alpha, pa, lda, trans_a,
+                      [&](std::int64_t k0, std::int64_t j0, std::int64_t kc,
+                          std::int64_t nc, std::int64_t nr, float *bp) {
+                          packB(pb, ldb, trans_b, k0, j0, kc, nc, nr, bp);
+                      },
+                      pc, ldc);
+}
+
+void
 gemm(const Tensor &a, bool trans_a, const Tensor &b, bool trans_b,
      Tensor &c, float alpha, float beta)
 {
@@ -368,25 +402,18 @@ sparsifyRows(const Tensor &a)
     return sp;
 }
 
+/**
+ * The blocked sparse-A macro-driver shared by gemmSparseARaw (dense B,
+ * packB) and gemmSparseAIm2col (virtual B, packBFromIm2col). beta has
+ * already been applied to C and the operand validated by the caller.
+ */
 void
-gemmSparseARaw(const SparseRowMatrix &a, const float *pb, std::int64_t ldb,
-               std::int64_t n, float alpha, float beta, float *pc,
-               std::int64_t ldc)
+gemmSparseBlockedDriver(const SparseRowMatrix &a, std::int64_t n,
+                        float alpha, const PackBFn &pack_b, float *pc,
+                        std::int64_t ldc)
 {
-    checkSparseOperand(a);
     const std::int64_t m = a.rows;
     const std::int64_t k = a.cols;
-
-    scaleCRows(pc, m, n, ldc, beta);
-    if (m == 0 || n == 0 || a.nnz() == 0)
-        return;
-
-    // Small problems: panel packing overhead dominates. The threshold is
-    // in *useful* multiply-adds, which for the sparse operand is nnz * n.
-    if (a.nnz() * n <= kGemmScalarFallbackMacs) {
-        sparseRowScanRaw(a, pb, ldb, n, alpha, pc, ldc);
-        return;
-    }
 
     const simd::Kernels &kn = simd::kernels();
     const std::int64_t nr = kn.nr;
@@ -408,7 +435,7 @@ gemmSparseARaw(const SparseRowMatrix &a, const float *pb, std::int64_t ldb,
         const std::int64_t npanels = (nc + nr - 1) / nr;
         for (std::int64_t k0 = 0; k0 < k; k0 += KC) {
             const std::int64_t kc = std::min(KC, k - k0);
-            packB(pb, ldb, false, k0, jc, kc, nc, nr, bpack.data());
+            pack_b(k0, jc, kc, nc, nr, bpack.data());
 
             parallelFor(0, (m + MC - 1) / MC, 1,
                         [&](std::int64_t blk_b, std::int64_t blk_e) {
@@ -458,6 +485,34 @@ gemmSparseARaw(const SparseRowMatrix &a, const float *pb, std::int64_t ldb,
 }
 
 void
+gemmSparseARaw(const SparseRowMatrix &a, const float *pb, std::int64_t ldb,
+               std::int64_t n, float alpha, float beta, float *pc,
+               std::int64_t ldc)
+{
+    checkSparseOperand(a);
+    const std::int64_t m = a.rows;
+
+    scaleCRows(pc, m, n, ldc, beta);
+    if (m == 0 || n == 0 || a.nnz() == 0)
+        return;
+
+    // Small problems: panel packing overhead dominates. The threshold is
+    // in *useful* multiply-adds, which for the sparse operand is nnz * n.
+    if (a.nnz() * n <= kGemmScalarFallbackMacs) {
+        sparseRowScanRaw(a, pb, ldb, n, alpha, pc, ldc);
+        return;
+    }
+
+    gemmSparseBlockedDriver(
+        a, n, alpha,
+        [&](std::int64_t k0, std::int64_t j0, std::int64_t kc,
+            std::int64_t nc, std::int64_t nr, float *bp) {
+            packB(pb, ldb, false, k0, j0, kc, nc, nr, bp);
+        },
+        pc, ldc);
+}
+
+void
 gemmSparseA(const SparseRowMatrix &a, const Tensor &b, Tensor &c,
             float alpha, float beta)
 {
@@ -494,25 +549,33 @@ matmul(const Tensor &a, const Tensor &b, bool trans_a, bool trans_b)
     return c;
 }
 
-Tensor
-im2col(const Tensor &input, std::int64_t n, const ConvGeom &g,
-       std::int64_t c0)
-{
-    fatalIf(input.rank() != 4, "im2col expects NCHW input");
-    fatalIf(c0 < 0 || c0 + g.in_c > input.dim(1)
-                || input.dim(2) != g.in_h || input.dim(3) != g.in_w,
-            "im2col geometry mismatch with input ", input.shape().str());
+namespace {
 
+/** Panic unless the geometry yields a non-empty output feature map. */
+void
+checkConvOutputDims(const ConvGeom &g, const char *what)
+{
     const std::int64_t oh = g.outH();
     const std::int64_t ow = g.outW();
-    panicIf(oh <= 0 || ow <= 0, "im2col: non-positive output dims ", oh,
+    panicIf(oh <= 0 || ow <= 0, what, ": non-positive output dims ", oh,
             "x", ow, " (kernel ", g.k_h, "x", g.k_w,
             " larger than padded input ", g.in_h, "x", g.in_w, " pad ",
             g.pad, "?)");
-    Tensor cols(Shape({g.in_c * g.k_h * g.k_w, oh * ow}));
-    float *pc = cols.data();
-    const float *pin = input.data()
-        + (n * input.dim(1) + c0) * g.in_h * g.in_w;
+}
+
+/**
+ * Materialize the virtual im2col matrix row-major into pc (row stride
+ * outH*outW). Shared by the Tensor-returning im2col() and the fused
+ * entry points' small-problem fallbacks, so fused and unfused paths
+ * gather padding with the same code.
+ */
+void
+im2colInto(const Im2colB &b, float *pc)
+{
+    const ConvGeom &g = b.g;
+    const std::int64_t oh = g.outH();
+    const std::int64_t ow = g.outW();
+    const float *pin = b.slab;
 
     // Each row (c, kh, kw) writes a disjoint slab of cols.
     const std::int64_t nrows = g.in_c * g.k_h * g.k_w;
@@ -542,7 +605,210 @@ im2col(const Tensor &input, std::int64_t n, const ConvGeom &g,
             }
         }
     });
+}
+
+} // namespace
+
+Tensor
+im2col(const Tensor &input, std::int64_t n, const ConvGeom &g,
+       std::int64_t c0)
+{
+    fatalIf(input.rank() != 4, "im2col expects NCHW input");
+    fatalIf(c0 < 0 || c0 + g.in_c > input.dim(1)
+                || input.dim(2) != g.in_h || input.dim(3) != g.in_w,
+            "im2col geometry mismatch with input ", input.shape().str());
+    checkConvOutputDims(g, "im2col");
+
+    Tensor cols(Shape({g.in_c * g.k_h * g.k_w, g.outH() * g.outW()}));
+    const float *pin = input.data()
+        + (n * input.dim(1) + c0) * g.in_h * g.in_w;
+    im2colInto(Im2colB{pin, g}, cols.data());
     return cols;
+}
+
+void
+packBFromIm2col(const Im2colB &b, std::int64_t k0, std::int64_t j0,
+                std::int64_t kc, std::int64_t nc, std::int64_t nr,
+                float *bp)
+{
+    const ConvGeom &g = b.g;
+    checkConvOutputDims(g, "packBFromIm2col");
+    const std::int64_t ow = g.outW();
+    const float *pin = b.slab;
+
+    // Panels write disjoint bp regions, so packing runs in parallel (the
+    // pool is otherwise idle between macro-kernel sweeps) without
+    // affecting the packed bytes — same split as packB. Within a panel
+    // the kk loop walks the virtual rows (c, kh, kw); the cidx loop walks
+    // output positions of one im2col row, split into runs that stay on
+    // one output row y (ih fixed), so the padding tests hoist out of the
+    // per-element loop and the stride-1 common case degenerates to one
+    // memcpy per run.
+    const std::int64_t npanels = (nc + nr - 1) / nr;
+    parallelFor(0, npanels, 4, [&](std::int64_t qb, std::int64_t qe) {
+        for (std::int64_t q = qb; q < qe; ++q) {
+            float *dst = bp + q * kc * nr;
+            const std::int64_t cols = std::min(nr, nc - q * nr);
+            const std::int64_t jbase = j0 + q * nr;
+            // Walk the (c, kh, kw) decomposition of the virtual row
+            // incrementally: kw carries into kh carries into c, so the kk
+            // loop does no divisions.
+            std::int64_t c = k0 / (g.k_h * g.k_w);
+            std::int64_t kh = (k0 / g.k_w) % g.k_h;
+            std::int64_t kw = k0 % g.k_w;
+            const float *src = pin + c * g.in_h * g.in_w;
+            for (std::int64_t kk = 0; kk < kc; ++kk) {
+                float *drow = dst + kk * nr;
+                std::int64_t cidx = 0;
+                while (cidx < cols) {
+                    const std::int64_t j = jbase + cidx;
+                    const std::int64_t y = j / ow;
+                    const std::int64_t x0 = j % ow;
+                    const std::int64_t run =
+                        std::min(cols - cidx, ow - x0);
+                    const std::int64_t ih = y * g.stride - g.pad + kh;
+                    if (ih < 0 || ih >= g.in_h) {
+                        std::memset(drow + cidx, 0,
+                                    static_cast<std::size_t>(run)
+                                        * sizeof(float));
+                    } else if (g.stride == 1) {
+                        // iw = x - pad + kw is contiguous in x; split the
+                        // run into left padding / in-bounds memcpy / right
+                        // padding.
+                        const std::int64_t iw0 = x0 - g.pad + kw;
+                        const std::int64_t lo =
+                            std::clamp<std::int64_t>(-iw0, 0, run);
+                        const std::int64_t hi =
+                            std::clamp<std::int64_t>(g.in_w - iw0, lo, run);
+                        if (lo > 0)
+                            std::memset(drow + cidx, 0,
+                                        static_cast<std::size_t>(lo)
+                                            * sizeof(float));
+                        if (hi > lo)
+                            std::memcpy(drow + cidx + lo,
+                                        src + ih * g.in_w + iw0 + lo,
+                                        static_cast<std::size_t>(hi - lo)
+                                            * sizeof(float));
+                        if (run > hi)
+                            std::memset(drow + cidx + hi, 0,
+                                        static_cast<std::size_t>(run - hi)
+                                            * sizeof(float));
+                    } else {
+                        const float *srow = src + ih * g.in_w;
+                        for (std::int64_t t = 0; t < run; ++t) {
+                            const std::int64_t iw =
+                                (x0 + t) * g.stride - g.pad + kw;
+                            drow[cidx + t] = (iw >= 0 && iw < g.in_w)
+                                ? srow[iw]
+                                : 0.0f;
+                        }
+                    }
+                    cidx += run;
+                }
+                for (std::int64_t t = cols; t < nr; ++t)
+                    drow[t] = 0.0f;
+                if (++kw == g.k_w) {
+                    kw = 0;
+                    if (++kh == g.k_h) {
+                        kh = 0;
+                        ++c;
+                        src += g.in_h * g.in_w;
+                    }
+                }
+            }
+        }
+    });
+}
+
+void
+gemmIm2colRaw(std::int64_t m, float alpha, const float *pa,
+              std::int64_t lda, const Im2colB &b, float beta, float *pc,
+              std::int64_t ldc)
+{
+    checkConvOutputDims(b.g, "gemmIm2colRaw");
+    const std::int64_t k = b.rows();
+    const std::int64_t n = b.cols();
+
+    // Small problems take the same materialize + scalar-reference route
+    // the unfused path does (im2col + gemmRaw), keeping fused and unfused
+    // bit-identical on both sides of the crossover.
+    if (m * n * k <= kGemmScalarFallbackMacs) {
+        std::vector<float> cols(static_cast<std::size_t>(k * n));
+        im2colInto(b, cols.data());
+        gemmReferenceRaw(m, n, k, alpha, pa, lda, false, cols.data(), n,
+                         false, beta, pc, ldc);
+        return;
+    }
+
+    scaleCRows(pc, m, n, ldc, beta);
+    gemmBlockedDriver(m, n, k, alpha, pa, lda, false,
+                      [&](std::int64_t k0, std::int64_t j0, std::int64_t kc,
+                          std::int64_t nc, std::int64_t nr, float *bp) {
+                          packBFromIm2col(b, k0, j0, kc, nc, nr, bp);
+                      },
+                      pc, ldc);
+}
+
+void
+gemmSparseAIm2col(const SparseRowMatrix &a, const Im2colB &b, float alpha,
+                  float beta, float *pc, std::int64_t ldc)
+{
+    checkSparseOperand(a);
+    checkConvOutputDims(b.g, "gemmSparseAIm2col");
+    panicIf(a.cols != b.rows(), "gemmSparseAIm2col inner dims mismatch: ",
+            a.cols, " vs ", b.rows());
+    const std::int64_t m = a.rows;
+    const std::int64_t k = b.rows();
+    const std::int64_t n = b.cols();
+
+    scaleCRows(pc, m, n, ldc, beta);
+    if (m == 0 || n == 0 || a.nnz() == 0)
+        return;
+
+    // Same crossover as gemmSparseARaw, same materialize fallback as the
+    // unfused composition — bit-identity holds on both sides.
+    if (a.nnz() * n <= kGemmScalarFallbackMacs) {
+        std::vector<float> cols(static_cast<std::size_t>(k * n));
+        im2colInto(b, cols.data());
+        sparseRowScanRaw(a, cols.data(), n, n, alpha, pc, ldc);
+        return;
+    }
+
+    gemmSparseBlockedDriver(
+        a, n, alpha,
+        [&](std::int64_t k0, std::int64_t j0, std::int64_t kc,
+            std::int64_t nc, std::int64_t nr, float *bp) {
+            packBFromIm2col(b, k0, j0, kc, nc, nr, bp);
+        },
+        pc, ldc);
+}
+
+namespace {
+
+/** -1 = unresolved (read MVQ_FUSED_CONV on first query). */
+std::atomic<int> g_fused_conv{-1};
+
+} // namespace
+
+bool
+fusedConvEnabled()
+{
+    int v = g_fused_conv.load(std::memory_order_acquire);
+    if (v < 0) {
+        const char *env = std::getenv("MVQ_FUSED_CONV");
+        v = (env != nullptr
+             && (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0))
+            ? 0
+            : 1;
+        g_fused_conv.store(v, std::memory_order_release);
+    }
+    return v == 1;
+}
+
+void
+setFusedConvEnabled(bool on)
+{
+    g_fused_conv.store(on ? 1 : 0, std::memory_order_release);
 }
 
 void

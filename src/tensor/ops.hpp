@@ -1,7 +1,31 @@
 /**
  * @file
- * Tensor kernels: GEMM, im2col/col2im, elementwise arithmetic, reductions.
- * These back both the NN layers and the compression algorithms.
+ * Tensor kernels: GEMM (dense, sparse-A, and fused-im2col variants),
+ * im2col/col2im, elementwise arithmetic, reductions. These back both the
+ * NN layers and the compression algorithms.
+ *
+ * Conventions shared by every kernel in this header:
+ *
+ * - **Layout.** All matrices are row-major float32. The `*Raw` entry
+ *   points take leading dimensions (`lda/ldb/ldc` = row stride in
+ *   elements, >= the logical column count), so callers can pass views
+ *   into larger slabs — e.g. one (batch, group) block of an NCHW tensor —
+ *   and have results written in place. The Tensor overloads are the
+ *   `ld == cols` special case.
+ * - **Accumulation.** `C = alpha * op(A) * op(B) + beta * C` semantics
+ *   throughout; `beta == 0` means C's prior contents are ignored (and may
+ *   be uninitialized), not multiplied by 0.
+ * - **Determinism.** Every kernel is bit-identical for any
+ *   `MVQ_NUM_THREADS` within a given SIMD ISA: parallel chunk boundaries
+ *   depend only on the iteration range, parallel chunks write disjoint
+ *   outputs, and the blocked gemm drivers sequence their K blocks
+ *   serially so each C element accumulates in a fixed order. Switching
+ *   ISA (`MVQ_SIMD`) may change final ULPs — micro-kernels reorder lane
+ *   sums — which tests pin at 1e-4 relative.
+ * - **Errors.** Shape/geometry violations panic (throw `PanicError` via
+ *   common/logging) rather than returning error codes; the fused conv
+ *   entry points additionally panic on degenerate (non-positive) output
+ *   dims, like im2col/col2im.
  */
 
 #ifndef MVQ_TENSOR_OPS_HPP
@@ -157,9 +181,106 @@ struct ConvGeom
  * batch n) into a [g.in_c*kh*kw, outH*outW] column matrix. With the
  * default c0 = 0 and g.in_c == input channels this is classic im2col;
  * grouped convolutions pass c0 to select their channel slice.
+ *
+ * This is the *materializing* form: the fused forward paths below skip it
+ * entirely (gemmIm2colRaw / gemmSparseAIm2col), but it remains the oracle
+ * for the fused tests, the backward/col2im companion, and the fallback
+ * when `MVQ_FUSED_CONV=0`.
  */
 Tensor im2col(const Tensor &input, std::int64_t n, const ConvGeom &g,
               std::int64_t c0 = 0);
+
+/**
+ * A convolution's im2col matrix described by geometry instead of storage:
+ * the virtual [g.in_c * g.k_h * g.k_w, g.outH() * g.outW()] B operand of
+ * one (batch, group) slab. `slab` points at the first input element of
+ * the slab's channel range — for an NCHW tensor and group channel offset
+ * c0 that is `input.data() + (n * C + c0) * in_h * in_w` — and must stay
+ * valid for the duration of the gemm call it is passed to. Element
+ * (row, col) of the virtual matrix is input pixel (c, ih, iw) with
+ * row = (c * k_h + kh) * k_w + kw, ih = (col / outW) * stride - pad + kh,
+ * iw = (col % outW) * stride - pad + kw, and 0 where ih/iw fall in the
+ * padding — exactly what im2col() would have materialized.
+ */
+struct Im2colB
+{
+    const float *slab = nullptr; //!< base of the (batch, group) channels
+    ConvGeom g;
+
+    /** Rows of the virtual matrix == k of the gemm. */
+    std::int64_t
+    rows() const
+    {
+        return g.in_c * g.k_h * g.k_w;
+    }
+    /** Columns of the virtual matrix == n of the gemm. */
+    std::int64_t
+    cols() const
+    {
+        return g.outH() * g.outW();
+    }
+};
+
+/**
+ * Fused im2col -> B-panel packing: write block [k0, k0 + kc) x
+ * [j0, j0 + nc) of the virtual im2col matrix straight into the packed
+ * nr-column panel layout the blocked gemm drivers consume (panel q at
+ * bp + q*kc*nr holds bp[kk*nr + c] = B(k0 + kk, j0 + q*nr + c),
+ * zero-padded past nc) — the same layout packB produces from a dense
+ * matrix, so the per-ISA micro-kernels cannot tell the difference. This
+ * is what eliminates the cols tensor: patches are gathered from the
+ * input image exactly once, directly into the pack buffer, instead of
+ * being written to a [k, n] intermediate and re-read by packB.
+ *
+ * ISA-agnostic (plain C++, nr is a runtime parameter) and parallel over
+ * panel columns; panels write disjoint bp regions so the parallel split
+ * never affects the packed bytes. Panics on non-positive output dims,
+ * like im2col.
+ */
+void packBFromIm2col(const Im2colB &b, std::int64_t k0, std::int64_t j0,
+                     std::int64_t kc, std::int64_t nc, std::int64_t nr,
+                     float *bp);
+
+/**
+ * Dense conv forward gemm with the B operand produced on the fly:
+ * C = alpha * A * im2col(b) + beta * C where A is m x b.rows() (row
+ * stride lda, never transposed — conv weights are stored unrolled) and C
+ * is m x b.cols() with row stride ldc. Runs the same blocked driver and
+ * per-ISA micro-kernels as gemmRaw with packB replaced by
+ * packBFromIm2col, so the result is BIT-IDENTICAL to
+ * `gemmRaw(m, n, k, alpha, a, lda, false, im2col(...).data(), n, false,
+ * beta, c, ldc)` for any ISA and thread count (small problems fall back
+ * to a materialize + gemmReferenceRaw path, again matching the unfused
+ * fallback exactly). Panics on non-positive output dims.
+ */
+void gemmIm2colRaw(std::int64_t m, float alpha, const float *a,
+                   std::int64_t lda, const Im2colB &b, float beta, float *c,
+                   std::int64_t ldc);
+
+/**
+ * Sparse-A conv forward gemm with the B operand produced on the fly:
+ * C = alpha * A * im2col(b) + beta * C with A in compressed-row form
+ * (a.cols must equal b.rows()). Same blocked sparse driver as
+ * gemmSparseARaw with packB replaced by packBFromIm2col — bit-identical
+ * to the unfused im2col + gemmSparseARaw composition for any ISA and
+ * thread count. This is the payoff path: PR3 measured gemmSparseA's gap
+ * to the ideal N/M flop cut to be B-side memory traffic, and the fusion
+ * removes the cols tensor's write+read round trip entirely.
+ */
+void gemmSparseAIm2col(const SparseRowMatrix &a, const Im2colB &b,
+                       float alpha, float beta, float *c, std::int64_t ldc);
+
+/**
+ * Whether the conv layers route their forward gemms through the fused
+ * im2col->panel entry points (default) or materialize cols and call the
+ * dense-B gemms. First call reads `MVQ_FUSED_CONV` (0/off disables);
+ * both settings produce bit-identical outputs — the knob exists for A/B
+ * perf comparison and as a debug fallback.
+ */
+bool fusedConvEnabled();
+
+/** Programmatic override of fusedConvEnabled (tests/benches). */
+void setFusedConvEnabled(bool on);
 
 /**
  * Scatter-add a column matrix back into an image gradient (inverse of

@@ -1,5 +1,7 @@
 #include "core/compressed_layer.hpp"
 
+#include <algorithm>
+
 #include "common/logging.hpp"
 #include "common/math_util.hpp"
 #include "nn/conv2d.hpp"
@@ -32,46 +34,46 @@ CompressedLayer::decodeMask() const
     return mask;
 }
 
-SparseRowMatrix
-CompressedLayer::packSparseRows(const Codebook &cb) const
-{
-    fatalIf(weight_shape.rank() != 4,
-            name, ": packSparseRows expects a 4-D kernel shape");
-    fatalIf(cb.d() != cfg.d, name, ": codebook d ", cb.d(),
-            " != layer d ", cfg.d);
-    const std::int64_t kk = weight_shape.dim(0);
-    const std::int64_t cc = weight_shape.dim(1);
-    const std::int64_t rr = weight_shape.dim(2);
-    const std::int64_t ss = weight_shape.dim(3);
-    const std::int64_t d = cfg.d;
+namespace {
 
-    // One LUT pass expands the stored group codes; the walk below then
-    // consumes the bits in the unrolled weight-matrix order. A kept
-    // position keeps its codeword value even when that value is 0.0f —
-    // the operand mirrors the mask structure, not incidental zeros.
-    const Mask mask = decodeMask();
+/**
+ * The shared pack walk: rows [k0, k1) of the layer's unrolled [K, C*R*S]
+ * weight matrix as a standalone CSR operand (rows rebased to k0). One LUT
+ * pass has already expanded the stored group codes into `mask`; the walk
+ * consumes the bits in unrolled weight-matrix order. A kept position
+ * keeps its codeword value even when that value is 0.0f — the operand
+ * mirrors the mask structure, not incidental zeros.
+ */
+SparseRowMatrix
+packRowRange(const CompressedLayer &layer, const Mask &mask,
+             const Codebook &cb, std::int64_t k0, std::int64_t k1)
+{
+    const Shape &w4 = layer.weight_shape;
+    const std::int64_t cc = w4.dim(1);
+    const std::int64_t rr = w4.dim(2);
+    const std::int64_t ss = w4.dim(3);
+    const std::int64_t d = layer.cfg.d;
     const float *cw = cb.codewords.data();
 
     SparseRowMatrix sp;
-    sp.rows = kk;
+    sp.rows = k1 - k0;
     sp.cols = cc * rr * ss;
-    sp.row_ptr.reserve(static_cast<std::size_t>(kk) + 1);
+    sp.row_ptr.reserve(static_cast<std::size_t>(sp.rows) + 1);
     sp.row_ptr.push_back(0);
-    const std::int64_t keep_estimate =
-        ng() * d * cfg.pattern.n / cfg.pattern.m;
+    const std::int64_t keep_estimate = sp.rows * sp.cols
+        * layer.cfg.pattern.n / layer.cfg.pattern.m;
     sp.col_idx.reserve(static_cast<std::size_t>(keep_estimate));
     sp.values.reserve(static_cast<std::size_t>(keep_estimate));
-    for (std::int64_t k = 0; k < kk; ++k) {
+    for (std::int64_t k = k0; k < k1; ++k) {
         for (std::int64_t c = 0; c < cc; ++c) {
             for (std::int64_t r = 0; r < rr; ++r) {
                 for (std::int64_t s = 0; s < ss; ++s) {
                     const GroupedCoord gc =
-                        groupedCoords(k, c, r, s, weight_shape, d,
-                                      cfg.grouping);
+                        groupedCoords(k, c, r, s, w4, d, layer.cfg.grouping);
                     if (!mask[static_cast<std::size_t>(
                             gc.row * d + gc.col)])
                         continue;
-                    const std::int32_t a = assignments[
+                    const std::int32_t a = layer.assignments[
                         static_cast<std::size_t>(gc.row)];
                     sp.col_idx.push_back(static_cast<std::int32_t>(
                         (c * rr + r) * ss + s));
@@ -82,7 +84,53 @@ CompressedLayer::packSparseRows(const Codebook &cb) const
         sp.row_ptr.push_back(
             static_cast<std::int64_t>(sp.values.size()));
     }
+    validateSparseOperand(sp);
     return sp;
+}
+
+} // namespace
+
+SparseRowMatrix
+CompressedLayer::packSparseRows(const Codebook &cb) const
+{
+    fatalIf(weight_shape.rank() != 4,
+            name, ": packSparseRows expects a 4-D kernel shape");
+    fatalIf(cb.d() != cfg.d, name, ": codebook d ", cb.d(),
+            " != layer d ", cfg.d);
+    const Mask mask = decodeMask();
+    return packRowRange(*this, mask, cb, 0, weight_shape.dim(0));
+}
+
+std::vector<GroupedSparseMatrix>
+CompressedLayer::packGroupedRows(const Codebook &cb,
+                                 std::int64_t groups) const
+{
+    fatalIf(weight_shape.rank() != 4,
+            name, ": packGroupedRows expects a 4-D kernel shape");
+    fatalIf(cb.d() != cfg.d, name, ": codebook d ", cb.d(),
+            " != layer d ", cfg.d);
+    const std::int64_t kk = weight_shape.dim(0);
+    fatalIf(groups <= 0 || kk % groups != 0,
+            name, ": out channels ", kk, " not divisible by groups ",
+            groups);
+    const std::int64_t kg = kk / groups;
+
+    // Bucket in M-row blocks: under output-channel-wise grouping one mask
+    // code governs M consecutive gemm rows at one column, so M-blocks are
+    // exactly the spans within which rows can share a kept-column
+    // pattern. Degenerate patterns (M < 2, i.e. dense vanilla VQ) have no
+    // code granularity to align with; a 16-row block tiles them fully.
+    const std::int64_t mb = cfg.pattern.m >= 2
+        ? std::min<std::int64_t>(cfg.pattern.m, 32)
+        : 16;
+
+    const Mask mask = decodeMask();
+    std::vector<GroupedSparseMatrix> out;
+    out.reserve(static_cast<std::size_t>(groups));
+    for (std::int64_t grp = 0; grp < groups; ++grp)
+        out.push_back(groupSparseRows(
+            packRowRange(*this, mask, cb, grp * kg, (grp + 1) * kg), mb));
+    return out;
 }
 
 Tensor

@@ -110,6 +110,19 @@ struct CompressedLayer
      */
     SparseRowMatrix packSparseRows(const Codebook &cb) const;
 
+    /**
+     * packSparseRows split per convolution group and bucketed for the
+     * multi-row sparse kernel: each group's row range [grp*K/groups,
+     * (grp+1)*K/groups) of the unrolled weight matrix packs directly into
+     * its own GroupedSparseMatrix (no full-operand pack + slice copy),
+     * with rows sharing a kept-column pattern tiled together
+     * (groupSparseRows; block size follows the layer's M so buckets align
+     * with mask-code granularity). Built once at load time — the bucket
+     * structure is a property of the stored mask codes, not of any input.
+     */
+    std::vector<GroupedSparseMatrix>
+    packGroupedRows(const Codebook &cb, std::int64_t groups = 1) const;
+
     /** Dense-reconstruct (mask ignored; ablation cases A/B). */
     Tensor reconstructDense(const Codebook &cb) const;
 

@@ -7,31 +7,6 @@
 
 namespace mvq::nn {
 
-namespace {
-
-/** Rows [r0, r0 + nrows) of `full` as a standalone operand (row_ptr
- *  rebased to the slice's first entry). */
-SparseRowMatrix
-sliceRows(const SparseRowMatrix &full, std::int64_t r0, std::int64_t nrows)
-{
-    SparseRowMatrix out;
-    out.rows = nrows;
-    out.cols = full.cols;
-    const std::int64_t e0 = full.row_ptr[static_cast<std::size_t>(r0)];
-    const std::int64_t e1 =
-        full.row_ptr[static_cast<std::size_t>(r0 + nrows)];
-    out.row_ptr.reserve(static_cast<std::size_t>(nrows) + 1);
-    for (std::int64_t r = r0; r <= r0 + nrows; ++r)
-        out.row_ptr.push_back(full.row_ptr[static_cast<std::size_t>(r)]
-                              - e0);
-    out.col_idx.assign(full.col_idx.begin() + e0,
-                       full.col_idx.begin() + e1);
-    out.values.assign(full.values.begin() + e0, full.values.begin() + e1);
-    return out;
-}
-
-} // namespace
-
 CompressedConv2d::CompressedConv2d(const core::CompressedLayer &layer,
                                    const core::Codebook &codebook,
                                    std::int64_t stride, std::int64_t pad,
@@ -45,20 +20,13 @@ CompressedConv2d::CompressedConv2d(const core::CompressedLayer &layer,
     fatalIf(weight_shape_.dim(0) % groups_ != 0,
             name_, ": out channels not divisible by groups");
 
-    // The pack stage: decode the mask codes into the compressed-row
-    // operand once, then split it per group so each (batch, group) pair
-    // can gemm its own row range against its own im2col columns.
-    SparseRowMatrix full = layer.packSparseRows(codebook);
-    const std::int64_t kg = full.rows / groups_;
-    group_rows_.reserve(static_cast<std::size_t>(groups_));
-    if (groups_ == 1) {
-        group_rows_.push_back(std::move(full));
-    } else {
-        for (std::int64_t grp = 0; grp < groups_; ++grp)
-            group_rows_.push_back(sliceRows(full, grp * kg, kg));
-    }
+    // The pack stage: decode the mask codes once and pack each group's
+    // row range straight into its own grouped operand (rows sharing a
+    // kept-column pattern tiled together for the multi-row kernel) — no
+    // full-operand pack followed by per-group slice copies.
+    group_rows_ = layer.packGroupedRows(codebook, groups_);
     for (const auto &sp : group_rows_)
-        nnz_ += sp.nnz();
+        nnz_ += sp.rows.nnz();
 }
 
 std::int64_t
@@ -109,14 +77,16 @@ CompressedConv2d::forward(const Tensor &x) const
     // gemmSparseAIm2col packs patches straight into the B panels the
     // sparse micro-kernel reads, never materializing the cols tensor.
     // MVQ_FUSED_CONV=0 restores the materializing path; both are
-    // bit-identical.
+    // bit-identical. The grouped operand routes bucketed rows through the
+    // multi-row kernel (MVQ_SPARSE_MULTIROW=0 restores the single-row
+    // walk over the embedded full operand, bit-identically per ISA).
     const bool fused = fusedConvEnabled();
     const std::int64_t work = batch * groups_;
     auto run_pair = [&](std::int64_t w) {
         const std::int64_t n = w / groups_;
         const std::int64_t grp = w % groups_;
         float *po = out.data() + ((n * out_c + grp * kg) * oh * ow);
-        const SparseRowMatrix &rows =
+        const GroupedSparseMatrix &rows =
             group_rows_[static_cast<std::size_t>(grp)];
         if (fused) {
             const float *slab = x.data()

@@ -8,7 +8,11 @@
  * image into gemm B panels, no intermediate cols tensor) — pruned
  * positions are never multiplied, so the 4:16 MAC reduction the paper's
  * accelerator gets from its AND-gate weight loader is realized on the CPU
- * too. `MVQ_FUSED_CONV=0` falls back to the materializing im2col + sparse
+ * too. The operand is additionally bucketed by kept-column pattern
+ * (core::CompressedLayer::packGroupedRows) so rows sharing an N:M mask
+ * code run through the multi-row kernel, one B-panel load feeding several
+ * output channels; `MVQ_SPARSE_MULTIROW=0` restores the single-row walk.
+ * `MVQ_FUSED_CONV=0` falls back to the materializing im2col + sparse
  * gemm composition (bit-identical per ISA; see tensor/ops.hpp). Contrast
  * with CompressedModel::applyTo, which densifies the kernel and pays the
  * full dense gemm.
@@ -65,9 +69,17 @@ class CompressedConv2d
     /** Kept fraction of the packed operand (N/M for an exact N:M layer). */
     double density() const;
 
-    /** The packed operand of one group (tests/diagnostics). */
+    /** The packed single-row (CSR) operand of one group
+     *  (tests/diagnostics). */
     const SparseRowMatrix &
     groupOperand(std::int64_t grp) const
+    {
+        return group_rows_[static_cast<std::size_t>(grp)].rows;
+    }
+
+    /** The bucketed multi-row operand of one group (tests/diagnostics). */
+    const GroupedSparseMatrix &
+    groupedOperand(std::int64_t grp) const
     {
         return group_rows_[static_cast<std::size_t>(grp)];
     }
@@ -78,7 +90,7 @@ class CompressedConv2d
     std::int64_t stride_;
     std::int64_t pad_;
     std::int64_t groups_;
-    std::vector<SparseRowMatrix> group_rows_; //!< one operand per group
+    std::vector<GroupedSparseMatrix> group_rows_; //!< one per group
     std::int64_t nnz_ = 0; //!< kept entries across all groups
 };
 

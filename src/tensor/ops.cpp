@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "common/logging.hpp"
@@ -13,6 +17,11 @@
 #include "common/simd_dispatch.hpp"
 
 namespace mvq {
+
+// ops.hpp avoids including the dispatch layer, so the tile row bound is
+// duplicated there; keep the two constants in lockstep.
+static_assert(kSparseTileMaxRows == simd::kSparseMultiRowMr,
+              "grouped-operand tile rows must match the multi-row kernel");
 
 namespace {
 
@@ -50,6 +59,28 @@ checkGemmShapes(const Tensor &a, bool trans_a, const Tensor &b, bool trans_b,
 constexpr std::int64_t MC = simd::kGemmMC;
 constexpr std::int64_t KC = simd::kGemmKC;
 constexpr std::int64_t NC = simd::kGemmNC;
+
+// K-block for the grouped (multi-row) sparse driver. Dense-style KC keeps
+// a B panel L1-resident because every A row re-reads it; bucket tiles do
+// NOT have that reuse — within a band each packed B row is read at most
+// once (the kept-column sets of a block's buckets partition its columns),
+// so a small K block buys nothing, while it shreds a bucket's shared
+// column list (~50 columns spread over the whole K extent) into slivers
+// whose per-(panel, tile) accumulator zero-fill + alpha-scatter dwarf the
+// kernel work. A K block covering the whole reduction amortizes that
+// fixed cost over the full shared-column list; the cap only bounds the
+// packed-panel buffer (4096 * NR floats = 256 KiB per panel) for
+// pathologically deep reductions.
+constexpr std::int64_t kGroupedKC = 4096;
+
+// N-strip budget for the grouped driver, in packed floats (~1.5 MiB).
+// The reuse the tile phase lives on is ACROSS bands: every band re-reads
+// the strip's packed panels once per K block, so the whole strip must
+// stay L2-resident or the B rows stream from L3 on every band. With the
+// K block covering the reduction whole, the strip width is what bounds
+// the buffer: nc per jc strip is chosen as budget / kc (floored to a
+// panel multiple), e.g. 160 columns at k = 2304.
+constexpr std::int64_t kGroupedNcBudget = 384 * 1024;
 
 /**
  * B-panel producer the blocked drivers call once per (jc, k0) block:
@@ -196,8 +227,9 @@ checkSparseOperand(const SparseRowMatrix &a)
     // micro-kernels index packed B rows with kidx - k0, so the column
     // invariants (ascending within a row, within [0, cols)) are memory
     // safety, not just correctness — a malformed operand must panic here
-    // rather than read out of bounds. O(nnz), amortized by the O(nnz*n)
-    // multiply it guards.
+    // rather than read out of bounds. O(nnz); operands packed through
+    // validateSparseOperand pay this once at pack time, hand-built ones
+    // per gemm call.
     for (std::int64_t i = 0; i < a.rows; ++i) {
         std::int32_t prev = -1;
         for (std::int64_t e = a.row_ptr[static_cast<std::size_t>(i)];
@@ -214,6 +246,13 @@ checkSparseOperand(const SparseRowMatrix &a)
 }
 
 } // namespace
+
+void
+validateSparseOperand(SparseRowMatrix &a)
+{
+    checkSparseOperand(a);
+    a.validated = true;
+}
 
 void
 gemmReferenceRaw(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
@@ -399,7 +438,270 @@ sparsifyRows(const Tensor &a)
         }
         sp.row_ptr.push_back(static_cast<std::int64_t>(sp.values.size()));
     }
+    validateSparseOperand(sp);
     return sp;
+}
+
+GroupedSparseMatrix
+groupSparseRows(SparseRowMatrix rows, std::int64_t m_block,
+                std::int64_t min_cols)
+{
+    panicIf(m_block < 2 || m_block > 32,
+            "groupSparseRows m_block must be in [2, 32], got ", m_block);
+    panicIf(min_cols < 1, "groupSparseRows min_cols must be positive, got ",
+            min_cols);
+    if (!rows.validated)
+        validateSparseOperand(rows);
+
+    GroupedSparseMatrix out;
+    out.rows = std::move(rows);
+    const SparseRowMatrix &src = out.rows;
+
+    // Remainder entries accumulate as (row, col, value) triples; the rows
+    // emerge block by block in ascending order and each row's columns stay
+    // ascending, so the final CSR assembles with a single pass.
+    struct Entry {
+        std::int32_t row;
+        std::int32_t col;
+        float val;
+    };
+    std::vector<Entry> rem;
+
+    // Per-block scratch, reused across blocks.
+    struct Bucket {
+        std::uint32_t key = 0;             // kept-row bitmask within block
+        std::vector<std::int32_t> cols;    // ascending shared columns
+        std::vector<float> vals;           // column-major: per col, row-order
+    };
+    std::vector<Bucket> buckets;
+    std::unordered_map<std::uint32_t, std::size_t> bucket_of;
+    struct ColEntry {
+        std::int32_t col;
+        std::int32_t row_local;
+        float val;
+    };
+    std::vector<ColEntry> ents;
+
+    const std::int64_t nblocks = (src.rows + m_block - 1) / m_block;
+    for (std::int64_t b = 0; b < nblocks; ++b) {
+        const std::int64_t r0 = b * m_block;
+        const std::int64_t r1 = std::min(src.rows, r0 + m_block);
+
+        // Gather the block's entries and sort by (col, row): runs of equal
+        // col expose each column's kept-row set, which *is* its bucket key.
+        ents.clear();
+        for (std::int64_t r = r0; r < r1; ++r) {
+            for (std::int64_t e = src.row_ptr[static_cast<std::size_t>(r)];
+                 e < src.row_ptr[static_cast<std::size_t>(r + 1)]; ++e)
+                ents.push_back({src.col_idx[static_cast<std::size_t>(e)],
+                                static_cast<std::int32_t>(r - r0),
+                                src.values[static_cast<std::size_t>(e)]});
+        }
+        std::sort(ents.begin(), ents.end(),
+                  [](const ColEntry &x, const ColEntry &y) {
+                      return x.col != y.col ? x.col < y.col
+                                            : x.row_local < y.row_local;
+                  });
+
+        buckets.clear();
+        bucket_of.clear();
+        for (std::size_t e = 0; e < ents.size();) {
+            std::size_t e1 = e;
+            std::uint32_t key = 0;
+            while (e1 < ents.size() && ents[e1].col == ents[e].col) {
+                key |= 1u << ents[e1].row_local;
+                ++e1;
+            }
+            const auto [it, fresh] =
+                bucket_of.try_emplace(key, buckets.size());
+            if (fresh) {
+                buckets.emplace_back();
+                buckets.back().key = key;
+            }
+            Bucket &bk = buckets[it->second];
+            bk.cols.push_back(ents[e].col);
+            for (std::size_t q = e; q < e1; ++q)
+                bk.vals.push_back(ents[q].val);
+            e = e1;
+        }
+
+        // Emit: buckets worth tiling become row-tiles over the shared
+        // column list; thin or singleton buckets fall back to the
+        // single-row remainder. Buckets keep first-seen (ascending first
+        // column) order, so the layout is deterministic.
+        const std::int64_t band_start =
+            static_cast<std::int64_t>(out.tiles.size());
+        for (const Bucket &bk : buckets) {
+            const int krows = std::popcount(bk.key);
+            const std::int64_t ncols =
+                static_cast<std::int64_t>(bk.cols.size());
+            if (krows < 2 || ncols < min_cols) {
+                // Column-major bucket -> per-row triples; rem is re-sorted
+                // into row-major CSR order at the end.
+                for (std::int64_t q = 0; q < ncols; ++q) {
+                    std::int64_t v = q * krows;
+                    for (std::uint32_t bits = bk.key; bits != 0;
+                         bits &= bits - 1, ++v) {
+                        const std::int32_t rl = static_cast<std::int32_t>(
+                            std::countr_zero(bits));
+                        rem.push_back({static_cast<std::int32_t>(r0) + rl,
+                                       bk.cols[static_cast<std::size_t>(q)],
+                                       bk.vals[static_cast<std::size_t>(v)]});
+                    }
+                }
+                continue;
+            }
+            // Shared column list stored once per bucket; every tile of the
+            // bucket points at it.
+            const std::int64_t col_off =
+                static_cast<std::int64_t>(out.cols.size());
+            out.cols.insert(out.cols.end(), bk.cols.begin(), bk.cols.end());
+
+            std::int32_t rl[32];
+            int nrl = 0;
+            for (std::uint32_t bits = bk.key; bits != 0; bits &= bits - 1)
+                rl[nrl++] = static_cast<std::int32_t>(std::countr_zero(bits));
+
+            int t0 = 0;
+            while (t0 < nrl) {
+                std::int64_t trows = std::min<std::int64_t>(
+                    kSparseTileMaxRows, nrl - t0);
+                if (trows == 1) {
+                    // A leftover chunk of one row gains nothing from the
+                    // tile kernel; route it through the remainder instead.
+                    for (std::int64_t q = 0; q < ncols; ++q)
+                        rem.push_back(
+                            {static_cast<std::int32_t>(r0) + rl[t0],
+                             bk.cols[static_cast<std::size_t>(q)],
+                             bk.vals[static_cast<std::size_t>(q * krows
+                                                              + t0)]});
+                    ++t0;
+                    continue;
+                }
+                GroupedSparseMatrix::Tile tl;
+                tl.nrows = static_cast<std::int32_t>(trows);
+                for (std::int64_t r = 0; r < trows; ++r)
+                    tl.row[r] = static_cast<std::int32_t>(r0) + rl[t0 + r];
+                tl.col_off = col_off;
+                tl.ncols = ncols;
+                tl.val_off = static_cast<std::int64_t>(out.vals.size());
+                // Transpose the bucket's column-major values into the
+                // tile's row-major [nrows x ncols] layout.
+                out.vals.resize(out.vals.size()
+                                + static_cast<std::size_t>(trows * ncols));
+                float *dst = out.vals.data() + tl.val_off;
+                for (std::int64_t r = 0; r < trows; ++r)
+                    for (std::int64_t q = 0; q < ncols; ++q)
+                        dst[r * ncols + q] = bk.vals[static_cast<std::size_t>(
+                            q * krows + t0 + r)];
+                out.tiles.push_back(tl);
+                t0 += static_cast<int>(trows);
+            }
+        }
+        if (static_cast<std::int64_t>(out.tiles.size()) > band_start)
+            out.band_ptr.push_back(
+                static_cast<std::int64_t>(out.tiles.size()));
+    }
+
+    // Assemble the remainder CSR: blocks emitted in ascending row order
+    // but interleaved across buckets, so one sort puts every row's entries
+    // back into ascending-column CSR order.
+    std::sort(rem.begin(), rem.end(), [](const Entry &x, const Entry &y) {
+        return x.row != y.row ? x.row < y.row : x.col < y.col;
+    });
+    out.remainder.rows = src.rows;
+    out.remainder.cols = src.cols;
+    out.remainder.row_ptr.reserve(static_cast<std::size_t>(src.rows + 1));
+    out.remainder.row_ptr.push_back(0);
+    out.remainder.col_idx.reserve(rem.size());
+    out.remainder.values.reserve(rem.size());
+    std::size_t e = 0;
+    for (std::int64_t r = 0; r < src.rows; ++r) {
+        while (e < rem.size() && rem[e].row == r) {
+            out.remainder.col_idx.push_back(rem[e].col);
+            out.remainder.values.push_back(rem[e].val);
+            ++e;
+        }
+        out.remainder.row_ptr.push_back(
+            static_cast<std::int64_t>(out.remainder.values.size()));
+    }
+    out.remainder.validated = true;
+
+    panicIf(out.tileNnz() + out.remainder.nnz() != src.nnz(),
+            "groupSparseRows accounting mismatch: ", out.tileNnz(), " + ",
+            out.remainder.nnz(), " != ", src.nnz());
+    out.validated = true;
+    return out;
+}
+
+/**
+ * One (jc, k0) block of the single-row sparse pass: every row of `a`
+ * slices its entry range against [k0, k0 + kc) and streams the packed
+ * panels through the per-ISA single-row kernel. MC row blocks run in
+ * parallel over disjoint C rows. Shared by the single-row driver (whole
+ * operand) and the grouped driver (remainder entries), so the fallback
+ * path is literally the same code.
+ */
+void
+sparseRowsKcPass(const SparseRowMatrix &a, std::int64_t k0, std::int64_t kc,
+                 std::int64_t jc, std::int64_t nc, std::int64_t npanels,
+                 float alpha, const float *bpack, float *pc,
+                 std::int64_t ldc, const simd::Kernels &kn)
+{
+    const std::int64_t m = a.rows;
+    const std::int64_t nr = kn.nr;
+    parallelFor(0, (m + MC - 1) / MC, 1,
+                [&](std::int64_t blk_b, std::int64_t blk_e) {
+        float acc[simd::kMaxGemmNr];
+        std::int64_t ent0[MC];
+        std::int64_t entn[MC];
+        for (std::int64_t blk = blk_b; blk < blk_e; ++blk) {
+            const std::int64_t i0 = blk * MC;
+            const std::int64_t mc = std::min(MC, m - i0);
+            const std::int32_t *idx = a.col_idx.data();
+            for (std::int64_t r = 0; r < mc; ++r) {
+                const std::size_t row =
+                    static_cast<std::size_t>(i0 + r);
+                const std::int32_t *lo = std::lower_bound(
+                    idx + a.row_ptr[row], idx + a.row_ptr[row + 1],
+                    static_cast<std::int32_t>(k0));
+                const std::int32_t *hi = std::lower_bound(
+                    lo, idx + a.row_ptr[row + 1],
+                    static_cast<std::int32_t>(k0 + kc));
+                ent0[r] = lo - idx;
+                entn[r] = hi - lo;
+            }
+            // Panel-outer, row-inner: the kc x nr packed panel
+            // stays hot across the whole row block.
+            for (std::int64_t q = 0; q < npanels; ++q) {
+                const float *bp = bpack + q * kc * nr;
+                const std::int64_t cols =
+                    std::min(nr, nc - q * nr);
+                for (std::int64_t r = 0; r < mc; ++r) {
+                    if (entn[r] == 0)
+                        continue;
+                    std::fill(acc, acc + nr, 0.0f);
+                    kn.gemmSparseMicroKernel(
+                        a.values.data() + ent0[r], idx + ent0[r],
+                        entn[r], k0, bp, nr, acc);
+                    float *crow =
+                        pc + (i0 + r) * ldc + jc + q * nr;
+                    // x * 1.0f == x bitwise, so the branch is a pure
+                    // fast path (drops a multiply per element in the
+                    // overwhelmingly common alpha == 1 case).
+                    if (alpha == 1.0f) {
+                        for (std::int64_t cidx = 0; cidx < cols;
+                             ++cidx)
+                            crow[cidx] += acc[cidx];
+                    } else {
+                        for (std::int64_t cidx = 0; cidx < cols;
+                             ++cidx)
+                            crow[cidx] += alpha * acc[cidx];
+                    }
+                }
+            }
+        }
+    });
 }
 
 /**
@@ -412,7 +714,6 @@ gemmSparseBlockedDriver(const SparseRowMatrix &a, std::int64_t n,
                         float alpha, const PackBFn &pack_b, float *pc,
                         std::int64_t ldc)
 {
-    const std::int64_t m = a.rows;
     const std::int64_t k = a.cols;
 
     const simd::Kernels &kn = simd::kernels();
@@ -436,50 +737,229 @@ gemmSparseBlockedDriver(const SparseRowMatrix &a, std::int64_t n,
         for (std::int64_t k0 = 0; k0 < k; k0 += KC) {
             const std::int64_t kc = std::min(KC, k - k0);
             pack_b(k0, jc, kc, nc, nr, bpack.data());
+            sparseRowsKcPass(a, k0, kc, jc, nc, npanels, alpha,
+                             bpack.data(), pc, ldc, kn);
+        }
+    }
+}
 
-            parallelFor(0, (m + MC - 1) / MC, 1,
-                        [&](std::int64_t blk_b, std::int64_t blk_e) {
-                float acc[simd::kMaxGemmNr];
-                std::int64_t ent0[MC];
-                std::int64_t entn[MC];
-                for (std::int64_t blk = blk_b; blk < blk_e; ++blk) {
-                    const std::int64_t i0 = blk * MC;
-                    const std::int64_t mc = std::min(MC, m - i0);
-                    const std::int32_t *idx = a.col_idx.data();
-                    for (std::int64_t r = 0; r < mc; ++r) {
-                        const std::size_t row =
-                            static_cast<std::size_t>(i0 + r);
-                        const std::int32_t *lo = std::lower_bound(
-                            idx + a.row_ptr[row], idx + a.row_ptr[row + 1],
-                            static_cast<std::int32_t>(k0));
-                        const std::int32_t *hi = std::lower_bound(
-                            lo, idx + a.row_ptr[row + 1],
-                            static_cast<std::int32_t>(k0 + kc));
-                        ent0[r] = lo - idx;
-                        entn[r] = hi - lo;
-                    }
-                    // Panel-outer, row-inner: the kc x nr packed panel
-                    // stays hot across the whole row block.
-                    for (std::int64_t q = 0; q < npanels; ++q) {
-                        const float *bp = bpack.data() + q * kc * nr;
-                        const std::int64_t cols =
-                            std::min(nr, nc - q * nr);
-                        for (std::int64_t r = 0; r < mc; ++r) {
-                            if (entn[r] == 0)
-                                continue;
-                            std::fill(acc, acc + nr, 0.0f);
-                            kn.gemmSparseMicroKernel(
-                                a.values.data() + ent0[r], idx + ent0[r],
-                                entn[r], k0, bp, nr, acc);
-                            float *crow =
-                                pc + (i0 + r) * ldc + jc + q * nr;
-                            for (std::int64_t cidx = 0; cidx < cols;
-                                 ++cidx)
-                                crow[cidx] += alpha * acc[cidx];
-                        }
-                    }
+/**
+ * Structural check of a grouped operand's tile/band layer (the CSR
+ * members are checked by checkSparseOperand). Like the CSR invariants,
+ * these are memory safety: the grouped driver binary-searches each tile's
+ * shared column list and indexes C rows and the vals/cols pools straight
+ * from the tile fields. Builders validate once at pack time; hand-built
+ * operands pay per call.
+ */
+void
+checkGroupedOperand(const GroupedSparseMatrix &a)
+{
+    const std::int64_t ncols_pool =
+        static_cast<std::int64_t>(a.cols.size());
+    const std::int64_t nvals_pool =
+        static_cast<std::int64_t>(a.vals.size());
+    panicIf(a.remainder.rows != a.rows.rows
+                || a.remainder.cols != a.rows.cols,
+            "grouped operand remainder shape mismatch");
+    panicIf(a.band_ptr.empty() || a.band_ptr.front() != 0
+                || a.band_ptr.back()
+                    != static_cast<std::int64_t>(a.tiles.size()),
+            "grouped operand band_ptr does not cover tiles");
+    for (std::size_t b = 1; b < a.band_ptr.size(); ++b)
+        panicIf(a.band_ptr[b - 1] > a.band_ptr[b],
+                "grouped operand band_ptr not monotone");
+    std::int64_t covered = 0;
+    for (const GroupedSparseMatrix::Tile &t : a.tiles) {
+        panicIf(t.nrows < 1 || t.nrows > kSparseTileMaxRows,
+                "grouped operand tile row count ", t.nrows,
+                " out of range");
+        for (std::int32_t r = 0; r < t.nrows; ++r) {
+            panicIf(t.row[r] < 0 || t.row[r] >= a.rows.rows,
+                    "grouped operand tile row ", t.row[r],
+                    " out of range");
+            panicIf(r > 0 && t.row[r] <= t.row[r - 1],
+                    "grouped operand tile rows not ascending");
+        }
+        panicIf(t.ncols <= 0 || t.col_off < 0
+                    || t.col_off + t.ncols > ncols_pool,
+                "grouped operand tile column range out of bounds");
+        panicIf(t.val_off < 0
+                    || t.val_off + t.nrows * t.ncols > nvals_pool,
+                "grouped operand tile value range out of bounds");
+        std::int32_t prev = -1;
+        for (std::int64_t q = 0; q < t.ncols; ++q) {
+            const std::int32_t col =
+                a.cols[static_cast<std::size_t>(t.col_off + q)];
+            panicIf(col <= prev,
+                    "grouped operand tile columns not strictly ascending");
+            panicIf(col >= a.rows.cols,
+                    "grouped operand tile column ", col, " out of range");
+            prev = col;
+        }
+        covered += static_cast<std::int64_t>(t.nrows) * t.ncols;
+    }
+    panicIf(covered + a.remainder.nnz() != a.rows.nnz(),
+            "grouped operand tiles + remainder do not partition nnz: ",
+            covered, " + ", a.remainder.nnz(), " != ", a.rows.nnz());
+}
+
+/**
+ * The blocked multi-row macro-driver behind the GroupedSparseMatrix gemm
+ * entry points. Same jc/kc loop nest and packed-B layout as the
+ * single-row driver, but K-blocked by kGroupedKC (see the constant for
+ * why tile phases want deep K blocks); within a (jc, k0) block the bucket
+ * tiles run first — panel-outer, bands in parallel inside each panel
+ * (bands touch disjoint C rows; a band's tiles run sequentially) — then
+ * the remainder entries run through the unchanged single-row pass. Tile
+ * phase then remainder phase is a fixed order per C element, so the
+ * thread-count determinism contract carries over. beta has already been
+ * applied to C and the operand validated by the caller.
+ */
+void
+gemmSparseGroupedBlockedDriver(const GroupedSparseMatrix &a, std::int64_t n,
+                               float alpha, const PackBFn &pack_b, float *pc,
+                               std::int64_t ldc)
+{
+    const std::int64_t k = a.rows.cols;
+
+    const simd::Kernels &kn = simd::kernels();
+    const std::int64_t nr = kn.nr;
+
+    const std::int64_t kc_max = std::min(kGroupedKC, k);
+    const std::int64_t nc_blk = std::min<std::int64_t>(
+        NC,
+        std::max<std::int64_t>(nr, kGroupedNcBudget / kc_max / nr * nr));
+    // Uninitialized on purpose: pack_b overwrites every panel byte the
+    // drivers read, and the deep grouped K block makes this buffer large
+    // enough (a megabyte-plus) that a vector's zero-fill shows up in
+    // profiles.
+    const std::int64_t nc_max = std::min(nc_blk, n);
+    std::unique_ptr<float[]> bpack(new float[static_cast<std::size_t>(
+        kc_max * ((nc_max + nr - 1) / nr) * nr)]);
+
+    // Per-tile slice of the shared column list against the current K
+    // block, computed once per k0 (two binary searches per tile, exactly
+    // like the per-row slicing of the single-row driver). With
+    // kGroupedKC covering typical conv reductions whole, the common case
+    // is one K block whose slice is the entire shared column list.
+    const std::int64_t ntiles = static_cast<std::int64_t>(a.tiles.size());
+    const std::int64_t nbands =
+        static_cast<std::int64_t>(a.band_ptr.size()) - 1;
+    std::vector<std::int64_t> tlo(static_cast<std::size_t>(ntiles));
+    std::vector<std::int64_t> tcnt(static_cast<std::size_t>(ntiles));
+    std::vector<std::int64_t> act_tiles;
+    std::vector<std::int64_t> act_ptr;
+    act_tiles.reserve(static_cast<std::size_t>(ntiles));
+    act_ptr.reserve(static_cast<std::size_t>(nbands) + 1);
+
+    for (std::int64_t jc = 0; jc < n; jc += nc_blk) {
+        const std::int64_t nc = std::min(nc_blk, n - jc);
+        const std::int64_t npanels = (nc + nr - 1) / nr;
+        for (std::int64_t k0 = 0; k0 < k; k0 += kGroupedKC) {
+            const std::int64_t kc = std::min(kGroupedKC, k - k0);
+            pack_b(k0, jc, kc, nc, nr, bpack.get());
+
+            parallelFor(0, ntiles, 64,
+                        [&](std::int64_t tb, std::int64_t te) {
+                for (std::int64_t t = tb; t < te; ++t) {
+                    const GroupedSparseMatrix::Tile &tl =
+                        a.tiles[static_cast<std::size_t>(t)];
+                    const std::int32_t *cbase =
+                        a.cols.data() + tl.col_off;
+                    const std::int32_t *lo = std::lower_bound(
+                        cbase, cbase + tl.ncols,
+                        static_cast<std::int32_t>(k0));
+                    const std::int32_t *hi = std::lower_bound(
+                        lo, cbase + tl.ncols,
+                        static_cast<std::int32_t>(k0 + kc));
+                    tlo[static_cast<std::size_t>(t)] = lo - cbase;
+                    tcnt[static_cast<std::size_t>(t)] = hi - lo;
                 }
             });
+
+            // Active tiles per band for this K block, as a flat CSR so
+            // the panel loop below doesn't rescan tcnt per panel.
+            act_ptr.assign(1, 0);
+            act_tiles.clear();
+            for (std::int64_t b = 0; b < nbands; ++b) {
+                for (std::int64_t t = a.band_ptr
+                         [static_cast<std::size_t>(b)];
+                     t < a.band_ptr[static_cast<std::size_t>(b + 1)]; ++t) {
+                    if (tcnt[static_cast<std::size_t>(t)] != 0)
+                        act_tiles.push_back(t);
+                }
+                act_ptr.push_back(
+                    static_cast<std::int64_t>(act_tiles.size()));
+            }
+
+            // Panel-outer, bands-inner: one packed panel is consumed by
+            // every band before moving on, so the panel stays cache-hot
+            // across bands (bands have no intra-band B reuse to exploit —
+            // a block's bucket column sets are disjoint — the only reuse
+            // is ACROSS bands). The value/column streams re-read per
+            // panel stream sequentially, which the hardware prefetcher
+            // hides; the band-outer nest that would read them only once
+            // measures ~20% slower on AVX2 because it loses the hot
+            // panel. Bands touch disjoint C rows, so they run in
+            // parallel; each tile's K-block contribution is still one
+            // kernel call + one scatter, so the per-C-element
+            // accumulation order is independent of both the loop nest
+            // and the thread count.
+            for (std::int64_t q = 0; q < npanels; ++q) {
+                const float *bp = bpack.get() + q * kc * nr;
+                const std::int64_t cols = std::min(nr, nc - q * nr);
+                parallelFor(0, nbands, 1,
+                            [&](std::int64_t bb, std::int64_t be) {
+                    float acc[kSparseTileMaxRows * simd::kMaxGemmNr];
+                    for (std::int64_t b = bb; b < be; ++b) {
+                        for (std::int64_t i = act_ptr
+                                 [static_cast<std::size_t>(b)];
+                             i < act_ptr[static_cast<std::size_t>(b + 1)];
+                             ++i) {
+                            const std::int64_t t = act_tiles
+                                [static_cast<std::size_t>(i)];
+                            const GroupedSparseMatrix::Tile &tl =
+                                a.tiles[static_cast<std::size_t>(t)];
+                            const std::int64_t lo =
+                                tlo[static_cast<std::size_t>(t)];
+                            kn.gemmSparseMultiRowMicroKernel(
+                                a.vals.data() + tl.val_off + lo,
+                                tl.ncols, tl.nrows,
+                                a.cols.data() + tl.col_off + lo,
+                                tcnt[static_cast<std::size_t>(t)], k0, bp,
+                                nr, acc);
+                            // x * 1.0f == x bitwise, so the alpha == 1
+                            // branch is a pure fast path (drops a
+                            // multiply per scattered element).
+                            if (alpha == 1.0f) {
+                                for (std::int32_t r = 0; r < tl.nrows;
+                                     ++r) {
+                                    float *crow = pc + tl.row[r] * ldc
+                                        + jc + q * nr;
+                                    const float *arow = acc + r * nr;
+                                    for (std::int64_t cidx = 0;
+                                         cidx < cols; ++cidx)
+                                        crow[cidx] += arow[cidx];
+                                }
+                            } else {
+                                for (std::int32_t r = 0; r < tl.nrows;
+                                     ++r) {
+                                    float *crow = pc + tl.row[r] * ldc
+                                        + jc + q * nr;
+                                    const float *arow = acc + r * nr;
+                                    for (std::int64_t cidx = 0;
+                                         cidx < cols; ++cidx)
+                                        crow[cidx] += alpha * arow[cidx];
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+
+            if (a.remainder.nnz() != 0)
+                sparseRowsKcPass(a.remainder, k0, kc, jc, nc, npanels,
+                                 alpha, bpack.get(), pc, ldc, kn);
         }
     }
 }
@@ -489,7 +969,8 @@ gemmSparseARaw(const SparseRowMatrix &a, const float *pb, std::int64_t ldb,
                std::int64_t n, float alpha, float beta, float *pc,
                std::int64_t ldc)
 {
-    checkSparseOperand(a);
+    if (!a.validated)
+        checkSparseOperand(a);
     const std::int64_t m = a.rows;
 
     scaleCRows(pc, m, n, ldc, beta);
@@ -522,11 +1003,54 @@ gemmSparseA(const SparseRowMatrix &a, const Tensor &b, Tensor &c,
 }
 
 void
+gemmSparseARaw(const GroupedSparseMatrix &a, const float *pb,
+               std::int64_t ldb, std::int64_t n, float alpha, float beta,
+               float *pc, std::int64_t ldc)
+{
+    // Disabled knob, tile-free operands, and small problems all route
+    // through the single-row entry point on the embedded full operand —
+    // the exact code the ungrouped path runs, so results are bit-identical.
+    if (!sparseMultiRowEnabled() || a.tiles.empty()
+        || a.rows.nnz() * n <= kGemmScalarFallbackMacs) {
+        gemmSparseARaw(a.rows, pb, ldb, n, alpha, beta, pc, ldc);
+        return;
+    }
+    if (!a.validated) {
+        checkSparseOperand(a.rows);
+        checkSparseOperand(a.remainder);
+        checkGroupedOperand(a);
+    }
+    const std::int64_t m = a.rows.rows;
+
+    scaleCRows(pc, m, n, ldc, beta);
+    if (m == 0 || n == 0 || a.rows.nnz() == 0)
+        return;
+
+    gemmSparseGroupedBlockedDriver(
+        a, n, alpha,
+        [&](std::int64_t k0, std::int64_t j0, std::int64_t kc,
+            std::int64_t nc, std::int64_t nr, float *bp) {
+            packB(pb, ldb, false, k0, j0, kc, nc, nr, bp);
+        },
+        pc, ldc);
+}
+
+void
+gemmSparseA(const GroupedSparseMatrix &a, const Tensor &b, Tensor &c,
+            float alpha, float beta)
+{
+    checkSparseGemmShapes(a.rows, b, c, "gemmSparseA");
+    gemmSparseARaw(a, b.data(), b.dim(1), b.dim(1), alpha, beta, c.data(),
+                   b.dim(1));
+}
+
+void
 gemmSparseAReference(const SparseRowMatrix &a, const Tensor &b, Tensor &c,
                      float alpha, float beta)
 {
     checkSparseGemmShapes(a, b, c, "gemmSparseAReference");
-    checkSparseOperand(a);
+    if (!a.validated)
+        checkSparseOperand(a);
     const std::int64_t n = b.dim(1);
     float *pc = c.data();
     if (beta == 0.0f) {
@@ -753,7 +1277,8 @@ void
 gemmSparseAIm2col(const SparseRowMatrix &a, const Im2colB &b, float alpha,
                   float beta, float *pc, std::int64_t ldc)
 {
-    checkSparseOperand(a);
+    if (!a.validated)
+        checkSparseOperand(a);
     checkConvOutputDims(b.g, "gemmSparseAIm2col");
     panicIf(a.cols != b.rows(), "gemmSparseAIm2col inner dims mismatch: ",
             a.cols, " vs ", b.rows());
@@ -783,10 +1308,50 @@ gemmSparseAIm2col(const SparseRowMatrix &a, const Im2colB &b, float alpha,
         pc, ldc);
 }
 
+void
+gemmSparseAIm2col(const GroupedSparseMatrix &a, const Im2colB &b,
+                  float alpha, float beta, float *pc, std::int64_t ldc)
+{
+    // Same forwarding rule as the grouped gemmSparseARaw: knob off,
+    // nothing tiled, or below the crossover -> the single-row entry point
+    // on the embedded full operand, bit-identical to the ungrouped path.
+    if (!sparseMultiRowEnabled() || a.tiles.empty()
+        || a.rows.nnz() * b.cols() <= kGemmScalarFallbackMacs) {
+        gemmSparseAIm2col(a.rows, b, alpha, beta, pc, ldc);
+        return;
+    }
+    if (!a.validated) {
+        checkSparseOperand(a.rows);
+        checkSparseOperand(a.remainder);
+        checkGroupedOperand(a);
+    }
+    checkConvOutputDims(b.g, "gemmSparseAIm2col");
+    panicIf(a.rows.cols != b.rows(),
+            "gemmSparseAIm2col inner dims mismatch: ", a.rows.cols, " vs ",
+            b.rows());
+    const std::int64_t m = a.rows.rows;
+    const std::int64_t n = b.cols();
+
+    scaleCRows(pc, m, n, ldc, beta);
+    if (m == 0 || n == 0 || a.rows.nnz() == 0)
+        return;
+
+    gemmSparseGroupedBlockedDriver(
+        a, n, alpha,
+        [&](std::int64_t k0, std::int64_t j0, std::int64_t kc,
+            std::int64_t nc, std::int64_t nr, float *bp) {
+            packBFromIm2col(b, k0, j0, kc, nc, nr, bp);
+        },
+        pc, ldc);
+}
+
 namespace {
 
 /** -1 = unresolved (read MVQ_FUSED_CONV on first query). */
 std::atomic<int> g_fused_conv{-1};
+
+/** -1 = unresolved (read MVQ_SPARSE_MULTIROW on first query). */
+std::atomic<int> g_sparse_multirow{-1};
 
 } // namespace
 
@@ -809,6 +1374,27 @@ void
 setFusedConvEnabled(bool on)
 {
     g_fused_conv.store(on ? 1 : 0, std::memory_order_release);
+}
+
+bool
+sparseMultiRowEnabled()
+{
+    int v = g_sparse_multirow.load(std::memory_order_acquire);
+    if (v < 0) {
+        const char *env = std::getenv("MVQ_SPARSE_MULTIROW");
+        v = (env != nullptr
+             && (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0))
+            ? 0
+            : 1;
+        g_sparse_multirow.store(v, std::memory_order_release);
+    }
+    return v == 1;
+}
+
+void
+setSparseMultiRowEnabled(bool on)
+{
+    g_sparse_multirow.store(on ? 1 : 0, std::memory_order_release);
 }
 
 void

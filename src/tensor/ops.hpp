@@ -103,6 +103,16 @@ struct SparseRowMatrix
     std::vector<std::int32_t> col_idx; //!< ascending within each row
     std::vector<float> values;         //!< kept entries, row-major
 
+    /**
+     * Set by validateSparseOperand once the structural invariants (row_ptr
+     * coverage, ascending in-range col_idx) have been checked. The gemm
+     * entry points trust a validated operand and skip their O(nnz)
+     * re-check — the pack stage runs once, the forward pass runs per
+     * inference, so validation belongs with the pack. Hand-built operands
+     * start unvalidated and are still checked (and panic) per call.
+     */
+    bool validated = false;
+
     std::int64_t
     nnz() const
     {
@@ -120,8 +130,134 @@ struct SparseRowMatrix
     }
 };
 
+/**
+ * Check the structural invariants of a compressed-row operand (row_ptr
+ * size/monotone/coverage, col_idx strictly ascending within each row and
+ * in [0, cols)) and mark it validated, so the gemm entry points skip the
+ * O(nnz) re-check on every call. Panics (PanicError) on violation. The
+ * invariants are memory safety, not just correctness: the blocked driver
+ * binary-searches each row's index range and the micro-kernels index
+ * packed B rows with kidx - k0.
+ */
+void validateSparseOperand(SparseRowMatrix &a);
+
 /** Compress a rank-2 tensor's exact non-zeros into CSR (tests/benches). */
 SparseRowMatrix sparsifyRows(const Tensor &a);
+
+/**
+ * Row count of one multi-row sparse tile. Mirrors
+ * simd::kSparseMultiRowMr (static_asserted equal in ops.cpp); duplicated
+ * here so this header does not pull in the dispatch layer.
+ */
+constexpr std::int64_t kSparseTileMaxRows = 4;
+
+/**
+ * A SparseRowMatrix reorganized around the structure N:M masking imposes:
+ * within an M-row block of the operand, every column's set of kept rows
+ * is one of the C(M,N) mask codes, so columns of a block sharing a code
+ * share their kept-row pattern exactly. groupSparseRows buckets the
+ * columns of each block by that kept-row set and emits each bucket as
+ * row-tiles: up to kSparseTileMaxRows rows x the bucket's shared
+ * ascending column list, with the tile's kept values stored densely
+ * (row-major, row r of tile t at vals[t.val_off + r*t.ncols]). The
+ * multi-row micro-kernel then loads each packed B row once per tile
+ * instead of once per row — MVQ's "one operand fetch serves many
+ * accumulations" argument, realized in software.
+ *
+ * Entries not worth tiling (columns kept by a single row of their block,
+ * buckets too short to amortize the tile setup, leftover rows of an
+ * odd-sized bucket) stay in `remainder`, a CSR over the same row/column
+ * space driven by the single-row kernel. Tiles + remainder partition
+ * rows.nnz() exactly. The full `rows` operand is retained for the
+ * MVQ_SPARSE_MULTIROW=0 fallback path (bit-identical to the ungrouped
+ * entry points) and as the shape/validation source of truth.
+ */
+struct GroupedSparseMatrix
+{
+    /** One bucket chunk: `nrows` rows sharing the ascending column list
+     *  at cols[col_off .. col_off + ncols). Chunks of one bucket share
+     *  their column storage and differ only in rows/values. */
+    struct Tile
+    {
+        std::int32_t row[kSparseTileMaxRows]; //!< absolute rows, ascending
+        std::int32_t nrows = 0;               //!< 2..kSparseTileMaxRows
+        std::int64_t col_off = 0; //!< into cols (shared per bucket)
+        std::int64_t ncols = 0;   //!< shared pattern length
+        std::int64_t val_off = 0; //!< into vals; nrows x ncols row-major
+    };
+
+    SparseRowMatrix rows;      //!< full single-row operand (fallback path)
+    std::vector<Tile> tiles;   //!< bucket chunks, grouped into bands
+    std::vector<std::int32_t> cols; //!< shared column patterns, ascending
+    std::vector<float> vals;        //!< tile values, row-major per tile
+    /**
+     * Bands partition `tiles`: band b owns tiles [band_ptr[b],
+     * band_ptr[b+1]), and tiles of *different* bands touch disjoint C
+     * rows (a band is one M-row block's tiles — rows within a block can
+     * appear in several of its buckets). The grouped driver parallelizes
+     * over bands and runs a band's tiles sequentially, preserving the
+     * bit-identical-across-thread-counts contract.
+     */
+    std::vector<std::int64_t> band_ptr{0};
+    SparseRowMatrix remainder; //!< untiled entries (single-row kernel)
+    bool validated = false;    //!< set by the builders after checking
+
+    /** Kept entries covered by tiles (rows.nnz() - remainder.nnz()). */
+    std::int64_t
+    tileNnz() const
+    {
+        std::int64_t n = 0;
+        for (const Tile &t : tiles)
+            n += static_cast<std::int64_t>(t.nrows) * t.ncols;
+        return n;
+    }
+
+    /** Fraction of kept entries the single-row fallback still carries. */
+    double
+    fallbackFraction() const
+    {
+        return rows.nnz() != 0
+            ? static_cast<double>(remainder.nnz())
+                / static_cast<double>(rows.nnz())
+            : 0.0;
+    }
+};
+
+/**
+ * Build the grouped operand: bucket each `m_block`-row block's columns by
+ * their kept-row set (the decoded N:M mask code of that column's group)
+ * and emit buckets of >= 2 rows and >= min_cols shared columns as
+ * multi-row tiles, everything else into the remainder CSR. m_block should
+ * be the mask pattern's M (16 for 4:16) so blocks align with the code
+ * groups; any value in [2, 32] is accepted and merely changes which
+ * structure gets discovered. min_cols keeps tiles long enough to amortize
+ * their per-panel accumulator setup against short shared patterns.
+ * Deterministic: bucket order is first appearance within a block, blocks
+ * ascend. Validates `rows` (and the derived remainder) as a side effect;
+ * panics if `rows` is malformed.
+ */
+GroupedSparseMatrix groupSparseRows(SparseRowMatrix rows,
+                                    std::int64_t m_block = 16,
+                                    std::int64_t min_cols = 8);
+
+/**
+ * Grouped-operand forms of the sparse-A gemm entry points. With the
+ * multi-row path enabled (default) and tiles present, the blocked driver
+ * walks buckets instead of rows: per (jc, k0) block each band's tiles run
+ * through the per-ISA multi-row micro-kernel (one shared B-row load per
+ * tile) and the remainder rows through the single-row kernel, in a fixed
+ * order per C element — bit-identical for any thread count within an
+ * ISA. With MVQ_SPARSE_MULTIROW=0 (or no tiles) these forward to the
+ * SparseRowMatrix overloads on a.rows, reproducing the single-row path
+ * bit-for-bit.
+ */
+void gemmSparseA(const GroupedSparseMatrix &a, const Tensor &b, Tensor &c,
+                 float alpha = 1.0f, float beta = 0.0f);
+
+/** Raw-pointer form of the grouped gemmSparseA (see gemmSparseARaw). */
+void gemmSparseARaw(const GroupedSparseMatrix &a, const float *b,
+                    std::int64_t ldb, std::int64_t n, float alpha,
+                    float beta, float *c, std::int64_t ldc);
 
 /**
  * Sparse-A GEMM: C = alpha * A * B + beta * C with A in compressed-row
@@ -269,6 +405,27 @@ void gemmIm2colRaw(std::int64_t m, float alpha, const float *a,
  */
 void gemmSparseAIm2col(const SparseRowMatrix &a, const Im2colB &b,
                        float alpha, float beta, float *c, std::int64_t ldc);
+
+/**
+ * Grouped-operand form of gemmSparseAIm2col: the multi-row bucket walk
+ * with B panels packed straight from the input image. Falls back to the
+ * single-row fused path (bit-identical) when multi-row is disabled or the
+ * operand has no tiles.
+ */
+void gemmSparseAIm2col(const GroupedSparseMatrix &a, const Im2colB &b,
+                       float alpha, float beta, float *c, std::int64_t ldc);
+
+/**
+ * Whether the grouped sparse gemm entry points use the multi-row tile
+ * path (default) or forward everything to the single-row kernels. First
+ * call reads `MVQ_SPARSE_MULTIROW` (0/off disables); the disabled setting
+ * reproduces the ungrouped entry points bit-identically per ISA — the
+ * knob exists for A/B perf comparison and as a debug fallback.
+ */
+bool sparseMultiRowEnabled();
+
+/** Programmatic override of sparseMultiRowEnabled (tests/benches). */
+void setSparseMultiRowEnabled(bool on);
 
 /**
  * Whether the conv layers route their forward gemms through the fused

@@ -6,8 +6,10 @@
  * the compression ratio and FLOPs saving.
  */
 
+#include <cstdio>
 #include <iostream>
 
+#include "core/io/model_artifact.hpp"
 #include "core/pipeline.hpp"
 #include "models/mini_models.hpp"
 #include "nn/trainer.hpp"
@@ -64,5 +66,25 @@ main()
               << "compressed layers: " << res.compressed.layers.size()
               << ", codebooks: " << res.compressed.codebooks.size()
               << "\n";
+
+    // Ship the result as a deployment artifact in both formats: the
+    // bit-packed stream (Eq. 7-sized, for the accelerator's loader) and
+    // the MVQI image (pre-packed operands, mmap'ed zero-copy at serve
+    // time). See `mvqi info` for inspecting either.
+    const std::string stream_path = "/tmp/mvq_classifier.mvq";
+    const std::string image_path = "/tmp/mvq_classifier.mvqi";
+    core::io::saveArtifact(res.compressed, stream_path,
+                           core::io::ArtifactFormat::Stream);
+    core::io::saveArtifact(res.compressed, image_path,
+                           core::io::ArtifactFormat::Mvqi);
+    const auto art = core::io::openArtifact(image_path);
+    std::cout << "artifacts: " << stream_path << " ("
+              << core::io::openArtifact(stream_path)->sizeBytes()
+              << " B stream), " << image_path << " ("
+              << art->sizeBytes() << " B "
+              << core::io::artifactFormatName(art->format())
+              << " image, " << art->layerCount() << " layers)\n";
+    std::remove(stream_path.c_str());
+    std::remove(image_path.c_str());
     return 0;
 }

@@ -1,16 +1,21 @@
 /**
  * @file
- * Deployment example: compress a trained classifier, serialize it to
- * the binary format the accelerator's weight loader consumes, reload
- * it, and validate the reloaded model both in software (accuracy) and
- * through the functional systolic array (bit-near-exact ofmap).
+ * Deployment example: compress a trained classifier, write it through the
+ * unified core::io::ModelArtifact API — once as the bit-packed stream the
+ * accelerator's weight loader consumes, once as the mmap-able MVQI image
+ * serving processes share — reload both, and validate the reloaded model
+ * in software (accuracy), through the functional systolic array
+ * (bit-near-exact ofmap), and on the sparse CPU path, where the MVQI
+ * artifact's borrowed (zero-copy) operands must be bit-identical to the
+ * stream artifact's freshly packed ones.
  */
 
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 
+#include "core/io/model_artifact.hpp"
 #include "core/pipeline.hpp"
-#include "core/serialize.hpp"
 #include "models/mini_models.hpp"
 #include "nn/compressed_conv2d.hpp"
 #include "nn/trainer.hpp"
@@ -47,16 +52,25 @@ main()
     core::PipelineResult res =
         core::mvqCompressClassifier(*net, data, cfg);
 
-    // Serialize -> file -> reload.
-    const std::string path = "/tmp/mvq_deploy_demo.mvq";
-    core::saveModel(res.compressed, path);
-    core::CompressedModel loaded = core::loadModel(path);
-    const auto bytes = core::serializeModel(res.compressed);
-    std::cout << "model file: " << bytes.size() << " bytes for "
-              << res.compressed.storage().weight_count
+    // Serialize -> file -> reload through the artifact API, in both
+    // formats. openArtifact sniffs the magic, so the consumer code below
+    // is format-agnostic.
+    const std::string stream_path = "/tmp/mvq_deploy_demo.mvq";
+    const std::string image_path = "/tmp/mvq_deploy_demo.mvqi";
+    core::io::saveArtifact(res.compressed, stream_path,
+                           core::io::ArtifactFormat::Stream);
+    core::io::saveArtifact(res.compressed, image_path,
+                           core::io::ArtifactFormat::Mvqi);
+    const auto stream_art = core::io::openArtifact(stream_path);
+    const auto image_art = core::io::openArtifact(image_path);
+    core::CompressedModel loaded = stream_art->model();
+    std::cout << "stream file: " << stream_art->sizeBytes()
+              << " bytes for " << res.compressed.storage().weight_count
               << " weights (" << res.compression_ratio
               << "x vs fp32; Eq. 7 payload "
-              << res.compressed.storage().totalBits() / 8 << " B)\n";
+              << res.compressed.storage().totalBits() / 8
+              << " B); mvqi image: " << image_art->sizeBytes()
+              << " bytes, pre-packed for zero-copy load\n";
 
     // Software check: the reloaded model reproduces the accuracy.
     loaded.applyTo(*net);
@@ -64,17 +78,14 @@ main()
               << nn::evalClassifier(*net, data, data.testSet())
               << " (pipeline reported " << res.acc_final << ")\n";
 
-    // Hardware check: run the first compressed layer through the array
-    // from the *reloaded* container.
+    // Hardware check: run the first compressed layer through the array,
+    // with the sim's loader consuming the artifact directly.
     const auto acfg = sim::makeHwSetting(sim::HwSetting::EWS_CMS, 16);
     sim::Counters counters;
-    const sim::DecodedWeights dec = sim::decodeCompressedLayer(
-        acfg, loaded.layers[0],
-        loaded.codebooks[static_cast<std::size_t>(
-            loaded.layers[0].codebook_id)],
-        counters);
+    const sim::DecodedWeights dec =
+        sim::decodeCompressedLayer(acfg, *stream_art, 0, counters);
 
-    const auto &shape = loaded.layers[0].weight_shape;
+    const Shape shape = stream_art->layerShape(0);
     Rng rng(77);
     Tensor ifmap(Shape({shape.dim(1), 8, 8}));
     ifmap.fillNormal(rng, 0.0f, 1.0f);
@@ -92,27 +103,36 @@ main()
     std::cout << "array-vs-software max |diff| through the file round "
                  "trip: " << maxAbsDiff(run.ofmap, ref) << "\n";
 
-    // Sparse CPU inference: consume the reloaded compressed container
-    // directly — mask codes decode once into the compressed-row gemm
-    // operand, and the forward pass skips every pruned position instead
-    // of densifying the kernel first.
-    const nn::CompressedConv2d sparse_conv(
-        loaded.layers[0],
-        loaded.codebooks[static_cast<std::size_t>(
-            loaded.layers[0].codebook_id)],
-        1, 1);
-    const Tensor sparse_out = sparse_conv.forward(ifmap4);
+    // Sparse CPU inference, once per backend. The stream artifact packs
+    // its operand at packedOperands time; the MVQI artifact borrows its
+    // operand pointers straight from the mapped image. Same input, same
+    // ISA => the outputs must agree to the bit.
+    const nn::CompressedConv2d stream_conv(
+        stream_art->layerName(0), stream_art->layerShape(0),
+        stream_art->packedOperands(0), 1, 1);
+    const nn::CompressedConv2d mapped_conv(
+        image_art->layerName(0), image_art->layerShape(0),
+        image_art->packedOperands(0), 1, 1);
+    const Tensor sparse_out = stream_conv.forward(ifmap4);
+    const Tensor mapped_out = mapped_conv.forward(ifmap4);
+    const bool identical =
+        sparse_out.shape() == mapped_out.shape()
+        && std::memcmp(sparse_out.data(), mapped_out.data(),
+                       static_cast<std::size_t>(sparse_out.numel())
+                           * sizeof(float)) == 0;
     std::cout << "sparse-path-vs-array max |diff|: "
               << maxAbsDiff(sparse_out.reshaped(run.ofmap.shape()),
                             run.ofmap)
-              << " (operand density "
-              << sparse_conv.density() << ", "
-              << sparse_conv.flopsFor(ifmap4) << " sparse MACs vs "
-              << sparse_conv.flopsFor(ifmap4)
+              << " (operand density " << stream_conv.density() << ", "
+              << stream_conv.flopsFor(ifmap4) << " sparse MACs vs "
+              << stream_conv.flopsFor(ifmap4)
                      * loaded.layers[0].cfg.pattern.m
                      / loaded.layers[0].cfg.pattern.n
               << " dense)\n";
+    std::cout << "mmap-vs-stream forward memcmp: "
+              << (identical ? "identical" : "MISMATCH") << "\n";
 
-    std::remove(path.c_str());
-    return 0;
+    std::remove(stream_path.c_str());
+    std::remove(image_path.c_str());
+    return identical ? 0 : 1;
 }

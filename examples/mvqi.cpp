@@ -1,0 +1,178 @@
+/**
+ * @file
+ * `mvqi` — conversion / inspection CLI for compressed-model artifacts.
+ *
+ *   mvqi info <file>                     describe an artifact (either
+ *                                        format; layer + codebook table)
+ *   mvqi convert <in> <out> [options]    re-encode between the bit-packed
+ *                                        stream and the MVQI image
+ *   mvqi verify <file>                   load + fully validate every
+ *                                        layer's packed operands
+ *
+ * convert options:
+ *   --to stream|mvqi          target format (default: by <out> extension,
+ *                             ".mvqi" => mvqi, anything else => stream)
+ *   --groups N                conv groups baked into every MVQI layer
+ *   --layer-groups name=N     per-layer override (repeatable)
+ *
+ * Exit status: 0 on success, 1 on usage errors, and FatalError aborts
+ * (corrupt input) surface the loader's message on stderr.
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/logging.hpp"
+#include "core/io/mmap_artifact.hpp"
+#include "core/io/model_artifact.hpp"
+
+namespace {
+
+using namespace mvq;
+using namespace mvq::core::io;
+
+int
+usage()
+{
+    std::cerr << "usage:\n"
+                 "  mvqi info <file>\n"
+                 "  mvqi convert <in> <out> [--to stream|mvqi] "
+                 "[--groups N] [--layer-groups name=N]...\n"
+                 "  mvqi verify <file>\n";
+    return 1;
+}
+
+void
+describeLayer(const ModelArtifact &art, std::int64_t i)
+{
+    const core::CompressedLayer &cl =
+        art.model().layers[static_cast<std::size_t>(i)];
+    std::cout << "  layer " << i << ": '" << cl.name << "' "
+              << cl.weight_shape.str() << "  k=" << cl.cfg.k
+              << " d=" << cl.cfg.d << " " << cl.cfg.pattern.n << ":"
+              << cl.cfg.pattern.m << " ("
+              << core::groupingName(cl.cfg.grouping) << ", codebook "
+              << cl.codebook_id << ", ng=" << cl.ng() << ")";
+    if (const std::int64_t baked = art.bakedGroups(i); baked != 0)
+        std::cout << "  [pre-packed, groups=" << baked << "]";
+    std::cout << "\n";
+}
+
+int
+cmdInfo(const std::string &path)
+{
+    const auto art = openArtifact(path);
+    std::cout << path << ": " << artifactFormatName(art->format())
+              << " artifact, " << art->sizeBytes() << " bytes, "
+              << art->layerCount() << " layers\n";
+    const core::CompressedModel &m = art->model();
+    std::cout << "  storage: " << m.storage().totalBits() / 8
+              << " B payload, " << m.compressionRatio()
+              << "x vs fp32, dense_reconstruct="
+              << (m.dense_reconstruct ? "yes" : "no") << "\n";
+    for (std::size_t b = 0; b < m.codebooks.size(); ++b) {
+        const core::Codebook &cb = m.codebooks[b];
+        std::cout << "  codebook " << b << ": k=" << cb.k() << " d="
+                  << cb.d() << " qbits=" << cb.qbits << " scale="
+                  << cb.scale << "\n";
+    }
+    for (std::int64_t i = 0; i < art->layerCount(); ++i)
+        describeLayer(*art, i);
+    if (const auto *mm = dynamic_cast<const MmapArtifact *>(art.get()))
+        std::cout << "  backing: "
+                  << (mm->mapped() ? "mmap" : "aligned heap copy")
+                  << ", MVQI v" << mm->view().header().version << "\n";
+    return 0;
+}
+
+int
+cmdConvert(int argc, char **argv)
+{
+    if (argc < 4)
+        return usage();
+    const std::string in = argv[2];
+    const std::string out = argv[3];
+    bool to_set = false;
+    ArtifactFormat to = ArtifactFormat::Stream;
+    MvqiWriteOptions opts;
+    for (int a = 4; a < argc; ++a) {
+        const std::string arg = argv[a];
+        const auto next = [&]() -> std::string {
+            fatalIf(a + 1 >= argc, "missing value after ", arg);
+            return argv[++a];
+        };
+        if (arg == "--to") {
+            const std::string v = next();
+            fatalIf(v != "stream" && v != "mvqi",
+                    "--to expects 'stream' or 'mvqi', got ", v);
+            to = v == "mvqi" ? ArtifactFormat::Mvqi
+                             : ArtifactFormat::Stream;
+            to_set = true;
+        } else if (arg == "--groups") {
+            opts.default_groups = std::atoll(next().c_str());
+        } else if (arg == "--layer-groups") {
+            const std::string v = next();
+            const auto eq = v.find('=');
+            fatalIf(eq == std::string::npos,
+                    "--layer-groups expects name=N, got ", v);
+            opts.layer_groups[v.substr(0, eq)] =
+                std::atoll(v.c_str() + eq + 1);
+        } else {
+            std::cerr << "unknown option " << arg << "\n";
+            return usage();
+        }
+    }
+    if (!to_set && out.size() >= 5
+        && out.compare(out.size() - 5, 5, ".mvqi") == 0)
+        to = ArtifactFormat::Mvqi;
+
+    const auto art = openArtifact(in);
+    saveArtifact(art->model(), out, to, opts);
+    std::cout << in << " (" << artifactFormatName(art->format()) << ", "
+              << art->sizeBytes() << " B) -> " << out << " ("
+              << artifactFormatName(to) << ", "
+              << openArtifact(out)->sizeBytes() << " B)\n";
+    return 0;
+}
+
+int
+cmdVerify(const std::string &path)
+{
+    const auto art = openArtifact(path);
+    std::int64_t nnz = 0;
+    for (std::int64_t i = 0; i < art->layerCount(); ++i) {
+        // packedOperands runs the full O(nnz) semantic validation on the
+        // MVQI path (validateGroupedOperand over the borrowed views).
+        const SharedOperands ops = art->packedOperands(i);
+        for (const GroupedSparseMatrix &g : *ops)
+            nnz += g.rows.nnz();
+    }
+    std::cout << path << ": OK ("
+              << artifactFormatName(art->format()) << ", "
+              << art->layerCount() << " layers, " << nnz
+              << " packed nonzeros validated)\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3)
+        return usage();
+    const std::string cmd = argv[1];
+    try {
+        if (cmd == "info")
+            return cmdInfo(argv[2]);
+        if (cmd == "convert")
+            return cmdConvert(argc, argv);
+        if (cmd == "verify")
+            return cmdVerify(argv[2]);
+    } catch (const mvq::FatalError &e) {
+        std::cerr << "mvqi: " << e.what() << "\n";
+        return 2;
+    }
+    return usage();
+}

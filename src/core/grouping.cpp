@@ -18,6 +18,20 @@ groupingName(Grouping g)
     return "unknown";
 }
 
+Grouping
+groupingFromInt(int v)
+{
+    switch (v) {
+      case static_cast<int>(Grouping::KernelWise):
+        return Grouping::KernelWise;
+      case static_cast<int>(Grouping::OutputChannelWise):
+        return Grouping::OutputChannelWise;
+      case static_cast<int>(Grouping::InputChannelWise):
+        return Grouping::InputChannelWise;
+    }
+    fatal("invalid grouping value ", v, " (expected 0..2)");
+}
+
 namespace {
 
 void

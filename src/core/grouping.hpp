@@ -32,6 +32,13 @@ enum class Grouping
 std::string groupingName(Grouping g);
 
 /**
+ * Validate and convert a serialized grouping value (model streams and
+ * MVQI layer TOCs store the enum as an integer). Fatal on values outside
+ * the enum — corrupt files must fail loudly, not yield a bogus enum.
+ */
+Grouping groupingFromInt(int v);
+
+/**
  * Number of subvectors produced by grouping a [K, C, R, S] kernel with
  * subvector length d. Fatal when the shape is not divisible.
  */

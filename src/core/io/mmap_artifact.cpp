@@ -1,0 +1,176 @@
+#include "core/io/mmap_artifact.hpp"
+
+#include <cstring>
+
+#include "common/logging.hpp"
+
+namespace mvq::core::io {
+
+namespace {
+
+template <typename T>
+OperandArray<T>
+borrowArr(const MvqiView &v, const MvqiArray &a)
+{
+    return OperandArray<T>::borrow(v.array<T>(a), a.count);
+}
+
+/** Assemble a GroupedSparseMatrix whose every array aliases the image. */
+GroupedSparseMatrix
+borrowOperand(const MvqiView &v, const MvqiOperand &op)
+{
+    GroupedSparseMatrix g;
+    g.rows.rows = op.rows;
+    g.rows.cols = op.cols;
+    g.rows.row_ptr = borrowArr<std::int64_t>(v, op.row_ptr);
+    g.rows.col_idx = borrowArr<std::int32_t>(v, op.col_idx);
+    g.rows.values = borrowArr<float>(v, op.values);
+    g.tiles = borrowArr<GroupedSparseMatrix::Tile>(v, op.tiles);
+    g.cols = borrowArr<std::int32_t>(v, op.tile_cols);
+    g.vals = borrowArr<float>(v, op.tile_vals);
+    g.band_ptr = borrowArr<std::int64_t>(v, op.band_ptr);
+    g.remainder.rows = op.rows;
+    g.remainder.cols = op.cols;
+    g.remainder.row_ptr = borrowArr<std::int64_t>(v, op.rem_row_ptr);
+    g.remainder.col_idx = borrowArr<std::int32_t>(v, op.rem_col_idx);
+    g.remainder.values = borrowArr<float>(v, op.rem_values);
+    return g;
+}
+
+/** Keeps the mapping alive for as long as any borrowed operand handle
+ *  is held (the SharedOperands aliasing constructor points into it). */
+struct OperandHolder
+{
+    std::shared_ptr<MappedFile> keepalive;
+    std::vector<GroupedSparseMatrix> ops;
+};
+
+} // namespace
+
+MmapArtifact::MmapArtifact(const std::string &path)
+    : map_(std::make_shared<MappedFile>(path)),
+      view_(map_->data(), map_->size(), path)
+{
+}
+
+std::int64_t
+MmapArtifact::layerCount() const
+{
+    return view_.layerCount();
+}
+
+std::string
+MmapArtifact::layerName(std::int64_t i) const
+{
+    return std::string(view_.layer(i).name);
+}
+
+Shape
+MmapArtifact::layerShape(std::int64_t i) const
+{
+    const MvqiLayer &L = view_.layer(i);
+    return Shape({L.shape[0], L.shape[1], L.shape[2], L.shape[3]});
+}
+
+std::int64_t
+MmapArtifact::bakedGroups(std::int64_t i) const
+{
+    return view_.layer(i).groups;
+}
+
+const CompressedModel &
+MmapArtifact::model() const
+{
+    if (model_)
+        return *model_;
+
+    // Materialize by copying out of the image — only convert/inspect
+    // paths come here; serving uses packedOperands and never copies.
+    CompressedModel m;
+    m.dense_reconstruct = (view_.header().flags & 1u) != 0;
+    for (std::int64_t i = 0; i < view_.codebookCount(); ++i) {
+        const MvqiCodebook &rec = view_.codebook(i);
+        Codebook cb;
+        cb.qbits = static_cast<int>(rec.qbits);
+        cb.scale = rec.scale;
+        cb.codewords = Tensor(Shape({rec.k, rec.d}));
+        std::memcpy(cb.codewords.data(),
+                    view_.array<float>(
+                        MvqiArray{rec.codewords_off, rec.k * rec.d}),
+                    static_cast<std::size_t>(rec.k * rec.d)
+                        * sizeof(float));
+        m.codebooks.push_back(std::move(cb));
+    }
+    for (std::int64_t i = 0; i < view_.layerCount(); ++i) {
+        const MvqiLayer &L = view_.layer(i);
+        CompressedLayer cl;
+        cl.name = std::string(L.name);
+        cl.weight_shape =
+            Shape({L.shape[0], L.shape[1], L.shape[2], L.shape[3]});
+        cl.cfg.k = L.k;
+        cl.cfg.d = L.d;
+        cl.cfg.pattern.n = static_cast<int>(L.n);
+        cl.cfg.pattern.m = static_cast<int>(L.m);
+        cl.cfg.grouping = groupingFromInt(static_cast<int>(L.grouping));
+        cl.cfg.codebook_bits = static_cast<int>(L.codebook_bits);
+        cl.codebook_id = static_cast<int>(L.codebook_id);
+        cl.dense_flops = L.dense_flops;
+        const std::int32_t *ap = view_.array<std::int32_t>(L.assignments);
+        cl.assignments.assign(ap, ap + L.assignments.count);
+        const std::uint32_t *mp = view_.array<std::uint32_t>(L.mask_codes);
+        cl.mask_codes.assign(mp, mp + L.mask_codes.count);
+        m.layers.push_back(std::move(cl));
+    }
+    model_ = std::move(m);
+    return *model_;
+}
+
+SharedOperands
+MmapArtifact::packedOperands(std::int64_t i, std::int64_t groups) const
+{
+    panicIf(i < 0 || i >= layerCount(), "layer index ", i,
+            " out of range [0, ", layerCount(), ")");
+    const std::int64_t baked = bakedGroups(i);
+    const std::int64_t g = groups == 0 ? baked : groups;
+    const auto key = std::make_pair(i, g);
+    if (auto it = cache_.find(key); it != cache_.end())
+        return it->second;
+
+    SharedOperands shared;
+    if (g == baked) {
+        // Zero-copy path: borrow every operand array from the mapping,
+        // then run the O(nnz) semantic validation — the line between a
+        // corrupt image failing loudly and the kernels reading out of
+        // bounds. Structural bounds were already checked by MvqiView.
+        auto holder = std::make_shared<OperandHolder>();
+        holder->keepalive = map_;
+        holder->ops.reserve(static_cast<std::size_t>(g));
+        const MvqiOperand *recs = view_.operands(i);
+        for (std::int64_t grp = 0; grp < g; ++grp) {
+            GroupedSparseMatrix op = borrowOperand(view_, recs[grp]);
+            try {
+                validateGroupedOperand(op);
+            } catch (const PanicError &e) {
+                // Invariant violations in *our* data are bugs (panic);
+                // in a file they are the file's fault — rewrap.
+                fatal(path(), ": corrupt MVQI operand (layer '",
+                      layerName(i), "', group ", grp, "): ", e.what());
+            }
+            holder->ops.push_back(std::move(op));
+        }
+        shared = SharedOperands(holder, &holder->ops);
+    } else {
+        // Group-count mismatch: correct but not zero-copy. Bake the
+        // right groups at write time to stay on the borrowed path.
+        const CompressedModel &m = model();
+        const CompressedLayer &cl = m.layers[static_cast<std::size_t>(i)];
+        shared = std::make_shared<const std::vector<GroupedSparseMatrix>>(
+            cl.packGroupedRows(
+                m.codebooks[static_cast<std::size_t>(cl.codebook_id)],
+                g));
+    }
+    cache_[key] = shared;
+    return shared;
+}
+
+} // namespace mvq::core::io

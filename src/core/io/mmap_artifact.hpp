@@ -1,0 +1,57 @@
+/**
+ * @file
+ * MmapArtifact — the MVQI image behind the ModelArtifact interface.
+ * Opening one mmaps the file and runs the O(layers) structural
+ * validation of MvqiView; packedOperands borrows the pre-packed operand
+ * sections straight out of the mapping (validateGroupedOperand is the
+ * only O(nnz) work, and it reads — never copies — the image). N
+ * processes opening the same image share its pages read-only through the
+ * page cache, the fleet-serving story the ROADMAP asks for.
+ */
+
+#ifndef MVQ_CORE_IO_MMAP_ARTIFACT_HPP
+#define MVQ_CORE_IO_MMAP_ARTIFACT_HPP
+
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "core/io/model_artifact.hpp"
+
+namespace mvq::core::io {
+
+/** Zero-copy MVQI backend (mmap at open, borrow on demand). */
+class MmapArtifact : public ModelArtifact
+{
+  public:
+    /** Map + structurally validate the image; fatal on corruption. */
+    explicit MmapArtifact(const std::string &path);
+
+    ArtifactFormat format() const override { return ArtifactFormat::Mvqi; }
+    const std::string &path() const override { return map_->path(); }
+    std::int64_t sizeBytes() const override { return map_->size(); }
+    const CompressedModel &model() const override;
+    std::int64_t layerCount() const override;
+    std::string layerName(std::int64_t i) const override;
+    Shape layerShape(std::int64_t i) const override;
+    std::int64_t bakedGroups(std::int64_t i) const override;
+    SharedOperands packedOperands(std::int64_t i,
+                                  std::int64_t groups = 0) const override;
+
+    /** True when the image is mmap'ed (vs the aligned heap fallback). */
+    bool mapped() const { return map_->mapped(); }
+    /** The validated structural view (inspection tooling). */
+    const MvqiView &view() const { return view_; }
+
+  private:
+    std::shared_ptr<MappedFile> map_;
+    MvqiView view_;
+    /** Materialized model, built on first model() call only. */
+    mutable std::optional<CompressedModel> model_;
+    mutable std::map<std::pair<std::int64_t, std::int64_t>, SharedOperands>
+        cache_;
+};
+
+} // namespace mvq::core::io
+
+#endif // MVQ_CORE_IO_MMAP_ARTIFACT_HPP

@@ -1,0 +1,67 @@
+#include "core/io/model_artifact.hpp"
+
+#include <fstream>
+
+#include "common/logging.hpp"
+#include "core/io/mmap_artifact.hpp"
+#include "core/io/stream_artifact.hpp"
+#include "core/serialize.hpp"
+
+namespace mvq::core::io {
+
+std::string
+artifactFormatName(ArtifactFormat f)
+{
+    switch (f) {
+      case ArtifactFormat::Stream:
+        return "stream";
+      case ArtifactFormat::Mvqi:
+        return "mvqi";
+    }
+    return "unknown";
+}
+
+std::unique_ptr<ModelArtifact>
+openArtifact(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    fatalIf(!in, "cannot open model file ", path);
+    std::uint8_t m[4] = {};
+    in.read(reinterpret_cast<char *>(m), 4);
+    fatalIf(!in, path, ": too short to be a compressed-model file");
+    in.close();
+    // Both formats lead with a little-endian 32-bit magic.
+    const std::uint32_t magic = static_cast<std::uint32_t>(m[0])
+        | static_cast<std::uint32_t>(m[1]) << 8
+        | static_cast<std::uint32_t>(m[2]) << 16
+        | static_cast<std::uint32_t>(m[3]) << 24;
+    if (magic == kMvqiMagic)
+        return std::make_unique<MmapArtifact>(path);
+    if (magic == kStreamMagic)
+        return std::make_unique<StreamArtifact>(path);
+    fatal(path, ": unknown model file magic 0x", std::hex, magic,
+          std::dec, " (neither MVQ stream nor MVQI image)");
+}
+
+void
+saveArtifact(const CompressedModel &model, const std::string &path,
+             ArtifactFormat format, const MvqiWriteOptions &mvqi_opts)
+{
+    switch (format) {
+      case ArtifactFormat::Stream: {
+        const std::vector<std::uint8_t> bytes = serializeModel(model);
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        fatalIf(!out, "cannot open ", path, " for writing");
+        out.write(reinterpret_cast<const char *>(bytes.data()),
+                  static_cast<std::streamsize>(bytes.size()));
+        fatalIf(!out, "short write to ", path);
+        return;
+      }
+      case ArtifactFormat::Mvqi:
+        writeMvqiFile(model, path, mvqi_opts);
+        return;
+    }
+    panic("unhandled artifact format");
+}
+
+} // namespace mvq::core::io

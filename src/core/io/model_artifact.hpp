@@ -1,0 +1,117 @@
+/**
+ * @file
+ * ModelArtifact — the one API every consumer of a compressed-model file
+ * goes through (examples, the accelerator sim's weight loader, the
+ * serving-oriented conv layers). Two backends implement it:
+ *
+ *  - StreamArtifact (core/io/stream_artifact): the legacy bit-packed
+ *    stream of core/serialize. Opening it decodes the full stream; packed
+ *    operands are built on demand (packGroupedRows) and cached.
+ *  - MmapArtifact (core/io/mmap_artifact): the MVQI image. Opening it
+ *    mmaps and structurally validates the file; packed operands are
+ *    borrowed views whose pointers alias the mapped bytes — no bit-stream
+ *    decode and no packSparseRows/packGroupedRows on the load path.
+ *
+ * openArtifact() sniffs the file magic and returns the right backend, so
+ * callers are format-agnostic: the same serving code runs from either
+ * file, and converting between formats is saveArtifact(artifact->model()).
+ *
+ * The free functions core::saveModel/loadModel are deprecated shims over
+ * this interface.
+ */
+
+#ifndef MVQ_CORE_IO_MODEL_ARTIFACT_HPP
+#define MVQ_CORE_IO_MODEL_ARTIFACT_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/compressed_layer.hpp"
+#include "core/io/mvqi_format.hpp"
+
+namespace mvq::core::io {
+
+/** The two on-disk representations of a compressed model. */
+enum class ArtifactFormat
+{
+    Stream, //!< bit-packed stream (core/serialize), magic "MVQ1"
+    Mvqi,   //!< flat mmap-able image (core/io/mvqi_format), magic "MVQI"
+};
+
+/** Human-readable format name ("stream" / "mvqi"). */
+std::string artifactFormatName(ArtifactFormat f);
+
+/**
+ * Shared handle to one layer's packed gemm operands (one
+ * GroupedSparseMatrix per conv group). The shared_ptr's control block
+ * keeps whatever owns the underlying bytes alive — for a borrowed MVQI
+ * operand that is the mapped file itself — so holders may outlive the
+ * artifact that produced them.
+ */
+using SharedOperands = std::shared_ptr<const std::vector<GroupedSparseMatrix>>;
+
+/** A compressed-model file opened for reading. */
+class ModelArtifact
+{
+  public:
+    virtual ~ModelArtifact() = default;
+
+    virtual ArtifactFormat format() const = 0;
+    virtual const std::string &path() const = 0;
+    virtual std::int64_t sizeBytes() const = 0;
+
+    /**
+     * The fully materialized model. For a StreamArtifact this is the
+     * decoded stream (built at open); for an MmapArtifact it is
+     * reconstructed from the image on first call (and cached) — serving
+     * paths that only need packedOperands never pay for it.
+     */
+    virtual const CompressedModel &model() const = 0;
+
+    virtual std::int64_t layerCount() const = 0;
+    virtual std::string layerName(std::int64_t i) const = 0;
+    /** Original 4-D kernel shape of layer i. */
+    virtual Shape layerShape(std::int64_t i) const = 0;
+
+    /**
+     * Conv groups the artifact has pre-packed operands for (MVQI bakes
+     * them at write time); 0 when the artifact stores no packing (stream)
+     * and every group count is equally cheap.
+     */
+    virtual std::int64_t bakedGroups(std::int64_t i) const = 0;
+
+    /**
+     * Layer i's packed sparse operands for a `groups`-way convolution.
+     * `groups == 0` means "the artifact's baked groups" (or 1 when
+     * nothing is baked). Results are cached per (layer, groups), so N
+     * conv instances built from one artifact share one operand set.
+     *
+     * MmapArtifact serves the baked group count as borrowed views over
+     * the image (zero-copy; the returned handle keeps the mapping alive);
+     * any other count falls back to materializing + repacking, which is
+     * correct but defeats the zero-copy point — bake the right groups at
+     * write time (MvqiWriteOptions::layer_groups).
+     */
+    virtual SharedOperands packedOperands(std::int64_t i,
+                                          std::int64_t groups = 0) const = 0;
+};
+
+/**
+ * Open a compressed-model file, sniffing the magic to pick the backend.
+ * Fatal on unreadable files or unknown magic.
+ */
+std::unique_ptr<ModelArtifact> openArtifact(const std::string &path);
+
+/**
+ * Write `model` to `path` in the requested format. `mvqi_opts` applies
+ * to ArtifactFormat::Mvqi only (conv groups to bake per layer).
+ */
+void saveArtifact(const CompressedModel &model, const std::string &path,
+                  ArtifactFormat format,
+                  const MvqiWriteOptions &mvqi_opts = {});
+
+} // namespace mvq::core::io
+
+#endif // MVQ_CORE_IO_MODEL_ARTIFACT_HPP

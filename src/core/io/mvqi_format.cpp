@@ -1,0 +1,496 @@
+#include "core/io/mvqi_format.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <type_traits>
+
+#include "common/logging.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define MVQ_MVQI_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace mvq::core::io {
+
+// The tiles section stores GroupedSparseMatrix::Tile verbatim; pin its
+// layout so an image written by one build is readable by another.
+static_assert(std::is_trivially_copyable_v<GroupedSparseMatrix::Tile>,
+              "Tile must be trivially copyable to live in an MVQI image");
+static_assert(sizeof(GroupedSparseMatrix::Tile) == 48,
+              "Tile layout drifted; bump kMvqiVersion and update "
+              "docs/FORMAT.md");
+
+namespace {
+
+using Tile = GroupedSparseMatrix::Tile;
+
+/**
+ * Append-only image buffer. Every section lands on a kMvqiAlign boundary
+ * (zero padding in between), so offsets recorded here are valid for both
+ * the mmap path (page-aligned base) and the aligned heap fallback.
+ */
+struct ImageBuilder
+{
+    std::vector<std::uint8_t> buf;
+
+    std::uint64_t
+    alignUp()
+    {
+        while (buf.size() % static_cast<std::size_t>(kMvqiAlign) != 0)
+            buf.push_back(0);
+        return static_cast<std::uint64_t>(buf.size());
+    }
+
+    /** Reserve `bytes` zeroed bytes at an aligned offset (patched later). */
+    std::uint64_t
+    reserve(std::size_t bytes)
+    {
+        const std::uint64_t off = alignUp();
+        buf.insert(buf.end(), bytes, 0);
+        return off;
+    }
+
+    template <typename T>
+    std::uint64_t
+    appendRaw(const T *p, std::int64_t n)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        const std::uint64_t off = alignUp();
+        if (n > 0) // p may be null for an empty borrowed array
+            buf.insert(buf.end(),
+                       reinterpret_cast<const std::uint8_t *>(p),
+                       reinterpret_cast<const std::uint8_t *>(p)
+                           + static_cast<std::size_t>(n) * sizeof(T));
+        return off;
+    }
+
+    template <typename T>
+    MvqiArray
+    append(const OperandArray<T> &a)
+    {
+        return MvqiArray{appendRaw(a.data(),
+                                   static_cast<std::int64_t>(a.size())),
+                         static_cast<std::int64_t>(a.size())};
+    }
+
+    template <typename T>
+    MvqiArray
+    append(const std::vector<T> &a)
+    {
+        return MvqiArray{appendRaw(a.data(),
+                                   static_cast<std::int64_t>(a.size())),
+                         static_cast<std::int64_t>(a.size())};
+    }
+
+    void
+    patch(std::uint64_t off, const void *p, std::size_t bytes)
+    {
+        std::memcpy(buf.data() + off, p, bytes);
+    }
+};
+
+/**
+ * Tiles as built by groupSparseRows leave row[] slots beyond nrows (and
+ * struct padding) indeterminate. The image must be byte-deterministic
+ * (the golden-fixture test memcmps it), so copy field-by-field into
+ * value-initialized (all-zero) storage before appending.
+ */
+std::vector<Tile>
+normalizedTiles(const OperandArray<Tile> &tiles)
+{
+    std::vector<Tile> norm(tiles.size());
+    if (norm.empty())
+        return norm;
+    // Tile is trivially copyable (static_asserted above); the void cast
+    // silences -Wclass-memaccess, which keys off the NSDMIs alone.
+    std::memset(static_cast<void *>(norm.data()), 0,
+                norm.size() * sizeof(Tile));
+    for (std::size_t i = 0; i < tiles.size(); ++i) {
+        const Tile &s = tiles[i];
+        Tile &t = norm[i];
+        for (std::int32_t r = 0; r < s.nrows; ++r)
+            t.row[r] = s.row[r];
+        t.nrows = s.nrows;
+        t.col_off = s.col_off;
+        t.ncols = s.ncols;
+        t.val_off = s.val_off;
+    }
+    return norm;
+}
+
+MvqiOperand
+appendOperand(ImageBuilder &b, const GroupedSparseMatrix &op)
+{
+    MvqiOperand rec;
+    rec.rows = op.rows.rows;
+    rec.cols = op.rows.cols;
+    rec.row_ptr = b.append(op.rows.row_ptr);
+    rec.col_idx = b.append(op.rows.col_idx);
+    rec.values = b.append(op.rows.values);
+    const std::vector<Tile> tiles = normalizedTiles(op.tiles);
+    rec.tiles = b.append(tiles);
+    rec.tile_cols = b.append(op.cols);
+    rec.tile_vals = b.append(op.vals);
+    rec.band_ptr = b.append(op.band_ptr);
+    rec.rem_row_ptr = b.append(op.remainder.row_ptr);
+    rec.rem_col_idx = b.append(op.remainder.col_idx);
+    rec.rem_values = b.append(op.remainder.values);
+    return rec;
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+buildMvqiImage(const CompressedModel &model, const MvqiWriteOptions &opts)
+{
+    const std::size_t n_books = model.codebooks.size();
+    const std::size_t n_layers = model.layers.size();
+
+    ImageBuilder b;
+    b.reserve(sizeof(MvqiHeader));
+    const std::uint64_t cb_toc_off = b.reserve(n_books * sizeof(MvqiCodebook));
+    const std::uint64_t layer_toc_off =
+        b.reserve(n_layers * sizeof(MvqiLayer));
+
+    std::vector<MvqiCodebook> cb_toc(n_books);
+    for (std::size_t i = 0; i < n_books; ++i) {
+        const Codebook &cb = model.codebooks[i];
+        MvqiCodebook &rec = cb_toc[i];
+        rec.k = cb.k();
+        rec.d = cb.d();
+        rec.qbits = cb.qbits;
+        rec.scale = cb.scale;
+        rec.codewords_off =
+            b.appendRaw(cb.codewords.data(), cb.codewords.numel());
+    }
+
+    std::vector<MvqiLayer> layer_toc(n_layers);
+    for (std::size_t i = 0; i < n_layers; ++i) {
+        const CompressedLayer &cl = model.layers[i];
+        fatalIf(cl.name.size() >= kMvqiNameBytes, "layer name '", cl.name,
+                "' exceeds the MVQI limit of ", kMvqiNameBytes - 1,
+                " bytes");
+        fatalIf(cl.weight_shape.rank() != 4, "layer ", cl.name,
+                " weight shape ", cl.weight_shape.str(), " is not rank 4");
+        fatalIf(cl.codebook_id < 0
+                    || static_cast<std::size_t>(cl.codebook_id) >= n_books,
+                "layer ", cl.name, " references codebook ", cl.codebook_id,
+                " of ", n_books);
+
+        std::int64_t groups = opts.default_groups;
+        if (auto it = opts.layer_groups.find(cl.name);
+            it != opts.layer_groups.end())
+            groups = it->second;
+        fatalIf(groups < 1, "invalid conv groups ", groups, " for layer ",
+                cl.name);
+
+        MvqiLayer &rec = layer_toc[i];
+        std::memcpy(rec.name, cl.name.c_str(), cl.name.size());
+        for (int j = 0; j < 4; ++j)
+            rec.shape[j] = cl.weight_shape.dim(j);
+        rec.k = cl.cfg.k;
+        rec.d = cl.cfg.d;
+        rec.n = static_cast<std::int32_t>(cl.cfg.pattern.n);
+        rec.m = static_cast<std::int32_t>(cl.cfg.pattern.m);
+        rec.grouping = static_cast<std::int32_t>(cl.cfg.grouping);
+        rec.codebook_bits = cl.cfg.codebook_bits;
+        rec.codebook_id = cl.codebook_id;
+        rec.groups = static_cast<std::int32_t>(groups);
+        rec.dense_flops = cl.dense_flops;
+        rec.ng = cl.ng();
+        rec.assignments = b.append(cl.assignments);
+        rec.mask_codes = b.append(cl.mask_codes);
+
+        // The one and only pack: serving loads borrow these bytes as-is.
+        const std::vector<GroupedSparseMatrix> ops =
+            cl.packGroupedRows(model.codebooks[cl.codebook_id], groups);
+        std::vector<MvqiOperand> op_recs;
+        op_recs.reserve(ops.size());
+        for (const GroupedSparseMatrix &op : ops)
+            op_recs.push_back(appendOperand(b, op));
+        rec.operands_off = b.appendRaw(op_recs.data(),
+                                       static_cast<std::int64_t>(
+                                           op_recs.size()));
+    }
+
+    b.alignUp();
+
+    MvqiHeader h;
+    h.magic = kMvqiMagic;
+    h.version = kMvqiVersion;
+    h.header_bytes = sizeof(MvqiHeader);
+    h.flags = model.dense_reconstruct ? 1u : 0u;
+    h.n_codebooks = static_cast<std::uint32_t>(n_books);
+    h.n_layers = static_cast<std::uint32_t>(n_layers);
+    h.codebook_toc_off = cb_toc_off;
+    h.layer_toc_off = layer_toc_off;
+    h.file_bytes = static_cast<std::uint64_t>(b.buf.size());
+    b.patch(0, &h, sizeof(h));
+    if (n_books != 0)
+        b.patch(cb_toc_off, cb_toc.data(), n_books * sizeof(MvqiCodebook));
+    if (n_layers != 0)
+        b.patch(layer_toc_off, layer_toc.data(),
+                n_layers * sizeof(MvqiLayer));
+    return std::move(b.buf);
+}
+
+void
+writeMvqiFile(const CompressedModel &model, const std::string &path,
+              const MvqiWriteOptions &opts)
+{
+    const std::vector<std::uint8_t> image = buildMvqiImage(model, opts);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    fatalIf(!out, "cannot open ", path, " for writing");
+    out.write(reinterpret_cast<const char *>(image.data()),
+              static_cast<std::streamsize>(image.size()));
+    out.flush();
+    fatalIf(!out, "failed writing MVQI image to ", path);
+}
+
+MappedFile::MappedFile(const std::string &path) : path_(path)
+{
+#ifdef MVQ_MVQI_HAVE_MMAP
+    const char *no_mmap = std::getenv("MVQ_MVQI_NO_MMAP");
+    if (no_mmap == nullptr || no_mmap[0] != '1') {
+        const int fd = ::open(path.c_str(), O_RDONLY);
+        fatalIf(fd < 0, "cannot open model image ", path);
+        struct stat st;
+        const bool stat_ok = ::fstat(fd, &st) == 0;
+        if (!stat_ok || st.st_size <= 0) {
+            ::close(fd);
+            fatalIf(!stat_ok, "cannot stat model image ", path);
+            fatal("model image ", path, " is empty");
+        }
+        void *p = ::mmap(nullptr, static_cast<std::size_t>(st.st_size),
+                         PROT_READ, MAP_PRIVATE, fd, 0);
+        ::close(fd);
+        fatalIf(p == MAP_FAILED, "mmap failed for model image ", path);
+        data_ = static_cast<const std::uint8_t *>(p);
+        size_ = static_cast<std::int64_t>(st.st_size);
+        mapped_ = true;
+        return;
+    }
+#endif
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    fatalIf(!in, "cannot open model image ", path);
+    const std::int64_t sz = static_cast<std::int64_t>(in.tellg());
+    fatalIf(sz <= 0, "model image ", path, " is empty");
+    const std::size_t alloc =
+        (static_cast<std::size_t>(sz) + kMvqiAlign - 1)
+        / kMvqiAlign * kMvqiAlign;
+    void *p = std::aligned_alloc(static_cast<std::size_t>(kMvqiAlign),
+                                 alloc);
+    fatalIf(p == nullptr, "cannot allocate ", alloc, " bytes for model ",
+            "image ", path);
+    in.seekg(0);
+    in.read(static_cast<char *>(p), sz);
+    if (!in) {
+        std::free(p);
+        fatal("short read loading model image ", path);
+    }
+    heap_ = p;
+    data_ = static_cast<const std::uint8_t *>(p);
+    size_ = sz;
+}
+
+MappedFile::~MappedFile()
+{
+#ifdef MVQ_MVQI_HAVE_MMAP
+    if (mapped_)
+        ::munmap(const_cast<std::uint8_t *>(data_),
+                 static_cast<std::size_t>(size_));
+#endif
+    if (heap_ != nullptr)
+        std::free(heap_);
+}
+
+MvqiView::MvqiView(const std::uint8_t *data, std::int64_t size,
+                   std::string what)
+    : data_(data), size_(size), what_(std::move(what))
+{
+    validate();
+}
+
+const MvqiHeader &
+MvqiView::header() const
+{
+    return *reinterpret_cast<const MvqiHeader *>(data_);
+}
+
+std::int64_t
+MvqiView::codebookCount() const
+{
+    return static_cast<std::int64_t>(header().n_codebooks);
+}
+
+std::int64_t
+MvqiView::layerCount() const
+{
+    return static_cast<std::int64_t>(header().n_layers);
+}
+
+const MvqiCodebook &
+MvqiView::codebook(std::int64_t i) const
+{
+    panicIf(i < 0 || i >= codebookCount(), "codebook index ", i,
+            " out of range [0, ", codebookCount(), ")");
+    return reinterpret_cast<const MvqiCodebook *>(
+        data_ + header().codebook_toc_off)[i];
+}
+
+const MvqiLayer &
+MvqiView::layer(std::int64_t i) const
+{
+    panicIf(i < 0 || i >= layerCount(), "layer index ", i,
+            " out of range [0, ", layerCount(), ")");
+    return reinterpret_cast<const MvqiLayer *>(
+        data_ + header().layer_toc_off)[i];
+}
+
+const MvqiOperand *
+MvqiView::operands(std::int64_t layer_idx) const
+{
+    return reinterpret_cast<const MvqiOperand *>(
+        data_ + layer(layer_idx).operands_off);
+}
+
+void
+MvqiView::checkArray(const MvqiArray &a, std::int64_t elem_bytes,
+                     const char *name) const
+{
+    fatalIf(a.off % static_cast<std::uint64_t>(kMvqiAlign) != 0, what_,
+            ": misaligned ", name, " section (offset ", a.off, " is not ",
+            kMvqiAlign, "-byte aligned)");
+    fatalIf(a.count < 0, what_, ": negative ", name, " element count ",
+            a.count);
+    fatalIf(a.off > static_cast<std::uint64_t>(size_), what_, ": ", name,
+            " section offset ", a.off, " is beyond the end of the ",
+            size_, "-byte image");
+    const std::uint64_t avail = static_cast<std::uint64_t>(size_) - a.off;
+    fatalIf(static_cast<std::uint64_t>(a.count)
+                > avail / static_cast<std::uint64_t>(elem_bytes),
+            what_, ": ", name, " section (", a.count, " x ", elem_bytes,
+            " bytes at offset ", a.off, ") extends past the end of the ",
+            size_, "-byte image");
+}
+
+void
+MvqiView::validate()
+{
+    panicIf(data_ == nullptr, "MvqiView over a null image");
+    panicIf(reinterpret_cast<std::uintptr_t>(data_) % 8 != 0,
+            "MVQI image base address is not 8-byte aligned");
+    fatalIf(size_ < static_cast<std::int64_t>(sizeof(MvqiHeader)), what_,
+            ": truncated MVQI image (", size_, " bytes; the header alone "
+            "is ", sizeof(MvqiHeader), ")");
+
+    const MvqiHeader &h = header();
+    fatalIf(h.magic != kMvqiMagic, what_, ": bad magic 0x", std::hex,
+            h.magic, std::dec, " (not an MVQI image)");
+    fatalIf(h.version != kMvqiVersion, what_, ": unsupported MVQI version ",
+            h.version, " (this build reads version ", kMvqiVersion, ")");
+    fatalIf(h.header_bytes != sizeof(MvqiHeader), what_,
+            ": header size mismatch (", h.header_bytes, " vs ",
+            sizeof(MvqiHeader), ")");
+    fatalIf(h.file_bytes != static_cast<std::uint64_t>(size_), what_,
+            ": file size mismatch (header records ", h.file_bytes,
+            " bytes, file has ", size_, ")");
+
+    checkArray(MvqiArray{h.codebook_toc_off,
+                         static_cast<std::int64_t>(h.n_codebooks)},
+               sizeof(MvqiCodebook), "codebook TOC");
+    checkArray(MvqiArray{h.layer_toc_off,
+                         static_cast<std::int64_t>(h.n_layers)},
+               sizeof(MvqiLayer), "layer TOC");
+
+    for (std::int64_t i = 0; i < codebookCount(); ++i) {
+        const MvqiCodebook &cb = codebook(i);
+        fatalIf(cb.k <= 0 || cb.d <= 0, what_, ": codebook ", i,
+                " has invalid dimensions k=", cb.k, " d=", cb.d);
+        fatalIf(cb.qbits < 0 || cb.qbits > 32, what_, ": codebook ", i,
+                " has invalid qbits ", cb.qbits);
+        fatalIf(cb.k > std::numeric_limits<std::int64_t>::max() / cb.d,
+                what_, ": codebook ", i, " dimensions overflow");
+        checkArray(MvqiArray{cb.codewords_off, cb.k * cb.d}, sizeof(float),
+                   "codewords");
+    }
+
+    for (std::int64_t i = 0; i < layerCount(); ++i) {
+        const MvqiLayer &L = layer(i);
+        fatalIf(L.name[kMvqiNameBytes - 1] != '\0', what_, ": layer ", i,
+                " name is not NUL-terminated");
+        for (int j = 0; j < 4; ++j)
+            fatalIf(L.shape[j] <= 0, what_, ": layer ", i,
+                    " has invalid shape dimension ", L.shape[j]);
+        fatalIf(L.k <= 0, what_, ": layer ", i, " has invalid k ", L.k);
+        fatalIf(L.d <= 0 || L.m <= 0 || L.d % L.m != 0, what_, ": layer ",
+                i, " has inconsistent d=", L.d, " M=", L.m);
+        fatalIf(L.n < 0 || L.n > L.m, what_, ": layer ", i,
+                " has invalid N:M pattern ", L.n, ":", L.m);
+        fatalIf(L.grouping < 0 || L.grouping > 2, what_, ": layer ", i,
+                " has invalid grouping ", L.grouping);
+        fatalIf(L.codebook_bits < 0 || L.codebook_bits > 32, what_,
+                ": layer ", i, " has invalid codebook_bits ",
+                L.codebook_bits);
+        fatalIf(L.codebook_id < 0
+                    || static_cast<std::uint32_t>(L.codebook_id)
+                        >= h.n_codebooks,
+                what_, ": layer ", i, " references codebook ",
+                L.codebook_id, " of ", h.n_codebooks);
+        fatalIf(L.groups < 1 || L.groups > L.shape[0], what_, ": layer ",
+                i, " has invalid conv groups ", L.groups);
+        fatalIf(L.ng < 0, what_, ": layer ", i, " has negative ng");
+
+        checkArray(L.assignments, sizeof(std::int32_t), "assignments");
+        fatalIf(L.assignments.count != L.ng, what_, ": layer ", i,
+                " assignments count ", L.assignments.count,
+                " does not match ng ", L.ng);
+        checkArray(L.mask_codes, sizeof(std::uint32_t), "mask codes");
+        fatalIf(L.mask_codes.count != L.ng * (L.d / L.m), what_,
+                ": layer ", i, " mask-code count ", L.mask_codes.count,
+                " does not match ng*d/M = ", L.ng * (L.d / L.m));
+        checkArray(MvqiArray{L.operands_off,
+                             static_cast<std::int64_t>(L.groups)},
+                   sizeof(MvqiOperand), "operand TOC");
+
+        for (std::int32_t g = 0; g < L.groups; ++g) {
+            const MvqiOperand &op = operands(i)[g];
+            fatalIf(op.rows < 0 || op.cols < 0, what_, ": layer ", i,
+                    " operand ", g, " has negative dimensions");
+            checkArray(op.row_ptr, sizeof(std::int64_t), "row_ptr");
+            fatalIf(op.row_ptr.count != op.rows + 1, what_, ": layer ", i,
+                    " operand ", g, " row_ptr count ", op.row_ptr.count,
+                    " does not match rows+1 = ", op.rows + 1);
+            checkArray(op.col_idx, sizeof(std::int32_t), "col_idx");
+            checkArray(op.values, sizeof(float), "values");
+            fatalIf(op.col_idx.count != op.values.count, what_, ": layer ",
+                    i, " operand ", g, " col_idx/values count mismatch");
+            checkArray(op.tiles, sizeof(Tile), "tiles");
+            checkArray(op.tile_cols, sizeof(std::int32_t), "tile cols");
+            checkArray(op.tile_vals, sizeof(float), "tile vals");
+            checkArray(op.band_ptr, sizeof(std::int64_t), "band_ptr");
+            fatalIf(op.band_ptr.count < 1, what_, ": layer ", i,
+                    " operand ", g, " band_ptr is empty");
+            checkArray(op.rem_row_ptr, sizeof(std::int64_t),
+                       "remainder row_ptr");
+            fatalIf(op.rem_row_ptr.count != op.rows + 1, what_, ": layer ",
+                    i, " operand ", g, " remainder row_ptr count ",
+                    op.rem_row_ptr.count, " does not match rows+1 = ",
+                    op.rows + 1);
+            checkArray(op.rem_col_idx, sizeof(std::int32_t),
+                       "remainder col_idx");
+            checkArray(op.rem_values, sizeof(float), "remainder values");
+            fatalIf(op.rem_col_idx.count != op.rem_values.count, what_,
+                    ": layer ", i, " operand ", g,
+                    " remainder col_idx/values count mismatch");
+        }
+    }
+}
+
+} // namespace mvq::core::io

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * MVQI ("MVQ Image") v1 — the flat, aligned, versioned serving format.
+ * Where the bit-packed stream format (core/serialize) optimizes for the
+ * paper's Eq. 7 storage accounting and must be decoded and re-packed on
+ * every load, an MVQI file *is* the in-memory operand layout: fixed-width
+ * little-endian header + TOC structs, then 64-byte-aligned sections
+ * holding codebooks, assignments, mask codes, and the pre-packed
+ * panel-ready sparse operands (GroupedSparseMatrix tiles + CSR remainder)
+ * exactly as the gemm drivers consume them. Loading is therefore mmap +
+ * validate: no bit-stream decode, no packSparseRows/packGroupedRows, and
+ * N server processes share one read-only page-cached image.
+ *
+ * Byte-level layout, alignment rules, and the versioning policy are
+ * specified in docs/FORMAT.md; this header is the single source of truth
+ * for the struct definitions (static_asserts pin their sizes, and the
+ * golden-fixture test pins the emitted bytes against drift).
+ */
+
+#ifndef MVQ_CORE_IO_MVQI_FORMAT_HPP
+#define MVQ_CORE_IO_MVQI_FORMAT_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/compressed_layer.hpp"
+
+namespace mvq::core::io {
+
+constexpr std::uint32_t kMvqiMagic = 0x4951564Du; //!< "MVQI", little-endian
+constexpr std::uint32_t kMvqiVersion = 1;
+constexpr std::int64_t kMvqiAlign = 64;  //!< section alignment (bytes)
+constexpr std::size_t kMvqiNameBytes = 64; //!< fixed layer-name field
+
+/** Offset + element count of one array section (element type from use). */
+struct MvqiArray
+{
+    std::uint64_t off = 0;   //!< byte offset from file start; 64-aligned
+    std::int64_t count = 0;  //!< element count (not bytes)
+};
+static_assert(sizeof(MvqiArray) == 16);
+
+/** File header; always the first 64 bytes of an image. */
+struct MvqiHeader
+{
+    std::uint32_t magic = 0;
+    std::uint32_t version = 0;
+    std::uint32_t header_bytes = 0; //!< sizeof(MvqiHeader)
+    std::uint32_t flags = 0;        //!< bit 0: dense_reconstruct
+    std::uint32_t n_codebooks = 0;
+    std::uint32_t n_layers = 0;
+    std::uint64_t codebook_toc_off = 0;
+    std::uint64_t layer_toc_off = 0;
+    std::uint64_t file_bytes = 0;   //!< must equal the actual file size
+    std::uint8_t reserved[16] = {};
+};
+static_assert(sizeof(MvqiHeader) == 64);
+
+/** One codebook TOC entry. Codewords are stored as raw fp32 (the
+ *  dequantized, usable values); qbits/scale ride along so the Eq. 7
+ *  accounting and a lossless convert back to the stream format remain
+ *  possible. */
+struct MvqiCodebook
+{
+    std::int64_t k = 0;
+    std::int64_t d = 0;
+    std::int32_t qbits = 0;
+    float scale = 0.0f;
+    std::uint64_t codewords_off = 0; //!< k*d fp32, 64-aligned
+    std::uint64_t reserved[2] = {};
+};
+static_assert(sizeof(MvqiCodebook) == 48);
+
+/**
+ * One pre-packed sparse operand: a GroupedSparseMatrix (one conv group of
+ * one layer) flattened into offset-addressed sections. The tiles section
+ * stores GroupedSparseMatrix::Tile structs verbatim (their layout is
+ * static_asserted in mvqi_format.cpp), so a loaded operand borrows every
+ * array straight from the image.
+ */
+struct MvqiOperand
+{
+    std::int64_t rows = 0;
+    std::int64_t cols = 0;
+    MvqiArray row_ptr;     //!< int64, rows + 1
+    MvqiArray col_idx;     //!< int32, nnz
+    MvqiArray values;      //!< fp32, nnz
+    MvqiArray tiles;       //!< GroupedSparseMatrix::Tile (48 B each)
+    MvqiArray tile_cols;   //!< int32 shared-column pool
+    MvqiArray tile_vals;   //!< fp32 tile-value pool
+    MvqiArray band_ptr;    //!< int64, n_bands + 1
+    MvqiArray rem_row_ptr; //!< int64, rows + 1
+    MvqiArray rem_col_idx; //!< int32, remainder nnz
+    MvqiArray rem_values;  //!< fp32, remainder nnz
+};
+static_assert(sizeof(MvqiOperand) == 16 + 10 * sizeof(MvqiArray));
+
+/** One layer TOC entry. */
+struct MvqiLayer
+{
+    char name[kMvqiNameBytes] = {}; //!< NUL-terminated
+    std::int64_t shape[4] = {1, 1, 1, 1}; //!< [K, C/groups, R, S]
+    std::int64_t k = 0;             //!< cfg.k
+    std::int64_t d = 0;             //!< cfg.d
+    std::int32_t n = 0;             //!< pattern N
+    std::int32_t m = 0;             //!< pattern M
+    std::int32_t grouping = 0;      //!< core::Grouping enum value
+    std::int32_t codebook_bits = 0;
+    std::int32_t codebook_id = 0;
+    std::int32_t groups = 1;        //!< conv groups baked into operands
+    std::int64_t dense_flops = 0;
+    std::int64_t ng = 0;
+    MvqiArray assignments;          //!< int32, ng
+    MvqiArray mask_codes;           //!< uint32, ng * d/M
+    std::uint64_t operands_off = 0; //!< `groups` MvqiOperand records
+    std::uint64_t reserved = 0;
+};
+static_assert(sizeof(MvqiLayer) == 200);
+
+/** Writer knobs: the conv `groups` baked into each layer's pre-packed
+ *  operands (the compressed container does not store conv geometry). */
+struct MvqiWriteOptions
+{
+    std::int64_t default_groups = 1;
+    std::map<std::string, std::int64_t> layer_groups; //!< by layer name
+};
+
+/**
+ * Serialize `model` into an MVQI image: runs packGroupedRows per layer
+ * ONCE here, at serialize time, so no load ever runs it again.
+ * Deterministic: same model + options => identical bytes (the golden
+ * fixture test depends on this). Fatal on layer names >= 64 bytes or
+ * invalid groups.
+ */
+std::vector<std::uint8_t> buildMvqiImage(const CompressedModel &model,
+                                         const MvqiWriteOptions &opts = {});
+
+/** buildMvqiImage + write to a file (fatal on I/O failure). */
+void writeMvqiFile(const CompressedModel &model, const std::string &path,
+                   const MvqiWriteOptions &opts = {});
+
+/**
+ * Read-only mapping of a file: mmap on POSIX, a 64-byte-aligned heap copy
+ * elsewhere (or when MVQ_MVQI_NO_MMAP=1 forces the fallback for testing).
+ * Fatal on open/stat/map failure or an empty file.
+ */
+class MappedFile
+{
+  public:
+    explicit MappedFile(const std::string &path);
+    ~MappedFile();
+    MappedFile(const MappedFile &) = delete;
+    MappedFile &operator=(const MappedFile &) = delete;
+
+    const std::uint8_t *data() const { return data_; }
+    std::int64_t size() const { return size_; }
+    const std::string &path() const { return path_; }
+    /** True when backed by mmap (heap fallback otherwise). */
+    bool mapped() const { return mapped_; }
+
+  private:
+    std::string path_;
+    const std::uint8_t *data_ = nullptr;
+    std::int64_t size_ = 0;
+    bool mapped_ = false;
+    void *heap_ = nullptr; //!< fallback allocation (aligned)
+};
+
+/**
+ * Non-owning structurally validated view over an MVQI image. The
+ * constructor is the corruption firewall: truncated file, bad magic,
+ * unsupported version, misaligned sections, out-of-range or overflowing
+ * TOC offsets, oversized names, and inconsistent counts all fail with a
+ * clear FatalError naming `what` (typically the file path) — never
+ * undefined behaviour. Array accessors return pointers that were bounds-
+ * and alignment-checked against the image during construction.
+ *
+ * Structural validation is O(layers + groups), independent of model
+ * size; the O(nnz) semantic validation of each operand's indices happens
+ * when the operand is borrowed (validateGroupedOperand, see
+ * MmapArtifact::packedOperands).
+ */
+class MvqiView
+{
+  public:
+    MvqiView(const std::uint8_t *data, std::int64_t size, std::string what);
+
+    const MvqiHeader &header() const;
+    std::int64_t codebookCount() const;
+    std::int64_t layerCount() const;
+    const MvqiCodebook &codebook(std::int64_t i) const;
+    const MvqiLayer &layer(std::int64_t i) const;
+    /** The layer's `groups` MvqiOperand records. */
+    const MvqiOperand *operands(std::int64_t layer_idx) const;
+
+    /** Typed pointer to a validated array section. */
+    template <typename T>
+    const T *
+    array(const MvqiArray &a) const
+    {
+        return reinterpret_cast<const T *>(data_ + a.off);
+    }
+
+    const std::uint8_t *data() const { return data_; }
+    std::int64_t size() const { return size_; }
+    const std::string &what() const { return what_; }
+
+  private:
+    void validate();
+    void checkArray(const MvqiArray &a, std::int64_t elem_bytes,
+                    const char *name) const;
+
+    const std::uint8_t *data_;
+    std::int64_t size_;
+    std::string what_;
+};
+
+} // namespace mvq::core::io
+
+#endif // MVQ_CORE_IO_MVQI_FORMAT_HPP

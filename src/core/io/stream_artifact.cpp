@@ -1,0 +1,63 @@
+#include "core/io/stream_artifact.hpp"
+
+#include <fstream>
+#include <iterator>
+
+#include "common/logging.hpp"
+#include "core/serialize.hpp"
+
+namespace mvq::core::io {
+
+StreamArtifact::StreamArtifact(const std::string &path) : path_(path)
+{
+    std::ifstream in(path, std::ios::binary);
+    fatalIf(!in, "cannot open model file ", path);
+    const std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    size_bytes_ = static_cast<std::int64_t>(bytes.size());
+    model_ = deserializeModel(bytes);
+}
+
+std::int64_t
+StreamArtifact::layerCount() const
+{
+    return static_cast<std::int64_t>(model_.layers.size());
+}
+
+std::string
+StreamArtifact::layerName(std::int64_t i) const
+{
+    panicIf(i < 0 || i >= layerCount(), "layer index ", i,
+            " out of range [0, ", layerCount(), ")");
+    return model_.layers[static_cast<std::size_t>(i)].name;
+}
+
+Shape
+StreamArtifact::layerShape(std::int64_t i) const
+{
+    panicIf(i < 0 || i >= layerCount(), "layer index ", i,
+            " out of range [0, ", layerCount(), ")");
+    return model_.layers[static_cast<std::size_t>(i)].weight_shape;
+}
+
+SharedOperands
+StreamArtifact::packedOperands(std::int64_t i, std::int64_t groups) const
+{
+    panicIf(i < 0 || i >= layerCount(), "layer index ", i,
+            " out of range [0, ", layerCount(), ")");
+    const std::int64_t g = groups == 0 ? 1 : groups;
+    const auto key = std::make_pair(i, g);
+    if (auto it = cache_.find(key); it != cache_.end())
+        return it->second;
+    const CompressedLayer &cl = model_.layers[static_cast<std::size_t>(i)];
+    auto ops = std::make_shared<std::vector<GroupedSparseMatrix>>(
+        cl.packGroupedRows(
+            model_.codebooks[static_cast<std::size_t>(cl.codebook_id)],
+            g));
+    SharedOperands shared = std::move(ops);
+    cache_[key] = shared;
+    return shared;
+}
+
+} // namespace mvq::core::io

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * StreamArtifact — the legacy bit-packed stream format behind the
+ * ModelArtifact interface. Opening one pays the full decode
+ * (deserializeModel) and every packedOperands call that misses the cache
+ * pays a packGroupedRows; that cost profile is exactly what the MVQI
+ * backend (mmap_artifact) exists to delete from serving startup.
+ */
+
+#ifndef MVQ_CORE_IO_STREAM_ARTIFACT_HPP
+#define MVQ_CORE_IO_STREAM_ARTIFACT_HPP
+
+#include <map>
+#include <utility>
+
+#include "core/io/model_artifact.hpp"
+
+namespace mvq::core::io {
+
+/** Bit-packed-stream backend (decode at open, pack on demand). */
+class StreamArtifact : public ModelArtifact
+{
+  public:
+    /** Decode the stream at `path`; fatal on I/O or format errors. */
+    explicit StreamArtifact(const std::string &path);
+
+    ArtifactFormat format() const override { return ArtifactFormat::Stream; }
+    const std::string &path() const override { return path_; }
+    std::int64_t sizeBytes() const override { return size_bytes_; }
+    const CompressedModel &model() const override { return model_; }
+    std::int64_t layerCount() const override;
+    std::string layerName(std::int64_t i) const override;
+    Shape layerShape(std::int64_t i) const override;
+    std::int64_t bakedGroups(std::int64_t) const override { return 0; }
+    SharedOperands packedOperands(std::int64_t i,
+                                  std::int64_t groups = 0) const override;
+
+  private:
+    std::string path_;
+    std::int64_t size_bytes_ = 0;
+    CompressedModel model_;
+    /** packedOperands cache keyed by (layer, groups). */
+    mutable std::map<std::pair<std::int64_t, std::int64_t>, SharedOperands>
+        cache_;
+};
+
+} // namespace mvq::core::io
+
+#endif // MVQ_CORE_IO_STREAM_ARTIFACT_HPP

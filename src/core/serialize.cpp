@@ -8,12 +8,6 @@
 
 namespace mvq::core {
 
-namespace {
-
-constexpr std::uint32_t kMagic = 0x4d565131; // "MVQ1"
-
-} // namespace
-
 void
 BitWriter::put(std::uint64_t value, int bits)
 {
@@ -54,7 +48,7 @@ std::vector<std::uint8_t>
 serializeModel(const CompressedModel &model)
 {
     BitWriter w;
-    w.put(kMagic, 32);
+    w.put(kStreamMagic, 32);
     w.put(model.dense_reconstruct ? 1 : 0, 8);
     w.put(model.codebooks.size(), 16);
     w.put(model.layers.size(), 16);
@@ -122,7 +116,7 @@ CompressedModel
 deserializeModel(const std::vector<std::uint8_t> &data)
 {
     BitReader r(data);
-    fatalIf(r.get(32) != kMagic, "not an MVQ model file");
+    fatalIf(r.get(32) != kStreamMagic, "not an MVQ model file");
     CompressedModel model;
     model.dense_reconstruct = r.get(8) != 0;
     const std::uint64_t n_books = r.get(16);
@@ -136,6 +130,18 @@ deserializeModel(const std::vector<std::uint8_t> &data)
         const std::uint32_t scale_bits =
             static_cast<std::uint32_t>(r.get(32));
         std::memcpy(&cb.scale, &scale_bits, 4);
+        // Size fields are untrusted: bound the codeword allocation by the
+        // bits actually left in the stream before resizing, so a corrupt
+        // header fails with a clear message instead of a giant alloc.
+        fatalIf(k <= 0 || d <= 0, "corrupt model stream: codebook ", b,
+                " has invalid dimensions k=", k, " d=", d);
+        fatalIf(cb.qbits < 0 || cb.qbits > 32,
+                "corrupt model stream: codebook ", b, " has invalid ",
+                "qbits ", cb.qbits);
+        fatalIf(k * d * (cb.qbits > 0 ? cb.qbits : 32)
+                    > r.remainingBits(),
+                "corrupt model stream: codebook ", b, " codewords (", k,
+                " x ", d, ") exceed the remaining stream");
         cb.codewords = Tensor(Shape({k, d}));
         for (std::int64_t i = 0; i < k * d; ++i) {
             if (cb.qbits > 0) {
@@ -168,15 +174,38 @@ deserializeModel(const std::vector<std::uint8_t> &data)
         layer.cfg.d = static_cast<std::int64_t>(r.get(16));
         layer.cfg.pattern.n = static_cast<int>(r.get(8));
         layer.cfg.pattern.m = static_cast<int>(r.get(8));
-        layer.cfg.grouping = static_cast<Grouping>(r.get(8));
+        layer.cfg.grouping =
+            groupingFromInt(static_cast<int>(r.get(8)));
         layer.cfg.codebook_bits = static_cast<int>(r.get(8));
         layer.codebook_id = static_cast<int>(r.get(16));
         layer.dense_flops = static_cast<std::int64_t>(r.get(48));
         const auto ng = static_cast<std::int64_t>(r.get(32));
 
+        fatalIf(layer.cfg.k <= 0, "corrupt model stream: layer ", l,
+                " has invalid k ", layer.cfg.k);
+        fatalIf(layer.cfg.pattern.m <= 0
+                    || layer.cfg.pattern.n <= 0
+                    || layer.cfg.pattern.n > layer.cfg.pattern.m,
+                "corrupt model stream: layer ", l, " has invalid N:M ",
+                "pattern ", layer.cfg.pattern.n, ":",
+                layer.cfg.pattern.m);
+        fatalIf(layer.cfg.d <= 0
+                    || layer.cfg.d % layer.cfg.pattern.m != 0,
+                "corrupt model stream: layer ", l, " has d=",
+                layer.cfg.d, " not divisible by M=",
+                layer.cfg.pattern.m);
+        fatalIf(layer.codebook_id < 0
+                    || static_cast<std::uint64_t>(layer.codebook_id)
+                        >= n_books,
+                "corrupt model stream: layer ", l, " references ",
+                "codebook ", layer.codebook_id, " of ", n_books);
+
         const int index_bits = log2Ceil(
             static_cast<std::uint64_t>(layer.cfg.k));
         const MaskCodec codec(layer.cfg.pattern);
+        fatalIf(ng * std::max(index_bits, 1) > r.remainingBits(),
+                "corrupt model stream: layer ", l, " assignments (",
+                ng, ") exceed the remaining stream");
         layer.assignments.resize(static_cast<std::size_t>(ng));
         for (auto &a : layer.assignments) {
             a = static_cast<std::int32_t>(
@@ -184,6 +213,10 @@ deserializeModel(const std::vector<std::uint8_t> &data)
         }
         const std::int64_t groups = ng * (layer.cfg.d
                                           / layer.cfg.pattern.m);
+        fatalIf(groups * std::max(codec.bitsPerGroup(), 1)
+                    > r.remainingBits(),
+                "corrupt model stream: layer ", l, " mask codes (",
+                groups, ") exceed the remaining stream");
         layer.mask_codes.resize(static_cast<std::size_t>(groups));
         for (auto &code : layer.mask_codes) {
             code = static_cast<std::uint32_t>(

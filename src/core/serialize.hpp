@@ -18,6 +18,9 @@
 
 namespace mvq::core {
 
+/** First 32 bits of a bit-packed model stream ("MVQ1" little-endian). */
+constexpr std::uint32_t kStreamMagic = 0x4d565131;
+
 /** Append an arbitrary-width little-endian bitfield to a bit stream. */
 class BitWriter
 {
@@ -49,6 +52,17 @@ class BitReader
     /** Read `bits` bits; fatal on overrun. */
     std::uint64_t get(int bits);
 
+    /**
+     * Bits left before overrun. Decoders check this *before* sizing an
+     * allocation from an untrusted count field, so a corrupt stream fails
+     * with a clear message instead of attempting a huge resize.
+     */
+    std::int64_t
+    remainingBits() const
+    {
+        return static_cast<std::int64_t>(bytes.size()) * 8 - pos;
+    }
+
   private:
     const std::vector<std::uint8_t> &bytes;
     std::int64_t pos = 0; //!< bit cursor
@@ -60,10 +74,16 @@ std::vector<std::uint8_t> serializeModel(const CompressedModel &model);
 /** Inverse of serializeModel; fatal on a malformed buffer. */
 CompressedModel deserializeModel(const std::vector<std::uint8_t> &data);
 
-/** Write the serialized model to a file. */
+/** Write the serialized model to a file.
+ *  @deprecated Use core::io::saveArtifact (core/io/model_artifact.hpp),
+ *  which also writes the mmap-able MVQI format. */
+[[deprecated("use core::io::saveArtifact")]]
 void saveModel(const CompressedModel &model, const std::string &path);
 
-/** Read a model back from a file. */
+/** Read a model back from a file.
+ *  @deprecated Use core::io::openArtifact (core/io/model_artifact.hpp),
+ *  which reads both the stream and the MVQI format. */
+[[deprecated("use core::io::openArtifact")]]
 CompressedModel loadModel(const std::string &path);
 
 } // namespace mvq::core

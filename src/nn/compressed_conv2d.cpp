@@ -24,9 +24,38 @@ CompressedConv2d::CompressedConv2d(const core::CompressedLayer &layer,
     // row range straight into its own grouped operand (rows sharing a
     // kept-column pattern tiled together for the multi-row kernel) — no
     // full-operand pack followed by per-group slice copies.
-    group_rows_ = layer.packGroupedRows(codebook, groups_);
-    for (const auto &sp : group_rows_)
+    group_rows_ = std::make_shared<const std::vector<GroupedSparseMatrix>>(
+        layer.packGroupedRows(codebook, groups_));
+    for (const auto &sp : *group_rows_)
         nnz_ += sp.rows.nnz();
+}
+
+CompressedConv2d::CompressedConv2d(
+    std::string name, const Shape &weight_shape,
+    std::shared_ptr<const std::vector<GroupedSparseMatrix>> operands,
+    std::int64_t stride, std::int64_t pad)
+    : name_(std::move(name)), weight_shape_(weight_shape), stride_(stride),
+      pad_(pad), groups_(0), group_rows_(std::move(operands))
+{
+    fatalIf(stride_ <= 0, name_, ": stride must be positive");
+    fatalIf(pad_ < 0, name_, ": negative padding");
+    fatalIf(weight_shape_.rank() != 4, name_,
+            ": expected a 4-D kernel shape, got ", weight_shape_.str());
+    fatalIf(group_rows_ == nullptr || group_rows_->empty(), name_,
+            ": no packed operands injected");
+    groups_ = static_cast<std::int64_t>(group_rows_->size());
+    fatalIf(weight_shape_.dim(0) % groups_ != 0,
+            name_, ": out channels not divisible by groups");
+    const std::int64_t kg = weight_shape_.dim(0) / groups_;
+    const std::int64_t unrolled =
+        weight_shape_.dim(1) * weight_shape_.dim(2) * weight_shape_.dim(3);
+    for (const auto &sp : *group_rows_) {
+        fatalIf(sp.rows.rows != kg || sp.rows.cols != unrolled, name_,
+                ": injected operand geometry ", sp.rows.rows, "x",
+                sp.rows.cols, " does not match the kernel shape ",
+                weight_shape_.str(), " with ", groups_, " groups");
+        nnz_ += sp.rows.nnz();
+    }
 }
 
 std::int64_t
@@ -87,7 +116,7 @@ CompressedConv2d::forward(const Tensor &x) const
         const std::int64_t grp = w % groups_;
         float *po = out.data() + ((n * out_c + grp * kg) * oh * ow);
         const GroupedSparseMatrix &rows =
-            group_rows_[static_cast<std::size_t>(grp)];
+            (*group_rows_)[static_cast<std::size_t>(grp)];
         if (fused) {
             const float *slab = x.data()
                 + (n * cg * groups_ + grp * cg) * g.in_h * g.in_w;

@@ -21,6 +21,7 @@
 #ifndef MVQ_NN_COMPRESSED_CONV2D_HPP
 #define MVQ_NN_COMPRESSED_CONV2D_HPP
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -51,6 +52,23 @@ class CompressedConv2d
                      std::int64_t pad = 0, std::int64_t groups = 1);
 
     /**
+     * Construct over *injected* pre-packed operands (one
+     * GroupedSparseMatrix per conv group) instead of packing here — the
+     * serving path: operands come from
+     * core::io::ModelArtifact::packedOperands, so N conv instances (and,
+     * with an MVQI image, N processes) share one packed operand set and
+     * construction does no decode and no pack. The shared_ptr keeps
+     * whatever owns the operand bytes (e.g. the mmap'ed image) alive.
+     *
+     * @param weight_shape Original 4-D kernel shape [K, C/groups, R, S]
+     *        (the operands only know the unrolled 2-D geometry).
+     */
+    CompressedConv2d(
+        std::string name, const Shape &weight_shape,
+        std::shared_ptr<const std::vector<GroupedSparseMatrix>> operands,
+        std::int64_t stride = 1, std::int64_t pad = 0);
+
+    /**
      * NCHW forward through the fused im2col->panel sparse gemm (one gemm
      * per (batch, group) pair, output slabs written in place; the
      * materializing im2col path under `MVQ_FUSED_CONV=0` is
@@ -74,14 +92,24 @@ class CompressedConv2d
     const SparseRowMatrix &
     groupOperand(std::int64_t grp) const
     {
-        return group_rows_[static_cast<std::size_t>(grp)].rows;
+        return (*group_rows_)[static_cast<std::size_t>(grp)].rows;
     }
 
     /** The bucketed multi-row operand of one group (tests/diagnostics). */
     const GroupedSparseMatrix &
     groupedOperand(std::int64_t grp) const
     {
-        return group_rows_[static_cast<std::size_t>(grp)];
+        return (*group_rows_)[static_cast<std::size_t>(grp)];
+    }
+
+    /**
+     * This instance's packed operand set, shareable with further
+     * instances via the injected-operands constructor (no repack).
+     */
+    std::shared_ptr<const std::vector<GroupedSparseMatrix>>
+    packedOperands() const
+    {
+        return group_rows_;
     }
 
   private:
@@ -90,7 +118,9 @@ class CompressedConv2d
     std::int64_t stride_;
     std::int64_t pad_;
     std::int64_t groups_;
-    std::vector<GroupedSparseMatrix> group_rows_; //!< one per group
+    /** One operand per group; shared (never copied) across instances
+     *  built from the same artifact or via packedOperands(). */
+    std::shared_ptr<const std::vector<GroupedSparseMatrix>> group_rows_;
     std::int64_t nnz_ = 0; //!< kept entries across all groups
 };
 

@@ -52,6 +52,23 @@ decodeCompressedLayer(const AccelConfig &cfg,
 }
 
 DecodedWeights
+decodeCompressedLayer(const AccelConfig &cfg,
+                      const core::io::ModelArtifact &artifact,
+                      std::int64_t layer_idx, Counters &counters)
+{
+    fatalIf(layer_idx < 0 || layer_idx >= artifact.layerCount(),
+            artifact.path(), ": layer index ", layer_idx,
+            " out of range [0, ", artifact.layerCount(), ")");
+    const core::CompressedModel &m = artifact.model();
+    const core::CompressedLayer &layer =
+        m.layers[static_cast<std::size_t>(layer_idx)];
+    return decodeCompressedLayer(
+        cfg, layer,
+        m.codebooks[static_cast<std::size_t>(layer.codebook_id)],
+        counters);
+}
+
+DecodedWeights
 wrapDenseWeights(const Tensor &weights4, std::int64_t d)
 {
     DecodedWeights out;

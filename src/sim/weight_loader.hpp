@@ -14,6 +14,7 @@
 #define MVQ_SIM_WEIGHT_LOADER_HPP
 
 #include "core/compressed_layer.hpp"
+#include "core/io/model_artifact.hpp"
 #include "sim/accel_config.hpp"
 #include "sim/counters.hpp"
 
@@ -36,6 +37,17 @@ struct DecodedWeights
 DecodedWeights decodeCompressedLayer(const AccelConfig &cfg,
                                      const core::CompressedLayer &layer,
                                      const core::Codebook &codebook,
+                                     Counters &counters);
+
+/**
+ * Decode layer `layer_idx` of an opened deployment artifact — the sim's
+ * loader consuming a model file (either format) through the unified
+ * core::io::ModelArtifact API instead of a hand-held CompressedModel.
+ * Fatal on an out-of-range layer index.
+ */
+DecodedWeights decodeCompressedLayer(const AccelConfig &cfg,
+                                     const core::io::ModelArtifact &artifact,
+                                     std::int64_t layer_idx,
                                      Counters &counters);
 
 /** Wrap a dense kernel in the DecodedWeights interface (all-ones mask). */

@@ -1003,6 +1003,17 @@ gemmSparseA(const SparseRowMatrix &a, const Tensor &b, Tensor &c,
 }
 
 void
+validateGroupedOperand(GroupedSparseMatrix &a)
+{
+    checkSparseOperand(a.rows);
+    checkSparseOperand(a.remainder);
+    checkGroupedOperand(a);
+    a.rows.validated = true;
+    a.remainder.validated = true;
+    a.validated = true;
+}
+
+void
 gemmSparseARaw(const GroupedSparseMatrix &a, const float *pb,
                std::int64_t ldb, std::int64_t n, float alpha, float beta,
                float *pc, std::int64_t ldc)

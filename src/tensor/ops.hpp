@@ -31,6 +31,7 @@
 #ifndef MVQ_TENSOR_OPS_HPP
 #define MVQ_TENSOR_OPS_HPP
 
+#include "tensor/operand_array.hpp"
 #include "tensor/tensor.hpp"
 
 namespace mvq {
@@ -92,6 +93,11 @@ Tensor matmul(const Tensor &a, const Tensor &b,
  * core::CompressedLayer::packSparseRows) and reused for every forward
  * pass — the pack stage of the sparse gemm never touches pruned
  * positions.
+ *
+ * The arrays are OperandArray so an operand can either own its storage
+ * (packed at runtime) or borrow it from an mmap'ed MVQI model image
+ * (core/io/mmap_artifact) — the drivers only ever read through const
+ * accessors, so both modes share every kernel unchanged.
  */
 struct SparseRowMatrix
 {
@@ -99,9 +105,9 @@ struct SparseRowMatrix
     std::int64_t cols = 0; //!< logical column count (k of the gemm)
     /** rows+1 offsets into col_idx/values; row i owns [row_ptr[i],
      *  row_ptr[i+1]). */
-    std::vector<std::int64_t> row_ptr;
-    std::vector<std::int32_t> col_idx; //!< ascending within each row
-    std::vector<float> values;         //!< kept entries, row-major
+    OperandArray<std::int64_t> row_ptr;
+    OperandArray<std::int32_t> col_idx; //!< ascending within each row
+    OperandArray<float> values;         //!< kept entries, row-major
 
     /**
      * Set by validateSparseOperand once the structural invariants (row_ptr
@@ -143,6 +149,22 @@ void validateSparseOperand(SparseRowMatrix &a);
 
 /** Compress a rank-2 tensor's exact non-zeros into CSR (tests/benches). */
 SparseRowMatrix sparsifyRows(const Tensor &a);
+
+struct GroupedSparseMatrix;
+
+/**
+ * Full structural validation of a grouped operand: the embedded CSR
+ * operands (rows + remainder) via validateSparseOperand's invariants plus
+ * the tile/band layer (tile rows ascending and in range, column/value
+ * pools covered, band_ptr covering tiles, tiles + remainder partitioning
+ * rows.nnz()). Panics (PanicError) on violation; marks every validated
+ * flag on success. groupSparseRows validates what it builds; this entry
+ * point exists for operands assembled from *untrusted* storage — above
+ * all borrowed views over an MVQI model image, where these invariants
+ * are the line between a corrupt file failing loudly and the kernels
+ * reading out of bounds.
+ */
+void validateGroupedOperand(GroupedSparseMatrix &a);
 
 /**
  * Row count of one multi-row sparse tile. Mirrors
@@ -187,9 +209,9 @@ struct GroupedSparseMatrix
     };
 
     SparseRowMatrix rows;      //!< full single-row operand (fallback path)
-    std::vector<Tile> tiles;   //!< bucket chunks, grouped into bands
-    std::vector<std::int32_t> cols; //!< shared column patterns, ascending
-    std::vector<float> vals;        //!< tile values, row-major per tile
+    OperandArray<Tile> tiles;  //!< bucket chunks, grouped into bands
+    OperandArray<std::int32_t> cols; //!< shared column patterns, ascending
+    OperandArray<float> vals;        //!< tile values, row-major per tile
     /**
      * Bands partition `tiles`: band b owns tiles [band_ptr[b],
      * band_ptr[b+1]), and tiles of *different* bands touch disjoint C
@@ -198,7 +220,7 @@ struct GroupedSparseMatrix
      * over bands and runs a band's tiles sequentially, preserving the
      * bit-identical-across-thread-counts contract.
      */
-    std::vector<std::int64_t> band_ptr{0};
+    OperandArray<std::int64_t> band_ptr{0};
     SparseRowMatrix remainder; //!< untiled entries (single-row kernel)
     bool validated = false;    //!< set by the builders after checking
 

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "common/logging.hpp"
+#include "core/io/model_artifact.hpp"
 #include "core/pipeline.hpp"
 #include "core/serialize.hpp"
 #include "nn/conv2d.hpp"
@@ -127,8 +128,25 @@ TEST(Serialize, SaveLoadFile)
 {
     CompressedModel model = makeModel();
     const std::string path = "/tmp/mvq_serialize_test.mvq";
+    io::saveArtifact(model, path, io::ArtifactFormat::Stream);
+    CompressedModel back = io::openArtifact(path)->model();
+    EXPECT_FLOAT_EQ(
+        maxAbsDiff(model.reconstructLayer(0), back.reconstructLayer(0)),
+        0.0f);
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, DeprecatedShimsStillWork)
+{
+    // Out-of-tree callers keep compiling (with a [[deprecated]] warning)
+    // and keep getting the old behavior.
+    CompressedModel model = makeModel();
+    const std::string path = "/tmp/mvq_serialize_shim_test.mvq";
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
     saveModel(model, path);
     CompressedModel back = loadModel(path);
+#pragma GCC diagnostic pop
     EXPECT_FLOAT_EQ(
         maxAbsDiff(model.reconstructLayer(0), back.reconstructLayer(0)),
         0.0f);
@@ -187,6 +205,39 @@ TEST(Serialize, RejectsGarbage)
 {
     std::vector<std::uint8_t> junk = {1, 2, 3, 4, 5, 6, 7, 8};
     EXPECT_THROW(deserializeModel(junk), FatalError);
+}
+
+TEST(Serialize, RejectsTruncationAtEveryPrefix)
+{
+    // Every strict prefix of a valid stream must fail with FatalError
+    // (clean overrun or bounds message), never crash or mis-decode. The
+    // remainingBits checks specifically keep a truncated header from
+    // driving a huge codeword/assignment allocation.
+    const auto bytes = serializeModel(makeModel());
+    for (std::size_t cut : {std::size_t{0}, std::size_t{3},
+                            std::size_t{4}, std::size_t{7},
+                            std::size_t{9}, std::size_t{16},
+                            bytes.size() / 2, bytes.size() - 1}) {
+        const std::vector<std::uint8_t> trunc(bytes.begin(),
+                                              bytes.begin()
+                                                  + static_cast<long>(cut));
+        EXPECT_THROW(deserializeModel(trunc), FatalError)
+            << "prefix of " << cut << " bytes decoded without error";
+    }
+}
+
+TEST(Serialize, BitReaderRemainingBits)
+{
+    BitWriter w;
+    w.put(0x3f, 6);
+    w.put(0, 10);
+    const auto bytes = w.finish();
+    BitReader r(bytes);
+    EXPECT_EQ(r.remainingBits(), 16);
+    r.get(6);
+    EXPECT_EQ(r.remainingBits(), 10);
+    r.get(10);
+    EXPECT_EQ(r.remainingBits(), 0);
 }
 
 TEST(Serialize, UnquantizedCodebookRoundTrip)

@@ -1,7 +1,8 @@
 #include "bench_common.hpp"
 
-#include <cstdlib>
 #include <cmath>
+
+#include "common/env.hpp"
 #include <cstring>
 #include <iomanip>
 #include <fstream>
@@ -12,8 +13,7 @@ namespace mvq::bench {
 bool
 fastMode()
 {
-    const char *env = std::getenv("MVQ_BENCH_FAST");
-    return env != nullptr && env[0] != '\0' && env[0] != '0';
+    return env::flag("MVQ_BENCH_FAST", false);
 }
 
 nn::ClassificationConfig
@@ -75,11 +75,7 @@ benchJsonPath(int argc, char **argv)
         if (std::strcmp(argv[i], "--json") == 0)
             return argv[i + 1];
     }
-    if (const char *env = std::getenv("MVQ_BENCH_JSON")) {
-        if (env[0] != '\0')
-            return env;
-    }
-    return "";
+    return env::str("MVQ_BENCH_JSON", "");
 }
 
 void

@@ -25,6 +25,7 @@
 #include <map>
 
 #include "bench_common.hpp"
+#include "common/env.hpp"
 #include "common/parallel.hpp"
 #include "common/simd_dispatch.hpp"
 #include "core/grouping.hpp"
@@ -693,8 +694,7 @@ multiRowReport(const std::string &json)
     const Im2colB b{x.data(), g};
     Tensor c(Shape({m, n}));
 
-    const char *gate_env = std::getenv("MVQ_BENCH_GATE_MIN_SPEEDUP");
-    const double gate = gate_env != nullptr ? std::atof(gate_env) : 0.0;
+    const double gate = env::real("MVQ_BENCH_GATE_MIN_SPEEDUP", 0.0);
     bool ok = true;
 
     const int prev_threads = numThreads();

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "common/env.hpp"
 #include "common/table.hpp"
 #include "core/io/model_artifact.hpp"
 #include "core/mask_codec.hpp"
@@ -248,9 +249,9 @@ main(int argc, char **argv)
     }
     t.print();
 
-    if (const char *gate =
-            std::getenv("MVQ_BENCH_GATE_MIN_LOAD_SPEEDUP")) {
-        const double floor = std::atof(gate);
+    if (const double floor =
+            env::real("MVQ_BENCH_GATE_MIN_LOAD_SPEEDUP", 0.0);
+        floor > 0.0) {
         if (min_speedup < floor) {
             std::cerr << "FAIL: min load speedup " << f1(min_speedup)
                       << "x below the " << f1(floor)

@@ -3,12 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
-#include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/env.hpp"
 #include "common/logging.hpp"
 
 namespace mvq {
@@ -21,11 +21,9 @@ thread_local bool in_parallel_region = false;
 int
 defaultThreads()
 {
-    if (const char *env = std::getenv("MVQ_NUM_THREADS")) {
-        const int n = std::atoi(env);
-        if (n > 0)
-            return n;
-    }
+    const std::int64_t n = env::int_("MVQ_NUM_THREADS", 0);
+    if (n > 0)
+        return static_cast<int>(n);
     const unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? static_cast<int>(hw) : 1;
 }

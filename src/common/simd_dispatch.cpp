@@ -1,12 +1,12 @@
 #include "common/simd_dispatch.hpp"
 
 #include <atomic>
-#include <cstdlib>
 #include <cstring>
 #include <limits>
 #include <mutex>
 #include <string>
 
+#include "common/env.hpp"
 #include "common/logging.hpp"
 
 #if defined(__x86_64__) || defined(__i386__)
@@ -280,10 +280,9 @@ tableFor(Isa isa)
 bool
 parseOverride(Isa &out, std::string &raw)
 {
-    const char *env = std::getenv("MVQ_SIMD");
-    if (env == nullptr || *env == '\0')
+    raw = env::str("MVQ_SIMD", "");
+    if (raw.empty())
         return false;
-    raw = env;
     if (raw == "scalar") {
         out = Isa::Scalar;
         return true;

@@ -51,9 +51,10 @@ aggregateCodewordGrad(const Tensor &grad_wr, const Mask &mask,
     return grad;
 }
 
-CodebookTrainer::CodebookTrainer(CompressedModel &cm, nn::Layer &model,
-                                 const FinetuneConfig &cfg)
-    : cm(cm), model(model), cfg(cfg),
+CodebookTrainer::CodebookTrainer(CompressedModel &compressed,
+                                 nn::Layer &net,
+                                 const FinetuneConfig &config)
+    : cm(compressed), model(net), cfg(config),
       cbOpt(cfg.codebook_lr),
       otherOpt(cfg.other_lr, cfg.momentum, 0.0f)
 {
@@ -79,14 +80,14 @@ CodebookTrainer::CodebookTrainer(CompressedModel &cm, nn::Layer &model,
 
     // Everything that is not a compressed kernel trains normally.
     for (nn::Parameter *p : model.allParameters()) {
-        bool compressed = false;
+        bool is_compressed = false;
         for (nn::Conv2d *conv : targets) {
             if (p == &conv->weight()) {
-                compressed = true;
+                is_compressed = true;
                 break;
             }
         }
-        if (!compressed)
+        if (!is_compressed)
             otherParams.push_back(p);
     }
 

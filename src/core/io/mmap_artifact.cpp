@@ -81,6 +81,13 @@ MmapArtifact::bakedGroups(std::int64_t i) const
 const CompressedModel &
 MmapArtifact::model() const
 {
+    std::lock_guard<std::mutex> lk(mu_);
+    return modelLocked();
+}
+
+const CompressedModel &
+MmapArtifact::modelLocked() const
+{
     if (model_)
         return *model_;
 
@@ -133,6 +140,10 @@ MmapArtifact::packedOperands(std::int64_t i, std::int64_t groups) const
     const std::int64_t baked = bakedGroups(i);
     const std::int64_t g = groups == 0 ? baked : groups;
     const auto key = std::make_pair(i, g);
+    // One lock for the whole lookup-or-build: a miss holds it across the
+    // O(nnz) validation (or repack), so N threads first-touching the same
+    // (layer, groups) build it once and the rest hit the cache.
+    std::lock_guard<std::mutex> lk(mu_);
     if (auto it = cache_.find(key); it != cache_.end())
         return it->second;
 
@@ -162,7 +173,7 @@ MmapArtifact::packedOperands(std::int64_t i, std::int64_t groups) const
     } else {
         // Group-count mismatch: correct but not zero-copy. Bake the
         // right groups at write time to stay on the borrowed path.
-        const CompressedModel &m = model();
+        const CompressedModel &m = modelLocked();
         const CompressedLayer &cl = m.layers[static_cast<std::size_t>(i)];
         shared = std::make_shared<const std::vector<GroupedSparseMatrix>>(
             cl.packGroupedRows(

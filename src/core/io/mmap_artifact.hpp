@@ -13,6 +13,7 @@
 #define MVQ_CORE_IO_MMAP_ARTIFACT_HPP
 
 #include <map>
+#include <mutex>
 #include <optional>
 #include <utility>
 
@@ -44,8 +45,15 @@ class MmapArtifact : public ModelArtifact
     const MvqiView &view() const { return view_; }
 
   private:
+    /** model_ builder + cache lookup body; mu_ must be held. */
+    const CompressedModel &modelLocked() const;
+
     std::shared_ptr<MappedFile> map_;
     MvqiView view_;
+    /** Serializes lazy materialization and the operand cache: model()
+     *  and packedOperands() are called concurrently by serving threads
+     *  sharing one artifact (see tests/concurrency_test.cpp). */
+    mutable std::mutex mu_;
     /** Materialized model, built on first model() call only. */
     mutable std::optional<CompressedModel> model_;
     mutable std::map<std::pair<std::int64_t, std::int64_t>, SharedOperands>

@@ -1,11 +1,13 @@
 #include "core/io/mvqi_format.hpp"
 
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <limits>
 #include <type_traits>
 
+#include "common/env.hpp"
 #include "common/logging.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -253,11 +255,34 @@ writeMvqiFile(const CompressedModel &model, const std::string &path,
     fatalIf(!out, "failed writing MVQI image to ", path);
 }
 
+namespace {
+
+/** -1 = unresolved (read MVQ_MVQI_NO_MMAP on first query). */
+std::atomic<int> g_heap_fallback{-1};
+
+} // namespace
+
+bool
+mvqiHeapFallback()
+{
+    int v = g_heap_fallback.load(std::memory_order_acquire);
+    if (v < 0) {
+        v = env::flag("MVQ_MVQI_NO_MMAP", false) ? 1 : 0;
+        g_heap_fallback.store(v, std::memory_order_release);
+    }
+    return v == 1;
+}
+
+void
+setMvqiHeapFallback(bool on)
+{
+    g_heap_fallback.store(on ? 1 : 0, std::memory_order_release);
+}
+
 MappedFile::MappedFile(const std::string &path) : path_(path)
 {
 #ifdef MVQ_MVQI_HAVE_MMAP
-    const char *no_mmap = std::getenv("MVQ_MVQI_NO_MMAP");
-    if (no_mmap == nullptr || no_mmap[0] != '1') {
+    if (!mvqiHeapFallback()) {
         const int fd = ::open(path.c_str(), O_RDONLY);
         fatalIf(fd < 0, "cannot open model image ", path);
         struct stat st;

@@ -142,6 +142,15 @@ void writeMvqiFile(const CompressedModel &model, const std::string &path,
                    const MvqiWriteOptions &opts = {});
 
 /**
+ * True when MappedFile will use the 64-byte-aligned heap fallback instead
+ * of mmap. Resolved once from MVQ_MVQI_NO_MMAP via the env registry;
+ * setMvqiHeapFallback is the programmatic override (tests exercising both
+ * loaders in one process — registry reads are sticky by design).
+ */
+bool mvqiHeapFallback();
+void setMvqiHeapFallback(bool on);
+
+/**
  * Read-only mapping of a file: mmap on POSIX, a 64-byte-aligned heap copy
  * elsewhere (or when MVQ_MVQI_NO_MMAP=1 forces the fallback for testing).
  * Fatal on open/stat/map failure or an empty file.

@@ -48,6 +48,10 @@ StreamArtifact::packedOperands(std::int64_t i, std::int64_t groups) const
             " out of range [0, ", layerCount(), ")");
     const std::int64_t g = groups == 0 ? 1 : groups;
     const auto key = std::make_pair(i, g);
+    // Serializes concurrent first-touch packs of the same layer (the
+    // mmap backend has the same contract; model_ itself is immutable
+    // after construction and needs no lock).
+    std::lock_guard<std::mutex> lk(mu_);
     if (auto it = cache_.find(key); it != cache_.end())
         return it->second;
     const CompressedLayer &cl = model_.layers[static_cast<std::size_t>(i)];

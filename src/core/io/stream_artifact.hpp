@@ -11,6 +11,7 @@
 #define MVQ_CORE_IO_STREAM_ARTIFACT_HPP
 
 #include <map>
+#include <mutex>
 #include <utility>
 
 #include "core/io/model_artifact.hpp"
@@ -39,6 +40,8 @@ class StreamArtifact : public ModelArtifact
     std::string path_;
     std::int64_t size_bytes_ = 0;
     CompressedModel model_;
+    /** Guards cache_ against concurrent packedOperands calls. */
+    mutable std::mutex mu_;
     /** packedOperands cache keyed by (layer, groups). */
     mutable std::map<std::pair<std::int64_t, std::int64_t>, SharedOperands>
         cache_;

@@ -7,11 +7,11 @@
 namespace mvq::nn {
 
 BatchNorm2d::BatchNorm2d(std::string name, std::int64_t chans,
-                         float momentum, float eps)
+                         float momentum_val, float epsilon)
     : name_(std::move(name)),
       channels(chans),
-      momentum(momentum),
-      eps(eps),
+      momentum(momentum_val),
+      eps(epsilon),
       gamma_(name_ + ".gamma", Tensor(Shape({chans}), 1.0f)),
       beta_(name_ + ".beta", Tensor(Shape({chans}))),
       runningMean(Shape({chans})),

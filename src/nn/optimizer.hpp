@@ -32,8 +32,10 @@ class Optimizer
 class Sgd : public Optimizer
 {
   public:
-    explicit Sgd(float lr, float momentum = 0.9f, float weight_decay = 0.0f)
-        : lr(lr), momentum(momentum), weightDecay(weight_decay)
+    explicit Sgd(float learning_rate, float momentum_val = 0.9f,
+                 float weight_decay = 0.0f)
+        : lr(learning_rate), momentum(momentum_val),
+          weightDecay(weight_decay)
     {
     }
 
@@ -52,9 +54,10 @@ class Sgd : public Optimizer
 class Adam : public Optimizer
 {
   public:
-    Adam(float lr, float beta1 = 0.9f, float beta2 = 0.999f,
-         float eps = 1e-8f, float weight_decay = 0.0f, bool adamw = false)
-        : lr(lr), beta1(beta1), beta2(beta2), eps(eps),
+    Adam(float learning_rate, float b1 = 0.9f, float b2 = 0.999f,
+         float epsilon = 1e-8f, float weight_decay = 0.0f,
+         bool adamw = false)
+        : lr(learning_rate), beta1(b1), beta2(b2), eps(epsilon),
           weightDecay(weight_decay), decoupled(adamw)
     {
     }

@@ -14,9 +14,10 @@ namespace mvq::nn {
 class MaxPool2d : public Layer
 {
   public:
-    MaxPool2d(std::string name, std::int64_t kernel, std::int64_t stride,
-              std::int64_t pad = 0)
-        : name_(std::move(name)), kernel(kernel), stride(stride), pad(pad)
+    MaxPool2d(std::string name, std::int64_t kernel_size,
+              std::int64_t stride_size, std::int64_t pad_size = 0)
+        : name_(std::move(name)), kernel(kernel_size), stride(stride_size),
+          pad(pad_size)
     {
     }
 
@@ -37,8 +38,9 @@ class MaxPool2d : public Layer
 class AvgPool2d : public Layer
 {
   public:
-    AvgPool2d(std::string name, std::int64_t kernel, std::int64_t stride)
-        : name_(std::move(name)), kernel(kernel), stride(stride)
+    AvgPool2d(std::string name, std::int64_t kernel_size,
+              std::int64_t stride_size)
+        : name_(std::move(name)), kernel(kernel_size), stride(stride_size)
     {
     }
 

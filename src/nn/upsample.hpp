@@ -14,8 +14,8 @@ namespace mvq::nn {
 class UpsampleNearest : public Layer
 {
   public:
-    UpsampleNearest(std::string name, std::int64_t factor)
-        : name_(std::move(name)), factor(factor)
+    UpsampleNearest(std::string name, std::int64_t scale)
+        : name_(std::move(name)), factor(scale)
     {
     }
 

@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/env.hpp"
 #include "common/logging.hpp"
 #include "common/parallel.hpp"
 #include "common/simd_dispatch.hpp"
@@ -1371,11 +1372,10 @@ fusedConvEnabled()
 {
     int v = g_fused_conv.load(std::memory_order_acquire);
     if (v < 0) {
-        const char *env = std::getenv("MVQ_FUSED_CONV");
-        v = (env != nullptr
-             && (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0))
-            ? 0
-            : 1;
+        // The registry caches the raw environment read; this atomic only
+        // keeps the per-forward query a single load (and carries the
+        // programmatic setFusedConvEnabled override).
+        v = env::flag("MVQ_FUSED_CONV", true) ? 1 : 0;
         g_fused_conv.store(v, std::memory_order_release);
     }
     return v == 1;
@@ -1392,11 +1392,7 @@ sparseMultiRowEnabled()
 {
     int v = g_sparse_multirow.load(std::memory_order_acquire);
     if (v < 0) {
-        const char *env = std::getenv("MVQ_SPARSE_MULTIROW");
-        v = (env != nullptr
-             && (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0))
-            ? 0
-            : 1;
+        v = env::flag("MVQ_SPARSE_MULTIROW", true) ? 1 : 0;
         g_sparse_multirow.store(v, std::memory_order_release);
     }
     return v == 1;

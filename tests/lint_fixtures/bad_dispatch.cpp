@@ -1,0 +1,18 @@
+// Known-bad snippet for mvq_lint --selftest: a Kernels table that
+// leaves a function-pointer slot nullptr and populates too few entries.
+// The first caller of the missing slot would crash. NOT compiled.
+#include "common/simd_dispatch.hpp"
+
+namespace mvq::simd {
+namespace {
+
+constexpr Kernels kBadKernels = {
+    Isa::Scalar, "scalar",
+    /*mr=*/4, /*nr=*/8,
+    &gemmMicroScalar,
+    nullptr, // gemmSparseMicroKernel left unpopulated
+    &assignBestDenseScalar,
+};
+
+} // namespace
+} // namespace mvq::simd

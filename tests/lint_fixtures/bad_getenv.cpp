@@ -1,0 +1,11 @@
+// Known-bad snippet for mvq_lint --selftest: raw std::getenv outside
+// src/common/env.cpp. Scattered getenv calls race first use and dodge
+// the MVQ_ENV_HELP enumeration; all reads go through mvq::env.
+// NOT compiled; linted only.
+#include <cstdlib>
+
+const char *
+homeDir()
+{
+    return std::getenv("HOME");
+}

@@ -1,0 +1,11 @@
+// Known-bad snippet for mvq_lint --selftest: include guard does not
+// follow the MVQ_<PATH>_HPP convention (pretend path src/nn/bad_guard.hpp
+// demands MVQ_NN_BAD_GUARD_HPP). NOT compiled; linted only.
+#ifndef BAD_GUARD_H_
+#define BAD_GUARD_H_
+
+namespace mvq::nn {
+int answer();
+} // namespace mvq::nn
+
+#endif // BAD_GUARD_H_

@@ -1,0 +1,16 @@
+// Known-bad snippet for mvq_lint --selftest: raw AVX2 intrinsics in a
+// generic TU. Real code must go through the simd_dispatch.hpp table so
+// scalar/NEON builds stay correct. NOT compiled; linted only.
+#include <immintrin.h>
+
+float
+sumEight(const float *p)
+{
+    __m256 v = _mm256_loadu_ps(p);
+    __m128 lo = _mm256_castps256_ps128(v);
+    __m128 hi = _mm256_extractf128_ps(v, 1);
+    __m128 s = _mm_add_ps(lo, hi);
+    s = _mm_hadd_ps(s, s);
+    s = _mm_hadd_ps(s, s);
+    return _mm_cvtss_f32(s);
+}

@@ -1,0 +1,10 @@
+// Known-bad snippet for mvq_lint --selftest: reads an env knob that is
+// not registered in src/common/env.cpp's kKnobs table (and so also has
+// no README row). NOT compiled; linted only.
+#include "common/env.hpp"
+
+bool
+mysteryFeatureEnabled()
+{
+    return mvq::env::flag("MVQ_UNDOCUMENTED_KNOB", false);
+}

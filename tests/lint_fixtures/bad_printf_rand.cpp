@@ -1,0 +1,13 @@
+// Known-bad snippet for mvq_lint --selftest: C printf and rand() in
+// library code. Logging goes through common/logging.hpp; randomness
+// through mvq::Rng so runs stay reproducible. NOT compiled; linted only.
+#include <cstdio>
+#include <cstdlib>
+
+int
+noisyRoll()
+{
+    const int r = rand() % 6;
+    printf("rolled %d\n", r);
+    return r;
+}

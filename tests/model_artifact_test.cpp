@@ -17,6 +17,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "common/env.hpp"
 #include "common/logging.hpp"
 #include "core/io/mmap_artifact.hpp"
 #include "core/io/model_artifact.hpp"
@@ -215,13 +216,15 @@ TEST_F(ModelArtifactTest, SharedOperandsOutliveTheArtifact)
 
 TEST_F(ModelArtifactTest, HeapFallbackMatchesMmap)
 {
+    const bool saved = io::mvqiHeapFallback();
+    io::setMvqiHeapFallback(false);
     const Tensor mapped = forwardLayer(*io::openArtifact(image_path_), 0,
                                        1, 5);
-    setenv("MVQ_MVQI_NO_MMAP", "1", 1);
+    io::setMvqiHeapFallback(true);
     const auto art = std::make_unique<io::MmapArtifact>(image_path_);
     EXPECT_FALSE(art->mapped());
     const Tensor heap = forwardLayer(*art, 0, 1, 5);
-    unsetenv("MVQ_MVQI_NO_MMAP");
+    io::setMvqiHeapFallback(saved);
     EXPECT_TRUE(tensorsBitIdentical(mapped, heap));
 }
 
@@ -246,7 +249,7 @@ TEST(MvqiGolden, FixturePinsFormatV1)
     const std::vector<std::uint8_t> image =
         io::buildMvqiImage(makeGoldenModel(), goldenWriteOptions());
 
-    if (std::getenv("MVQ_WRITE_GOLDEN") != nullptr) {
+    if (env::isSet("MVQ_WRITE_GOLDEN")) {
         std::ofstream out(golden_path, std::ios::binary | std::ios::trunc);
         ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
         out.write(reinterpret_cast<const char *>(image.data()),

@@ -16,6 +16,7 @@
 #include <cstring>
 #include <vector>
 
+#include "common/env.hpp"
 #include "common/logging.hpp"
 #include "common/parallel.hpp"
 #include "common/simd_dispatch.hpp"
@@ -576,7 +577,7 @@ TEST(SparseMultiRow, GroupedStridedConvMatchesDensifiedForward)
 TEST(SparseMultiRow, KnobDefaultsOnAndToggles)
 {
     MultiRowGuard mguard;
-    if (std::getenv("MVQ_SPARSE_MULTIROW") == nullptr) {
+    if (!env::isSet("MVQ_SPARSE_MULTIROW")) {
         EXPECT_TRUE(sparseMultiRowEnabled());
     }
     setSparseMultiRowEnabled(false);

@@ -36,6 +36,12 @@ const Knob kKnobs[] = {
     {"MVQ_MVQI_NO_MMAP", "flag", "off",
      "load .mvqi images through the 64-byte-aligned heap fallback instead "
      "of mmap"},
+    {"MVQ_SERVE_MAX_BATCH", "int", "8",
+     "serving batcher launches a batched forward once this many images "
+     "are queued (1 disables coalescing)"},
+    {"MVQ_SERVE_DEADLINE_US", "int", "2000",
+     "serving batcher launches a partial batch once the oldest queued "
+     "image has waited this many microseconds (0 = never hold a request)"},
     {"MVQ_ENV_HELP", "flag", "off",
      "print this knob table to stderr on the first environment read"},
     {"MVQ_BENCH_FAST", "flag", "off",
@@ -48,6 +54,9 @@ const Knob kKnobs[] = {
     {"MVQ_BENCH_GATE_MIN_LOAD_SPEEDUP", "real", "0 (gate off)",
      "model_load exits nonzero below this mmap-vs-stream cold-load "
      "speedup floor"},
+    {"MVQ_BENCH_GATE_MIN_IMAGES_PER_SEC", "real", "0 (gate off)",
+     "serve_load exits nonzero below this sustained images/s floor at "
+     "the highest client count"},
     {"MVQ_WRITE_GOLDEN", "flag", "off",
      "model_artifact_test regenerates tests/data/golden_v1.mvqi instead "
      "of checking against it"},

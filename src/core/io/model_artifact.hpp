@@ -15,9 +15,6 @@
  * openArtifact() sniffs the file magic and returns the right backend, so
  * callers are format-agnostic: the same serving code runs from either
  * file, and converting between formats is saveArtifact(artifact->model()).
- *
- * The free functions core::saveModel/loadModel are deprecated shims over
- * this interface.
  */
 
 #ifndef MVQ_CORE_IO_MODEL_ARTIFACT_HPP

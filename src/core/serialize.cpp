@@ -1,7 +1,6 @@
 #include "core/serialize.hpp"
 
 #include <cstring>
-#include <fstream>
 
 #include "common/logging.hpp"
 #include "common/math_util.hpp"
@@ -225,28 +224,6 @@ deserializeModel(const std::vector<std::uint8_t> &data)
         model.layers.push_back(std::move(layer));
     }
     return model;
-}
-
-void
-saveModel(const CompressedModel &model, const std::string &path)
-{
-    const auto bytes = serializeModel(model);
-    std::ofstream out(path, std::ios::binary);
-    fatalIf(!out, "cannot open ", path, " for writing");
-    out.write(reinterpret_cast<const char *>(bytes.data()),
-              static_cast<std::streamsize>(bytes.size()));
-    fatalIf(!out, "short write to ", path);
-}
-
-CompressedModel
-loadModel(const std::string &path)
-{
-    std::ifstream in(path, std::ios::binary);
-    fatalIf(!in, "cannot open ", path);
-    std::vector<std::uint8_t> bytes(
-        (std::istreambuf_iterator<char>(in)),
-        std::istreambuf_iterator<char>());
-    return deserializeModel(bytes);
 }
 
 } // namespace mvq::core

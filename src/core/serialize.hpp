@@ -74,18 +74,6 @@ std::vector<std::uint8_t> serializeModel(const CompressedModel &model);
 /** Inverse of serializeModel; fatal on a malformed buffer. */
 CompressedModel deserializeModel(const std::vector<std::uint8_t> &data);
 
-/** Write the serialized model to a file.
- *  @deprecated Use core::io::saveArtifact (core/io/model_artifact.hpp),
- *  which also writes the mmap-able MVQI format. */
-[[deprecated("use core::io::saveArtifact")]]
-void saveModel(const CompressedModel &model, const std::string &path);
-
-/** Read a model back from a file.
- *  @deprecated Use core::io::openArtifact (core/io/model_artifact.hpp),
- *  which reads both the stream and the MVQI format. */
-[[deprecated("use core::io::openArtifact")]]
-CompressedModel loadModel(const std::string &path);
-
 } // namespace mvq::core
 
 #endif // MVQ_CORE_SERIALIZE_HPP

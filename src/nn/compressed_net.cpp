@@ -1,0 +1,44 @@
+#include "nn/compressed_net.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "core/io/model_artifact.hpp"
+
+namespace mvq::nn {
+
+CompressedNet::CompressedNet(const core::io::ModelArtifact &artifact,
+                             const std::vector<ConvGeomSpec> &geom)
+{
+    const std::int64_t n = artifact.layerCount();
+    fatalIf(n == 0, "CompressedNet: artifact ", artifact.path(),
+            " has no layers");
+    fatalIf(!geom.empty() && static_cast<std::int64_t>(geom.size()) != n,
+            "CompressedNet: ", geom.size(), " geometry entries for ", n,
+            " layers (pass one per layer, or none for stride 1 / pad 1)");
+
+    layers_.reserve(static_cast<std::size_t>(n));
+    for (std::int64_t i = 0; i < n; ++i) {
+        const ConvGeomSpec g =
+            geom.empty() ? ConvGeomSpec{} : geom[static_cast<std::size_t>(i)];
+        // packedOperands(i) serves the artifact's baked group count (or 1
+        // when nothing is baked) from its shared per-(layer, groups)
+        // cache — this is the zero-copy serving path for MVQI images.
+        layers_.emplace_back(artifact.layerName(i), artifact.layerShape(i),
+                             artifact.packedOperands(i), g.stride, g.pad);
+    }
+    const std::int64_t groups0 = std::max<std::int64_t>(
+        artifact.bakedGroups(0), 1);
+    in_channels_ = artifact.layerShape(0).dim(1) * groups0;
+}
+
+Tensor
+CompressedNet::forward(const Tensor &x) const
+{
+    Tensor y = layers_.front().forward(x);
+    for (std::size_t i = 1; i < layers_.size(); ++i)
+        y = layers_[i].forward(y);
+    return y;
+}
+
+} // namespace mvq::nn

@@ -1,0 +1,214 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "common/env.hpp"
+#include "common/logging.hpp"
+
+namespace mvq::serve {
+
+ServeOptions
+ServeOptions::fromEnv()
+{
+    ServeOptions opts;
+    opts.max_batch = env::int_("MVQ_SERVE_MAX_BATCH", 8);
+    opts.deadline_us = env::int_("MVQ_SERVE_DEADLINE_US", 2000);
+    return opts;
+}
+
+Server::Server(Shape input_chw, BatchForward forward,
+               const ServeOptions &opts)
+    : input_chw_(input_chw), forward_(std::move(forward))
+{
+    fatalIf(input_chw_.rank() != 3,
+            "serve::Server: input shape must be [C, H, W], got ",
+            input_chw_.str());
+    fatalIf(input_chw_.numel() <= 0,
+            "serve::Server: zero-size input shape ", input_chw_.str());
+    fatalIf(!forward_, "serve::Server: null batch-forward callable");
+
+    // Resolve unset policy fields from the env knobs, then validate: a
+    // caller-supplied value and a knob value fail with the same message.
+    const ServeOptions defaults = ServeOptions::fromEnv();
+    max_batch_ = opts.max_batch != 0 ? opts.max_batch : defaults.max_batch;
+    deadline_us_ =
+        opts.deadline_us >= 0 ? opts.deadline_us : defaults.deadline_us;
+    fatalIf(max_batch_ < 1,
+            "serve::Server: max batch (MVQ_SERVE_MAX_BATCH) must be >= 1, "
+            "got ", max_batch_);
+    fatalIf(deadline_us_ < 0,
+            "serve::Server: batching deadline (MVQ_SERVE_DEADLINE_US) must "
+            "be >= 0 microseconds, got ", deadline_us_);
+    clock_ = opts.clock ? opts.clock : std::make_shared<SteadyClock>();
+
+    batcher_ = std::thread([this] { batcherLoop(); });
+}
+
+Server::~Server()
+{
+    shutdown();
+}
+
+std::future<Tensor>
+Server::submit(Tensor image)
+{
+    // Stamp admission time before taking mu_: the lock-order contract
+    // (clock.hpp) forbids clock calls under the queue mutex.
+    const std::int64_t admit_us = clock_->nowMicros();
+
+    auto reject = [this](auto &&...msg) -> void {
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            ++stats_.rejected;
+        }
+        fatal(std::forward<decltype(msg)>(msg)...);
+    };
+    if (image.numel() == 0)
+        reject("serve::Server: rejecting zero-size image (shape ",
+               image.shape().str(), "); expected ", input_chw_.str());
+    if (image.rank() != 3 || image.shape() != input_chw_)
+        reject("serve::Server: rejecting image of shape ",
+               image.shape().str(), "; this server accepts exactly ",
+               input_chw_.str(), " ([C, H, W], one image per request)");
+
+    std::future<Tensor> fut;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (stopping_) {
+            ++stats_.rejected;
+            fatal("serve::Server: rejecting submission after shutdown");
+        }
+        Pending p;
+        p.image = std::move(image);
+        p.admit_us = admit_us;
+        fut = p.promise.get_future();
+        queue_.push_back(std::move(p));
+        ++stats_.admitted;
+    }
+    clock_->notify();
+    return fut;
+}
+
+void
+Server::shutdown()
+{
+    std::lock_guard<std::mutex> sl(shutdown_mu_);
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stopping_ = true;
+    }
+    clock_->notify();
+    if (batcher_.joinable())
+        batcher_.join();
+}
+
+ServerStats
+Server::stats() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return stats_;
+}
+
+void
+Server::batcherLoop()
+{
+    for (;;) {
+        // Phase 1: sleep until there is work or a shutdown request.
+        clock_->waitUntil(kNoDeadline, [this] {
+            std::lock_guard<std::mutex> lk(mu_);
+            return !queue_.empty() || stopping_;
+        });
+
+        // Phase 2: hold the window open for more images — until the
+        // batch fills, the oldest image's deadline passes, or shutdown
+        // flushes (a draining server never waits on the clock).
+        std::int64_t deadline_us = 0;
+        bool drain = false;
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            if (queue_.empty()) {
+                if (stopping_)
+                    return;
+                continue; // spurious wake; nothing to batch yet
+            }
+            drain = stopping_;
+            deadline_us = queue_.front().admit_us + deadline_us_;
+        }
+        if (!drain)
+            clock_->waitUntil(deadline_us, [this] {
+                std::lock_guard<std::mutex> lk(mu_);
+                return static_cast<std::int64_t>(queue_.size())
+                        >= max_batch_
+                    || stopping_;
+            });
+
+        // Phase 3: claim up to max_batch_ images off the front, oldest
+        // first — FIFO claiming is what makes futures complete in
+        // admission order.
+        std::deque<Pending> batch;
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            const std::int64_t take = std::min(
+                max_batch_, static_cast<std::int64_t>(queue_.size()));
+            for (std::int64_t i = 0; i < take; ++i) {
+                batch.push_back(std::move(queue_.front()));
+                queue_.pop_front();
+            }
+            if (take > 0) {
+                ++stats_.batches;
+                stats_.max_batch_served =
+                    std::max(stats_.max_batch_served, take);
+                if (take < max_batch_)
+                    ++stats_.deadline_flushes;
+            }
+        }
+        if (!batch.empty())
+            runBatch(std::move(batch));
+    }
+}
+
+void
+Server::runBatch(std::deque<Pending> &&batch)
+{
+    const std::int64_t b = static_cast<std::int64_t>(batch.size());
+    const std::int64_t img_numel = input_chw_.numel();
+    Tensor stacked(Shape({b, input_chw_.dim(0), input_chw_.dim(1),
+                          input_chw_.dim(2)}));
+    for (std::int64_t i = 0; i < b; ++i)
+        std::memcpy(stacked.data() + i * img_numel,
+                    batch[static_cast<std::size_t>(i)].image.data(),
+                    static_cast<std::size_t>(img_numel) * sizeof(float));
+
+    Tensor out;
+    try {
+        out = forward_(stacked);
+        panicIf(out.rank() != 4 || out.dim(0) != b,
+                "serve::Server: batch forward returned shape ",
+                out.shape().str(), " for a batch of ", b,
+                " images; the model must return rank-4 [B, C, H, W]");
+    } catch (...) {
+        // The whole batch shares the forward, so the whole batch shares
+        // its failure; each client sees the exception on get().
+        for (auto &p : batch)
+            p.promise.set_exception(std::current_exception());
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stats_.served += b;
+    }
+    const std::int64_t out_numel = out.numel() / b;
+    const Shape slab({out.dim(1), out.dim(2), out.dim(3)});
+    for (std::int64_t i = 0; i < b; ++i) {
+        Tensor slice(slab);
+        std::memcpy(slice.data(), out.data() + i * out_numel,
+                    static_cast<std::size_t>(out_numel) * sizeof(float));
+        batch[static_cast<std::size_t>(i)].promise.set_value(
+            std::move(slice));
+    }
+}
+
+} // namespace mvq::serve

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Batched compressed-inference serving runtime. A Server accepts
+ * single-image requests from any number of client threads and returns a
+ * std::future per request; one internal batcher thread coalesces queued
+ * images into batched NCHW forwards — a batch launches as soon as
+ * MVQ_SERVE_MAX_BATCH images are queued, or when the *oldest* queued
+ * image has waited MVQ_SERVE_DEADLINE_US microseconds, whichever comes
+ * first. The forward itself runs on the calling batcher thread and
+ * parallelizes through the shared src/common/parallel pool (the conv
+ * kernels fan (batch, group) pairs and gemm panels across it), so
+ * orchestration stays out of the kernels — the batcher never touches
+ * pool internals and the kernels never see the queue.
+ *
+ * Determinism: batch composition is driven entirely through the
+ * injected serve::Clock, so tests with a ManualClock get bit-reproducible
+ * batching; and because the batched forward computes every image's
+ * output slab independently (per-(batch, group) gemms under the
+ * repo-wide determinism contract), a batched forward is bit-identical
+ * to running the same images through batch-1 forwards sequentially —
+ * batching is a pure latency/throughput trade, never an accuracy one.
+ * tests/serve_test.cpp memcmp-gates this across the MVQ_SIMD matrix.
+ *
+ * Threading contract: submit()/shutdown()/stats() are safe from any
+ * thread. Futures complete in admission order (one FIFO queue, one
+ * batcher, promises fulfilled in queue order). No clock method is ever
+ * called while holding the queue mutex (see clock.hpp's lock-order
+ * contract). See docs/SERVING.md for the data flow and tuning guide.
+ */
+
+#ifndef MVQ_SERVE_SERVER_HPP
+#define MVQ_SERVE_SERVER_HPP
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "serve/clock.hpp"
+#include "tensor/tensor.hpp"
+
+namespace mvq::serve {
+
+/** Batching policy + time source. Default-constructed fields mean "use
+ *  the registered env knobs / the real clock". */
+struct ServeOptions
+{
+    /** Launch a batch once this many images are queued (>= 1). */
+    std::int64_t max_batch = 0; //!< 0 -> MVQ_SERVE_MAX_BATCH (default 8)
+
+    /** Launch a partial batch once the oldest queued image has waited
+     *  this long, in microseconds (0 = never hold an image back). */
+    std::int64_t deadline_us = -1; //!< <0 -> MVQ_SERVE_DEADLINE_US (2000)
+
+    /** Time source; null -> a SteadyClock owned by the server. Tests
+     *  inject a ManualClock to make batching deterministic. */
+    std::shared_ptr<Clock> clock;
+
+    /** Resolve unset fields from the env-knob registry. */
+    static ServeOptions fromEnv();
+};
+
+/** Monotonic serving counters (a consistent snapshot under one lock). */
+struct ServerStats
+{
+    std::int64_t admitted = 0;  //!< requests accepted into the queue
+    std::int64_t served = 0;    //!< futures fulfilled with a result
+    std::int64_t rejected = 0;  //!< submissions refused with diagnostics
+    std::int64_t batches = 0;   //!< batched forwards launched
+    std::int64_t max_batch_served = 0; //!< largest batch launched
+    std::int64_t deadline_flushes = 0; //!< batches launched by deadline,
+                                       //!< not by reaching max_batch
+};
+
+/**
+ * The serving engine. `forward` is the model: it takes a stacked
+ * [B, C, H, W] tensor and must return a rank-4 tensor whose dim(0) == B
+ * (nn::CompressedNet::forward over shared ModelArtifact operands is the
+ * intended implementation; any callable with the same contract serves).
+ */
+class Server
+{
+  public:
+    using BatchForward = std::function<Tensor(const Tensor &)>;
+
+    /**
+     * @param input_chw Expected per-request image shape [C, H, W];
+     *        submissions with any other shape are rejected.
+     * @param forward   The batched model forward (see class contract).
+     * @param opts      Batching policy; defaults to the env knobs.
+     */
+    Server(Shape input_chw, BatchForward forward,
+           const ServeOptions &opts = ServeOptions::fromEnv());
+
+    /** Drains and joins (shutdown()). */
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Admit one image. The future resolves to the model's output slab
+     * for this image ([C_out, H_out, W_out]) once its batch completes;
+     * if the batched forward throws, every future in the batch carries
+     * that exception. Rejects (throws FatalError, counts `rejected`)
+     * zero-size or wrongly-shaped images and submissions after
+     * shutdown().
+     */
+    std::future<Tensor> submit(Tensor image);
+
+    /**
+     * Stop admitting, flush every queued request (deadline ignored —
+     * queued work never waits on a clock that may no longer advance),
+     * and join the batcher. Idempotent; the destructor calls it.
+     */
+    void shutdown();
+
+    ServerStats stats() const;
+
+    /** The batching policy in effect (post env resolution). */
+    std::int64_t maxBatch() const { return max_batch_; }
+    std::int64_t deadlineMicros() const { return deadline_us_; }
+
+  private:
+    struct Pending
+    {
+        Tensor image;
+        std::promise<Tensor> promise;
+        std::int64_t admit_us;
+    };
+
+    void batcherLoop();
+    void runBatch(std::deque<Pending> &&batch);
+
+    Shape input_chw_;
+    BatchForward forward_;
+    std::int64_t max_batch_;
+    std::int64_t deadline_us_;
+    std::shared_ptr<Clock> clock_;
+
+    mutable std::mutex mu_;
+    std::deque<Pending> queue_;
+    bool stopping_ = false;
+    ServerStats stats_;
+
+    std::mutex shutdown_mu_; //!< serializes concurrent shutdown()/dtor
+
+    std::thread batcher_; //!< last member: joins before the rest dies
+};
+
+} // namespace mvq::serve
+
+#endif // MVQ_SERVE_SERVER_HPP

@@ -136,23 +136,6 @@ TEST(Serialize, SaveLoadFile)
     std::remove(path.c_str());
 }
 
-TEST(Serialize, DeprecatedShimsStillWork)
-{
-    // Out-of-tree callers keep compiling (with a [[deprecated]] warning)
-    // and keep getting the old behavior.
-    CompressedModel model = makeModel();
-    const std::string path = "/tmp/mvq_serialize_shim_test.mvq";
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    saveModel(model, path);
-    CompressedModel back = loadModel(path);
-#pragma GCC diagnostic pop
-    EXPECT_FLOAT_EQ(
-        maxAbsDiff(model.reconstructLayer(0), back.reconstructLayer(0)),
-        0.0f);
-    std::remove(path.c_str());
-}
-
 /** Round-trip must hold for every N:M pattern / k / grouping combo. */
 class SerializeSweep
     : public ::testing::TestWithParam<std::tuple<int, int, int>>

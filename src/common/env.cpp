@@ -42,6 +42,18 @@ const Knob kKnobs[] = {
     {"MVQ_SERVE_DEADLINE_US", "int", "2000",
      "serving batcher launches a partial batch once the oldest queued "
      "image has waited this many microseconds (0 = never hold a request)"},
+    {"MVQ_SERVE_MAX_QUEUE", "int", "1024",
+     "serving admission-queue depth cap; over-limit submits are shed "
+     "fast with a typed QueueFull rejection"},
+    {"MVQ_SERVE_REQUEST_TIMEOUT_US", "int", "0 (no deadline)",
+     "default per-request deadline in microseconds; expired requests "
+     "are dropped before the forward with a DeadlineExpired error"},
+    {"MVQ_SERVE_FAIL_THRESHOLD", "int", "8",
+     "consecutive failed batches before serving health goes Failed and "
+     "the server stops admitting"},
+    {"MVQ_FAULT_PLAN", "string", "(none)",
+     "deterministic fault-injection plan, e.g. 'serve.forward:nth=2;"
+     "artifact.open:every=3:mode=error' (see common/fault.hpp)"},
     {"MVQ_ENV_HELP", "flag", "off",
      "print this knob table to stderr on the first environment read"},
     {"MVQ_BENCH_FAST", "flag", "off",

@@ -2,11 +2,22 @@
 
 #include <cstring>
 
+#include "common/fault.hpp"
 #include "common/logging.hpp"
 
 namespace mvq::core::io {
 
 namespace {
+
+/** Map the image file. The fault site sits in front of the OS call so
+ *  tests can script open failures without touching the filesystem. */
+std::shared_ptr<MappedFile>
+openMapped(const std::string &path)
+{
+    fault::checkpoint(fault::kArtifactOpen,
+                      "opening mmap model image");
+    return std::make_shared<MappedFile>(path);
+}
 
 template <typename T>
 OperandArray<T>
@@ -48,8 +59,7 @@ struct OperandHolder
 } // namespace
 
 MmapArtifact::MmapArtifact(const std::string &path)
-    : map_(std::make_shared<MappedFile>(path)),
-      view_(map_->data(), map_->size(), path)
+    : map_(openMapped(path)), view_(map_->data(), map_->size(), path)
 {
 }
 
@@ -137,6 +147,8 @@ MmapArtifact::packedOperands(std::int64_t i, std::int64_t groups) const
 {
     panicIf(i < 0 || i >= layerCount(), "layer index ", i,
             " out of range [0, ", layerCount(), ")");
+    fault::checkpoint(fault::kOperandBorrow,
+                      "borrowing packed operands from mmap image");
     const std::int64_t baked = bakedGroups(i);
     const std::int64_t g = groups == 0 ? baked : groups;
     const auto key = std::make_pair(i, g);

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <iterator>
 
+#include "common/fault.hpp"
 #include "common/logging.hpp"
 #include "core/serialize.hpp"
 
@@ -10,6 +11,8 @@ namespace mvq::core::io {
 
 StreamArtifact::StreamArtifact(const std::string &path) : path_(path)
 {
+    fault::checkpoint(fault::kArtifactOpen,
+                      "opening stream model file");
     std::ifstream in(path, std::ios::binary);
     fatalIf(!in, "cannot open model file ", path);
     const std::vector<std::uint8_t> bytes(
@@ -46,6 +49,8 @@ StreamArtifact::packedOperands(std::int64_t i, std::int64_t groups) const
 {
     panicIf(i < 0 || i >= layerCount(), "layer index ", i,
             " out of range [0, ", layerCount(), ")");
+    fault::checkpoint(fault::kOperandBorrow,
+                      "packing operands from streamed model");
     const std::int64_t g = groups == 0 ? 1 : groups;
     const auto key = std::make_pair(i, g);
     // Serializes concurrent first-touch packs of the same layer (the

@@ -35,6 +35,15 @@ CompressedNet::CompressedNet(const core::io::ModelArtifact &artifact,
 Tensor
 CompressedNet::forward(const Tensor &x) const
 {
+    // Diagnose shape mismatches here, by name, instead of letting the
+    // first conv panic deep inside the im2col indexing — a serving
+    // stack feeds this from untrusted requests and wants FatalError.
+    fatalIf(x.rank() != 4, "CompressedNet::forward: input must be rank-4 "
+            "[B, C, H, W], got ", x.shape().str());
+    fatalIf(x.dim(1) != in_channels_,
+            "CompressedNet::forward: input has ", x.dim(1),
+            " channels but layer '", layers_.front().name(), "' expects ",
+            in_channels_, " (input shape ", x.shape().str(), ")");
     Tensor y = layers_.front().forward(x);
     for (std::size_t i = 1; i < layers_.size(); ++i)
         y = layers_[i].forward(y);

@@ -3,11 +3,45 @@
 #include <algorithm>
 #include <cstring>
 #include <utility>
+#include <vector>
 
 #include "common/env.hpp"
+#include "common/fault.hpp"
 #include "common/logging.hpp"
 
 namespace mvq::serve {
+
+const char *
+rejectReasonName(RejectReason r)
+{
+    switch (r) {
+      case RejectReason::InvalidRequest:
+        return "invalid_request";
+      case RejectReason::QueueFull:
+        return "queue_full";
+      case RejectReason::DeadlineExpired:
+        return "deadline_expired";
+      case RejectReason::Shutdown:
+        return "shutdown";
+      case RejectReason::Unhealthy:
+        return "unhealthy";
+    }
+    return "unknown";
+}
+
+const char *
+healthName(Health h)
+{
+    switch (h) {
+      case Health::Healthy:
+        return "healthy";
+      case Health::Degraded:
+        return "degraded";
+      case Health::Failed:
+        return "failed";
+    }
+    return "unknown";
+}
 
 ServeOptions
 ServeOptions::fromEnv()
@@ -15,6 +49,9 @@ ServeOptions::fromEnv()
     ServeOptions opts;
     opts.max_batch = env::int_("MVQ_SERVE_MAX_BATCH", 8);
     opts.deadline_us = env::int_("MVQ_SERVE_DEADLINE_US", 2000);
+    opts.max_queue = env::int_("MVQ_SERVE_MAX_QUEUE", 1024);
+    opts.request_timeout_us = env::int_("MVQ_SERVE_REQUEST_TIMEOUT_US", 0);
+    opts.fail_threshold = env::int_("MVQ_SERVE_FAIL_THRESHOLD", 8);
     return opts;
 }
 
@@ -35,12 +72,27 @@ Server::Server(Shape input_chw, BatchForward forward,
     max_batch_ = opts.max_batch != 0 ? opts.max_batch : defaults.max_batch;
     deadline_us_ =
         opts.deadline_us >= 0 ? opts.deadline_us : defaults.deadline_us;
+    max_queue_ = opts.max_queue != 0 ? opts.max_queue : defaults.max_queue;
+    request_timeout_us_ = opts.request_timeout_us >= 0
+        ? opts.request_timeout_us
+        : defaults.request_timeout_us;
+    fail_threshold_ = opts.fail_threshold != 0 ? opts.fail_threshold
+                                               : defaults.fail_threshold;
     fatalIf(max_batch_ < 1,
             "serve::Server: max batch (MVQ_SERVE_MAX_BATCH) must be >= 1, "
             "got ", max_batch_);
     fatalIf(deadline_us_ < 0,
             "serve::Server: batching deadline (MVQ_SERVE_DEADLINE_US) must "
             "be >= 0 microseconds, got ", deadline_us_);
+    fatalIf(max_queue_ < 1,
+            "serve::Server: queue cap (MVQ_SERVE_MAX_QUEUE) must be >= 1, "
+            "got ", max_queue_);
+    fatalIf(request_timeout_us_ < 0,
+            "serve::Server: request timeout (MVQ_SERVE_REQUEST_TIMEOUT_US) "
+            "must be >= 0 microseconds, got ", request_timeout_us_);
+    fatalIf(fail_threshold_ < 1,
+            "serve::Server: failure threshold (MVQ_SERVE_FAIL_THRESHOLD) "
+            "must be >= 1, got ", fail_threshold_);
     clock_ = opts.clock ? opts.clock : std::make_shared<SteadyClock>();
 
     batcher_ = std::thread([this] { batcherLoop(); });
@@ -57,19 +109,40 @@ Server::submit(Tensor image)
     // Stamp admission time before taking mu_: the lock-order contract
     // (clock.hpp) forbids clock calls under the queue mutex.
     const std::int64_t admit_us = clock_->nowMicros();
+    const std::int64_t deadline_us = request_timeout_us_ > 0
+        ? admit_us + request_timeout_us_
+        : kNoDeadline;
+    return submitAt(std::move(image), admit_us, deadline_us);
+}
 
-    auto reject = [this](auto &&...msg) -> void {
+std::future<Tensor>
+Server::submitWithDeadline(Tensor image, std::int64_t deadline_us)
+{
+    const std::int64_t admit_us = clock_->nowMicros();
+    return submitAt(std::move(image), admit_us, deadline_us);
+}
+
+std::future<Tensor>
+Server::submitAt(Tensor image, std::int64_t admit_us,
+                 std::int64_t deadline_us)
+{
+    auto reject = [this](RejectReason why, auto &&...msg) -> void {
         {
             std::lock_guard<std::mutex> lk(mu_);
             ++stats_.rejected;
+            if (why == RejectReason::QueueFull)
+                ++stats_.shed;
         }
-        fatal(std::forward<decltype(msg)>(msg)...);
+        throw RejectedError(
+            why, detail::concat(std::forward<decltype(msg)>(msg)...));
     };
     if (image.numel() == 0)
-        reject("serve::Server: rejecting zero-size image (shape ",
+        reject(RejectReason::InvalidRequest,
+               "serve::Server: rejecting zero-size image (shape ",
                image.shape().str(), "); expected ", input_chw_.str());
     if (image.rank() != 3 || image.shape() != input_chw_)
-        reject("serve::Server: rejecting image of shape ",
+        reject(RejectReason::InvalidRequest,
+               "serve::Server: rejecting image of shape ",
                image.shape().str(), "; this server accepts exactly ",
                input_chw_.str(), " ([C, H, W], one image per request)");
 
@@ -78,11 +151,34 @@ Server::submit(Tensor image)
         std::lock_guard<std::mutex> lk(mu_);
         if (stopping_) {
             ++stats_.rejected;
-            fatal("serve::Server: rejecting submission after shutdown");
+            throw RejectedError(
+                RejectReason::Shutdown,
+                "serve::Server: rejecting submission after shutdown");
+        }
+        if (health_ == Health::Failed) {
+            ++stats_.rejected;
+            throw RejectedError(
+                RejectReason::Unhealthy,
+                detail::concat(
+                    "serve::Server: rejecting submission: serving health "
+                    "is failed (", consecutive_failures_,
+                    " consecutive batch failures, threshold ",
+                    fail_threshold_, "; MVQ_SERVE_FAIL_THRESHOLD)"));
+        }
+        if (static_cast<std::int64_t>(queue_.size()) >= max_queue_) {
+            ++stats_.rejected;
+            ++stats_.shed;
+            throw RejectedError(
+                RejectReason::QueueFull,
+                detail::concat(
+                    "serve::Server: shedding submission: admission queue "
+                    "full (", max_queue_,
+                    " queued; MVQ_SERVE_MAX_QUEUE)"));
         }
         Pending p;
         p.image = std::move(image);
         p.admit_us = admit_us;
+        p.deadline_us = deadline_us;
         fut = p.promise.get_future();
         queue_.push_back(std::move(p));
         ++stats_.admitted;
@@ -111,6 +207,13 @@ Server::stats() const
     return stats_;
 }
 
+Health
+Server::health() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return health_;
+}
+
 void
 Server::batcherLoop()
 {
@@ -122,9 +225,11 @@ Server::batcherLoop()
         });
 
         // Phase 2: hold the window open for more images — until the
-        // batch fills, the oldest image's deadline passes, or shutdown
-        // flushes (a draining server never waits on the clock).
-        std::int64_t deadline_us = 0;
+        // batch fills, the oldest image's flush deadline passes, the
+        // earliest *request* deadline passes (so expiry decisions fire
+        // exactly on time under a ManualClock), or shutdown flushes (a
+        // draining server never waits on the clock).
+        std::int64_t wake_us = 0;
         bool drain = false;
         {
             std::lock_guard<std::mutex> lk(mu_);
@@ -134,36 +239,71 @@ Server::batcherLoop()
                 continue; // spurious wake; nothing to batch yet
             }
             drain = stopping_;
-            deadline_us = queue_.front().admit_us + deadline_us_;
+            wake_us = queue_.front().admit_us + deadline_us_;
+            for (const Pending &p : queue_)
+                wake_us = std::min(wake_us, p.deadline_us);
         }
         if (!drain)
-            clock_->waitUntil(deadline_us, [this] {
+            clock_->waitUntil(wake_us, [this] {
                 std::lock_guard<std::mutex> lk(mu_);
                 return static_cast<std::int64_t>(queue_.size())
                         >= max_batch_
                     || stopping_;
             });
 
-        // Phase 3: claim up to max_batch_ images off the front, oldest
-        // first — FIFO claiming is what makes futures complete in
-        // admission order.
+        // Scripted stall (tests only; free when unarmed): skip one
+        // claim cycle so a test can delay a launch deterministically.
+        // Never stalls a drain — shutdown always completes.
+        if (!drain && fault::fires(fault::kBatcherStall))
+            continue;
+
+        // Phase 3: expire, then claim. The clock is read before taking
+        // mu_ (lock-order contract), and expired requests leave the
+        // queue before the batch is chosen — an expired request can
+        // never reach the forward.
+        const std::int64_t now = clock_->nowMicros();
         std::deque<Pending> batch;
+        std::vector<Pending> expired;
         {
             std::lock_guard<std::mutex> lk(mu_);
-            const std::int64_t take = std::min(
-                max_batch_, static_cast<std::int64_t>(queue_.size()));
-            for (std::int64_t i = 0; i < take; ++i) {
-                batch.push_back(std::move(queue_.front()));
-                queue_.pop_front();
+            for (auto it = queue_.begin(); it != queue_.end();) {
+                if (it->deadline_us <= now) {
+                    expired.push_back(std::move(*it));
+                    it = queue_.erase(it);
+                    ++stats_.expired;
+                } else {
+                    ++it;
+                }
             }
-            if (take > 0) {
-                ++stats_.batches;
-                stats_.max_batch_served =
-                    std::max(stats_.max_batch_served, take);
-                if (take < max_batch_)
-                    ++stats_.deadline_flushes;
+            drain = stopping_;
+            const bool full =
+                static_cast<std::int64_t>(queue_.size()) >= max_batch_;
+            const bool flush = !queue_.empty()
+                && now >= queue_.front().admit_us + deadline_us_;
+            if (drain || full || flush) {
+                const std::int64_t take = std::min(
+                    max_batch_, static_cast<std::int64_t>(queue_.size()));
+                for (std::int64_t i = 0; i < take; ++i) {
+                    batch.push_back(std::move(queue_.front()));
+                    queue_.pop_front();
+                }
+                if (take > 0) {
+                    ++stats_.batches;
+                    stats_.max_batch_served =
+                        std::max(stats_.max_batch_served, take);
+                    if (take < max_batch_)
+                        ++stats_.deadline_flushes;
+                }
             }
         }
+        for (Pending &p : expired)
+            p.promise.set_exception(std::make_exception_ptr(RejectedError(
+                RejectReason::DeadlineExpired,
+                detail::concat(
+                    "serve::Server: request deadline expired before its "
+                    "batch launched (deadline ", p.deadline_us,
+                    " us, now ", now,
+                    " us; MVQ_SERVE_REQUEST_TIMEOUT_US)"))));
         if (!batch.empty())
             runBatch(std::move(batch));
     }
@@ -183,14 +323,27 @@ Server::runBatch(std::deque<Pending> &&batch)
 
     Tensor out;
     try {
+        fault::checkpoint(fault::kServeForward,
+                          "serve::Server: batched forward");
         out = forward_(stacked);
         panicIf(out.rank() != 4 || out.dim(0) != b,
                 "serve::Server: batch forward returned shape ",
                 out.shape().str(), " for a batch of ", b,
                 " images; the model must return rank-4 [B, C, H, W]");
     } catch (...) {
-        // The whole batch shares the forward, so the whole batch shares
-        // its failure; each client sees the exception on get().
+        // Batch isolation: the whole batch shares the forward, so the
+        // whole batch shares its failure — but only this batch. Health
+        // moves first so a client that observes the failure on get()
+        // already sees the updated state.
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            ++stats_.failed_batches;
+            ++consecutive_failures_;
+            if (health_ != Health::Failed)
+                health_ = consecutive_failures_ >= fail_threshold_
+                    ? Health::Failed
+                    : Health::Degraded;
+        }
         for (auto &p : batch)
             p.promise.set_exception(std::current_exception());
         return;
@@ -199,6 +352,11 @@ Server::runBatch(std::deque<Pending> &&batch)
     {
         std::lock_guard<std::mutex> lk(mu_);
         stats_.served += b;
+        consecutive_failures_ = 0;
+        // Failed is sticky: a server past the threshold drains its
+        // queue but needs a restart to admit again.
+        if (health_ == Health::Degraded)
+            health_ = Health::Healthy;
     }
     const std::int64_t out_numel = out.numel() / b;
     const Shape slab({out.dim(1), out.dim(2), out.dim(3)});

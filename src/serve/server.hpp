@@ -12,6 +12,27 @@
  * orchestration stays out of the kernels — the batcher never touches
  * pool internals and the kernels never see the queue.
  *
+ * Overload safety (docs/SERVING.md "Overload & failure semantics"):
+ *  - Bounded admission: at most MVQ_SERVE_MAX_QUEUE requests may be
+ *    queued; over-limit submits fail fast with RejectedError carrying
+ *    RejectReason::QueueFull (counted in stats().shed) instead of
+ *    growing an unbounded backlog.
+ *  - Per-request deadlines: every request carries an absolute deadline
+ *    (admit time + MVQ_SERVE_REQUEST_TIMEOUT_US by default, or an
+ *    explicit one via submitWithDeadline; 0 timeout = none). The
+ *    batcher drops expired requests *before* launching the forward and
+ *    completes their futures with RejectReason::DeadlineExpired —
+ *    every expiry decision reads the injected Clock, so expiry under a
+ *    ManualClock is exactly as deterministic as batching.
+ *  - Batch isolation + health: a throwing forward fails only its own
+ *    batch (each member future carries the exception) and the server
+ *    keeps serving. health() reports Healthy / Degraded (at least one
+ *    consecutive failure) / Failed (MVQ_SERVE_FAIL_THRESHOLD
+ *    consecutive failures — sticky, stops admitting; queued requests
+ *    still drain). Health is updated *before* the failing batch's
+ *    futures complete, so a client that observed the threshold-th
+ *    failure reads the Failed state.
+ *
  * Determinism: batch composition is driven entirely through the
  * injected serve::Clock, so tests with a ManualClock get bit-reproducible
  * batching; and because the batched forward computes every image's
@@ -19,13 +40,16 @@
  * repo-wide determinism contract), a batched forward is bit-identical
  * to running the same images through batch-1 forwards sequentially —
  * batching is a pure latency/throughput trade, never an accuracy one.
- * tests/serve_test.cpp memcmp-gates this across the MVQ_SIMD matrix.
+ * tests/serve_test.cpp memcmp-gates this across the MVQ_SIMD matrix;
+ * tests/serve_robustness_test.cpp drives the overload paths the same
+ * way.
  *
- * Threading contract: submit()/shutdown()/stats() are safe from any
- * thread. Futures complete in admission order (one FIFO queue, one
- * batcher, promises fulfilled in queue order). No clock method is ever
- * called while holding the queue mutex (see clock.hpp's lock-order
- * contract). See docs/SERVING.md for the data flow and tuning guide.
+ * Threading contract: submit()/shutdown()/stats()/health() are safe
+ * from any thread. Futures complete in admission order (one FIFO
+ * queue, one batcher, promises fulfilled in queue order). No clock
+ * method is ever called while holding the queue mutex (see clock.hpp's
+ * lock-order contract). See docs/SERVING.md for the data flow and
+ * tuning guide.
  */
 
 #ifndef MVQ_SERVE_SERVER_HPP
@@ -39,10 +63,56 @@
 #include <mutex>
 #include <thread>
 
+#include "common/logging.hpp"
 #include "serve/clock.hpp"
 #include "tensor/tensor.hpp"
 
 namespace mvq::serve {
+
+/** Why a request was refused (carried by RejectedError). */
+enum class RejectReason
+{
+    InvalidRequest,  //!< wrong shape / zero-size image
+    QueueFull,       //!< admission queue at MVQ_SERVE_MAX_QUEUE
+    DeadlineExpired, //!< dropped by the batcher after its deadline
+    Shutdown,        //!< submitted after shutdown()
+    Unhealthy,       //!< serving health is Failed
+};
+
+/** Stable lowercase name for logs and bench records. */
+const char *rejectReasonName(RejectReason r);
+
+/**
+ * The typed rejection error. Derives from FatalError so existing
+ * catch sites keep working; reason() is the machine-readable cause.
+ * Thrown synchronously by submit (InvalidRequest / QueueFull /
+ * Shutdown / Unhealthy) or delivered through the future
+ * (DeadlineExpired — the request was admitted, then timed out).
+ */
+class RejectedError : public FatalError
+{
+  public:
+    RejectedError(RejectReason reason, const std::string &msg)
+        : FatalError(msg), reason_(reason)
+    {
+    }
+
+    RejectReason reason() const { return reason_; }
+
+  private:
+    RejectReason reason_;
+};
+
+/** Serving health (see class docs for the transition rules). */
+enum class Health
+{
+    Healthy,  //!< last batch (if any) succeeded
+    Degraded, //!< >= 1 consecutive batch failure, still admitting
+    Failed,   //!< threshold reached; sticky, no longer admitting
+};
+
+/** Stable lowercase name for logs and diagnostics. */
+const char *healthName(Health h);
 
 /** Batching policy + time source. Default-constructed fields mean "use
  *  the registered env knobs / the real clock". */
@@ -54,6 +124,19 @@ struct ServeOptions
     /** Launch a partial batch once the oldest queued image has waited
      *  this long, in microseconds (0 = never hold an image back). */
     std::int64_t deadline_us = -1; //!< <0 -> MVQ_SERVE_DEADLINE_US (2000)
+
+    /** Admission-queue depth cap (>= 1); submits beyond it shed with
+     *  QueueFull. */
+    std::int64_t max_queue = 0; //!< 0 -> MVQ_SERVE_MAX_QUEUE (1024)
+
+    /** Default per-request deadline, microseconds after admission
+     *  (0 = requests never expire). */
+    std::int64_t request_timeout_us = -1;
+    //!< <0 -> MVQ_SERVE_REQUEST_TIMEOUT_US (0)
+
+    /** Consecutive failed batches before health goes Failed (>= 1). */
+    std::int64_t fail_threshold = 0;
+    //!< 0 -> MVQ_SERVE_FAIL_THRESHOLD (8)
 
     /** Time source; null -> a SteadyClock owned by the server. Tests
      *  inject a ManualClock to make batching deterministic. */
@@ -69,7 +152,10 @@ struct ServerStats
     std::int64_t admitted = 0;  //!< requests accepted into the queue
     std::int64_t served = 0;    //!< futures fulfilled with a result
     std::int64_t rejected = 0;  //!< submissions refused with diagnostics
+    std::int64_t shed = 0;      //!< rejections with reason QueueFull
+    std::int64_t expired = 0;   //!< admitted, then dropped by deadline
     std::int64_t batches = 0;   //!< batched forwards launched
+    std::int64_t failed_batches = 0;   //!< batches whose forward threw
     std::int64_t max_batch_served = 0; //!< largest batch launched
     std::int64_t deadline_flushes = 0; //!< batches launched by deadline,
                                        //!< not by reaching max_batch
@@ -102,14 +188,26 @@ class Server
     Server &operator=(const Server &) = delete;
 
     /**
-     * Admit one image. The future resolves to the model's output slab
-     * for this image ([C_out, H_out, W_out]) once its batch completes;
-     * if the batched forward throws, every future in the batch carries
-     * that exception. Rejects (throws FatalError, counts `rejected`)
-     * zero-size or wrongly-shaped images and submissions after
-     * shutdown().
+     * Admit one image with the default deadline (admit time +
+     * request_timeout_us; none when the timeout is 0). The future
+     * resolves to the model's output slab for this image
+     * ([C_out, H_out, W_out]) once its batch completes; if the batched
+     * forward throws, every future in the batch carries that
+     * exception; if the request expires first, the future carries
+     * RejectedError(DeadlineExpired). Throws RejectedError
+     * synchronously on invalid images, a full queue, a Failed server,
+     * and submissions after shutdown() (all counted in `rejected`).
      */
     std::future<Tensor> submit(Tensor image);
+
+    /**
+     * Admit one image with an explicit *absolute* deadline on the
+     * server's clock (kNoDeadline = never expires). Deadlines already
+     * in the past are admitted and then expired by the batcher — the
+     * expiry path is the same either way.
+     */
+    std::future<Tensor> submitWithDeadline(Tensor image,
+                                           std::int64_t deadline_us);
 
     /**
      * Stop admitting, flush every queued request (deadline ignored —
@@ -120,9 +218,15 @@ class Server
 
     ServerStats stats() const;
 
+    /** Current serving health (see the transition rules above). */
+    Health health() const;
+
     /** The batching policy in effect (post env resolution). */
     std::int64_t maxBatch() const { return max_batch_; }
     std::int64_t deadlineMicros() const { return deadline_us_; }
+    std::int64_t maxQueue() const { return max_queue_; }
+    std::int64_t requestTimeoutMicros() const { return request_timeout_us_; }
+    std::int64_t failThreshold() const { return fail_threshold_; }
 
   private:
     struct Pending
@@ -130,8 +234,11 @@ class Server
         Tensor image;
         std::promise<Tensor> promise;
         std::int64_t admit_us;
+        std::int64_t deadline_us; //!< absolute; kNoDeadline = never
     };
 
+    std::future<Tensor> submitAt(Tensor image, std::int64_t admit_us,
+                                 std::int64_t deadline_us);
     void batcherLoop();
     void runBatch(std::deque<Pending> &&batch);
 
@@ -139,12 +246,17 @@ class Server
     BatchForward forward_;
     std::int64_t max_batch_;
     std::int64_t deadline_us_;
+    std::int64_t max_queue_;
+    std::int64_t request_timeout_us_;
+    std::int64_t fail_threshold_;
     std::shared_ptr<Clock> clock_;
 
     mutable std::mutex mu_;
     std::deque<Pending> queue_;
     bool stopping_ = false;
     ServerStats stats_;
+    Health health_ = Health::Healthy;
+    std::int64_t consecutive_failures_ = 0;
 
     std::mutex shutdown_mu_; //!< serializes concurrent shutdown()/dtor
 

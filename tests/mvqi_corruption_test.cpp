@@ -15,6 +15,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "common/fault.hpp"
 #include "common/logging.hpp"
 #include "core/io/mmap_artifact.hpp"
 #include "core/io/model_artifact.hpp"
@@ -78,7 +79,12 @@ expectFatal(const std::string &needle)
 class MvqiCorruptionTest : public ::testing::Test
 {
   protected:
-    void TearDown() override { std::remove(kPath); }
+    void
+    TearDown() override
+    {
+        std::remove(kPath);
+        fault::resetAll();
+    }
 
     /** Patch `bytes` of the valid image at `off` and write it out. */
     void
@@ -186,6 +192,42 @@ TEST_F(MvqiCorruptionTest, SemanticOperandCorruption)
     std::memcpy(img.data() + op.col_idx.off, &bogus, sizeof(bogus));
     writeBytes(img);
     expectFatal("corrupt MVQI operand");
+}
+
+TEST_F(MvqiCorruptionTest, OpenFaultSiteFailsCleanlyOnValidImage)
+{
+    // The artifact.open fault site models the OS refusing the mmap (ENOMEM,
+    // EMFILE, a vanished file): even with a perfectly valid image on disk
+    // the open must fail as a diagnosed FatalError, and the failure must
+    // not stick to the path — the next open serves normally.
+    writeBytes(validImage());
+    fault::arm(fault::kArtifactOpen,
+               {/*nth=*/1, /*every=*/0, fault::FaultMode::Error});
+    expectFatal("injected fault at artifact.open");
+    EXPECT_NO_THROW(loadAndUse());
+}
+
+TEST_F(MvqiCorruptionTest, TruncatedThenMmapThroughFaultSite)
+{
+    // A file that shrinks while being served: the first open dies at the
+    // fault site (the "truncated under us" OS-level failure), and a real
+    // truncated image behind it still fails structural validation after
+    // the mmap succeeds. Both failures must be clean FatalErrors — the
+    // mmap path may never SIGBUS or read past its mapping.
+    const auto img = validImage();
+    writeBytes({img.begin(), img.begin() + img.size() / 2});
+    fault::arm(fault::kArtifactOpen,
+               {/*nth=*/1, /*every=*/0, fault::FaultMode::Error});
+    expectFatal("injected fault at artifact.open");
+    expectFatal("size mismatch");
+
+    // Same double failure for the borrow path on an intact image: the
+    // injected borrow error surfaces, then the retry works.
+    writeBytes(img);
+    fault::arm(fault::kOperandBorrow,
+               {/*nth=*/1, /*every=*/0, fault::FaultMode::Error});
+    expectFatal("injected fault at artifact.operand_borrow");
+    EXPECT_NO_THROW(loadAndUse());
 }
 
 TEST_F(MvqiCorruptionTest, DeterministicByteFlipSweep)

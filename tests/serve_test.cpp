@@ -83,6 +83,12 @@ struct FakeClockServer
         ServeOptions opts;
         opts.max_batch = max_batch;
         opts.deadline_us = deadline_us;
+        // Pin the overload policy: CI's hostile-knob matrix runs this
+        // suite under MVQ_SERVE_MAX_QUEUE=1 / MVQ_SERVE_REQUEST_TIMEOUT_US=1
+        // and must not change what these batching tests observe (the
+        // overload paths have their own suite, serve_robustness_test).
+        opts.max_queue = 1024;
+        opts.request_timeout_us = 0;
         opts.clock = clock;
         server = std::make_unique<Server>(chw, std::move(fn), opts);
     }
@@ -96,6 +102,10 @@ TEST(ServeOptionsTest, ResolvesUnsetFieldsFromEnvRegistry)
     Server s(Shape({2, 3, 3}), &affineEcho);
     EXPECT_EQ(s.maxBatch(), env::int_("MVQ_SERVE_MAX_BATCH", 8));
     EXPECT_EQ(s.deadlineMicros(), env::int_("MVQ_SERVE_DEADLINE_US", 2000));
+    EXPECT_EQ(s.maxQueue(), env::int_("MVQ_SERVE_MAX_QUEUE", 1024));
+    EXPECT_EQ(s.requestTimeoutMicros(),
+              env::int_("MVQ_SERVE_REQUEST_TIMEOUT_US", 0));
+    EXPECT_EQ(s.failThreshold(), env::int_("MVQ_SERVE_FAIL_THRESHOLD", 8));
     s.shutdown();
 }
 
@@ -341,6 +351,8 @@ TEST_F(ServeNetTest, BatchedForwardBitIdenticalToSequentialForwards)
         ServeOptions opts;
         opts.max_batch = kImages;
         opts.deadline_us = 1000000;
+        opts.max_queue = 1024;       // pinned against the hostile-knob
+        opts.request_timeout_us = 0; // CI matrix (see FakeClockServer)
         Server server(Shape({net_->inChannels(), 6, 6}),
                       [this](const Tensor &x) { return net_->forward(x); },
                       opts);
@@ -359,6 +371,8 @@ TEST_F(ServeNetTest, BatchedForwardBitIdenticalToSequentialForwards)
         ServeOptions opts;
         opts.max_batch = 3;
         opts.deadline_us = 0; // flush whatever is queued immediately
+        opts.max_queue = 1024;
+        opts.request_timeout_us = 0;
         Server server(Shape({net_->inChannels(), 6, 6}),
                       [this](const Tensor &x) { return net_->forward(x); },
                       opts);
